@@ -1,0 +1,186 @@
+#ifndef PHOENIX_BENCH_BENCH_COMPONENTS_H_
+#define PHOENIX_BENCH_BENCH_COMPONENTS_H_
+
+// Components for the §5.2/§5.3 micro-benchmarks: a batch caller that issues
+// N calls to one server from inside its own method (the paper measures
+// round trips "from inside the client object instance"), and minimal
+// persistent / functional / read-only servers.
+
+#include <string>
+
+#include "core/phoenix.h"
+
+namespace phoenix::bench {
+
+// Persistent server with a mutating method and a read-only method.
+class CounterServer : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Add", [this](const ArgList& a) -> Result<Value> {
+      count_ += a[0].AsInt();
+      return Value(count_);
+    });
+    methods.Register(
+        "Get",
+        [this](const ArgList&) -> Result<Value> { return Value(count_); },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterInt("count", &count_);
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+// Stateless echo, deployable as functional or read-only.
+class EchoServer : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Echo",
+                     [](const ArgList& a) -> Result<Value> { return a[0]; });
+  }
+};
+
+// The measuring client: RunBatch(n) calls `method` on the configured server
+// n times from inside one method execution.
+// Ctor args: [server_uri, method].
+class BatchCaller : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("RunBatch", [this](const ArgList& a) -> Result<Value> {
+      int64_t n = a[0].AsInt();
+      for (int64_t i = 0; i < n; ++i) {
+        PHX_RETURN_IF_ERROR(
+            CallRef(server_, method_, MakeArgs(int64_t{1})).status());
+      }
+      return Value(n);
+    });
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterComponentRef("server", &server_);
+    fields.RegisterString("method", &method_);
+  }
+  Status Initialize(const ArgList& args) override {
+    server_.uri = args[0].AsString();
+    method_ = args[1].AsString();
+    return Status::OK();
+  }
+
+ private:
+  ComponentRefField server_;
+  std::string method_;
+};
+
+// Batch caller whose server is its own subordinate (the P -> Subordinate
+// row of Table 5: plain local calls).
+class SubordinateBatchCaller : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("RunBatch", [this](const ArgList& a) -> Result<Value> {
+      int64_t n = a[0].AsInt();
+      for (int64_t i = 0; i < n; ++i) {
+        PHX_RETURN_IF_ERROR(
+            CallRef(sub_, "Add", MakeArgs(int64_t{1})).status());
+      }
+      return Value(n);
+    });
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterComponentRef("sub", &sub_);
+  }
+  Status Initialize(const ArgList&) override {
+    PHX_ASSIGN_OR_RETURN(
+        sub_.uri, CreateSubordinate("CounterServer", name() + "_sub", {}));
+    return Status::OK();
+  }
+
+ private:
+  ComponentRefField sub_;
+};
+
+inline void RegisterBenchComponents(ComponentFactoryRegistry& factories) {
+  factories.Register<CounterServer>("CounterServer");
+  factories.Register<EchoServer>("EchoServer");
+  factories.Register<BatchCaller>("BatchCaller");
+  factories.Register<SubordinateBatchCaller>("SubordinateBatchCaller");
+}
+
+// One micro-benchmark round: per-call simulated milliseconds for a client of
+// `client_kind` on `client_machine` calling `server_method` on a server of
+// `server_kind`, `server_machine`. A warm-up batch lets the remote type
+// table learn before measurement, like the paper's steady-state averages.
+struct MicroBenchConfig {
+  RuntimeOptions options;
+  ComponentKind client_kind = ComponentKind::kExternal;  // or P/RO/subordinate
+  ComponentKind server_kind = ComponentKind::kPersistent;
+  std::string server_method = "Add";
+  bool remote = false;          // client machine != server machine
+  bool subordinate_server = false;
+  int batch = 400;
+};
+
+inline double RunMicroBench(const MicroBenchConfig& cfg) {
+  Simulation sim(cfg.options);
+  RegisterBenchComponents(sim.factories());
+  Machine& ma = sim.AddMachine("ma");
+  Machine& mb = sim.AddMachine("mb");
+  Machine& client_machine = cfg.remote ? mb : ma;
+  Process& server_proc = ma.CreateProcess();
+
+  ExternalClient admin(&sim, client_machine.name());
+
+  // The paper measures "from inside the client object instance": batch the
+  // calls inside one method execution, then difference two batch sizes so
+  // the cost of the driving call itself cancels out.
+  auto measure_inside = [&](const std::string& caller_uri) {
+    ExternalClient driver(&sim, client_machine.name());
+    driver.Call(caller_uri, "RunBatch", MakeArgs(int64_t{32}));  // warm-up
+    double t0 = sim.clock().NowMs();
+    driver.Call(caller_uri, "RunBatch", MakeArgs(int64_t{64}));
+    double t1 = sim.clock().NowMs();
+    driver.Call(caller_uri, "RunBatch", MakeArgs(int64_t{64 + cfg.batch}));
+    double t2 = sim.clock().NowMs();
+    return ((t2 - t1) - (t1 - t0)) / cfg.batch;
+  };
+
+  if (cfg.subordinate_server) {
+    Process& client_proc = client_machine.CreateProcess();
+    auto caller =
+        admin.CreateComponent(client_proc, "SubordinateBatchCaller", "caller",
+                              ComponentKind::kPersistent, {});
+    if (!caller.ok()) return -1;
+    return measure_inside(*caller);
+  }
+
+  std::string server_type =
+      cfg.server_kind == ComponentKind::kPersistent ? "CounterServer"
+                                                    : "EchoServer";
+  auto server = admin.CreateComponent(server_proc, server_type, "server",
+                                      cfg.server_kind, {});
+  if (!server.ok()) return -1;
+
+  if (cfg.client_kind == ComponentKind::kExternal) {
+    ExternalClient client(&sim, client_machine.name());
+    for (int i = 0; i < 32; ++i) {  // warm-up
+      client.Call(*server, cfg.server_method, MakeArgs(int64_t{1}));
+    }
+    double t0 = sim.clock().NowMs();
+    for (int i = 0; i < cfg.batch; ++i) {
+      client.Call(*server, cfg.server_method, MakeArgs(int64_t{1}));
+    }
+    return (sim.clock().NowMs() - t0) / cfg.batch;
+  }
+
+  Process& client_proc = client_machine.CreateProcess();
+  auto caller =
+      admin.CreateComponent(client_proc, "BatchCaller", "caller",
+                            cfg.client_kind,
+                            MakeArgs(*server, cfg.server_method));
+  if (!caller.ok()) return -1;
+  return measure_inside(*caller);
+}
+
+}  // namespace phoenix::bench
+
+#endif  // PHOENIX_BENCH_BENCH_COMPONENTS_H_

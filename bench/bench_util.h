@@ -1,0 +1,58 @@
+#ifndef PHOENIX_BENCH_BENCH_UTIL_H_
+#define PHOENIX_BENCH_BENCH_UTIL_H_
+
+// Table printing for the paper-reproduction benchmarks: every harness prints
+// the same rows the paper reports, side by side with our measured values.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace phoenix::bench {
+
+struct PaperRow {
+  std::string label;
+  double paper;     // the paper's number; < 0 means "not reported"
+  double measured;  // ours
+};
+
+inline void PrintTable(const std::string& title, const std::string& unit,
+                       const std::vector<PaperRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-55s %12s %12s %8s\n", "", ("paper " + unit).c_str(),
+              ("ours " + unit).c_str(), "ratio");
+  for (const PaperRow& row : rows) {
+    if (row.paper >= 0) {
+      std::printf("%-55s %12.3f %12.3f %8.2f\n", row.label.c_str(), row.paper,
+                  row.measured, row.measured / row.paper);
+    } else {
+      std::printf("%-55s %12s %12.3f %8s\n", row.label.c_str(), "-",
+                  row.measured, "-");
+    }
+  }
+}
+
+struct SeriesPoint {
+  double x;
+  double paper;  // < 0 means not reported
+  double measured;
+};
+
+inline void PrintSeries(const std::string& title, const std::string& x_name,
+                        const std::string& unit,
+                        const std::vector<SeriesPoint>& points) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%12s %14s %14s\n", x_name.c_str(), ("paper " + unit).c_str(),
+              ("ours " + unit).c_str());
+  for (const SeriesPoint& p : points) {
+    if (p.paper >= 0) {
+      std::printf("%12.1f %14.3f %14.3f\n", p.x, p.paper, p.measured);
+    } else {
+      std::printf("%12.1f %14s %14.3f\n", p.x, "-", p.measured);
+    }
+  }
+}
+
+}  // namespace phoenix::bench
+
+#endif  // PHOENIX_BENCH_BENCH_UTIL_H_

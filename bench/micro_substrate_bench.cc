@@ -1,0 +1,116 @@
+// Real-wall-clock microbenchmarks (google-benchmark) of the substrate the
+// simulation runs on: checksums, serialization, log framing, the disk
+// model, and whole simulated calls per real second. These are about the
+// implementation's own efficiency, not the paper's simulated numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_components.h"
+#include "common/crc32c.h"
+#include "common/strings.h"
+#include "recovery/recovery_service.h"
+#include "serde/codec.h"
+#include "wal/log_writer.h"
+
+namespace phoenix::bench {
+namespace {
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(state.range(0), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EncodeValue(benchmark::State& state) {
+  Value::List list;
+  for (int i = 0; i < 16; ++i) {
+    list.push_back(Value(StrCat("field-", i)));
+    list.push_back(Value(int64_t{i * 7919}));
+  }
+  Value value(std::move(list));
+  for (auto _ : state) {
+    Encoder enc;
+    enc.PutValue(value);
+    benchmark::DoNotOptimize(enc.buffer());
+  }
+}
+BENCHMARK(BM_EncodeValue);
+
+void BM_DecodeValue(benchmark::State& state) {
+  Value::List list;
+  for (int i = 0; i < 16; ++i) list.push_back(Value(int64_t{i}));
+  Encoder enc;
+  enc.PutValue(Value(std::move(list)));
+  for (auto _ : state) {
+    Decoder dec(enc.buffer());
+    benchmark::DoNotOptimize(dec.GetValue());
+  }
+}
+BENCHMARK(BM_DecodeValue);
+
+void BM_LogAppendForce(benchmark::State& state) {
+  StableStorage storage;
+  DiskModel disk(DiskParams{}, 1);
+  SimClock clock;
+  std::vector<uint8_t> payload(256, 0x42);
+  LogWriter writer("m/p.log", &storage, &disk, &clock);
+  for (auto _ : state) {
+    writer.AppendPayload(payload);
+    writer.Force();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogAppendForce);
+
+void BM_DiskModelWrite(benchmark::State& state) {
+  DiskModel disk(DiskParams{}, 1);
+  double now = 0;
+  for (auto _ : state) {
+    now += disk.WriteLatencyMs(now, 1024);
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_DiskModelWrite);
+
+void BM_SimulatedPersistentCall(benchmark::State& state) {
+  Simulation sim;
+  RegisterBenchComponents(sim.factories());
+  Machine& ma = sim.AddMachine("ma");
+  Process& proc = ma.CreateProcess();
+  ExternalClient client(&sim, "ma");
+  auto server = client.CreateComponent(proc, "CounterServer", "server",
+                                       ComponentKind::kPersistent, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Call(*server, "Add", MakeArgs(int64_t{1})));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_ms_per_call"] =
+      sim.clock().NowMs() / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SimulatedPersistentCall);
+
+void BM_CrashRecoveryCycle(benchmark::State& state) {
+  Simulation sim;
+  RegisterBenchComponents(sim.factories());
+  Machine& ma = sim.AddMachine("ma");
+  Process& proc = ma.CreateProcess();
+  ExternalClient client(&sim, "ma");
+  auto server = client.CreateComponent(proc, "CounterServer", "server",
+                                       ComponentKind::kPersistent, {});
+  for (int i = 0; i < 50; ++i) {
+    client.Call(*server, "Add", MakeArgs(int64_t{1})).value();
+  }
+  for (auto _ : state) {
+    proc.Kill();
+    benchmark::DoNotOptimize(
+        ma.recovery_service().EnsureProcessAlive(proc.pid()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrashRecoveryCycle);
+
+}  // namespace
+}  // namespace phoenix::bench

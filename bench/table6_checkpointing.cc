@@ -1,0 +1,71 @@
+// Table 6: runtime overhead of saving context state on every call, with the
+// disk write cache disabled (media-rate forces) and enabled (controller
+// acks). Saving state adds ~1 ms of software cost per call either way.
+
+#include "bench/bench_components.h"
+#include "bench/bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+double Measure(bool save_state_on_call, bool write_cache) {
+  RuntimeOptions opts;
+  opts.logging_mode = LoggingMode::kOptimized;
+  opts.use_specialized_kinds = false;
+  opts.save_context_state_every = save_state_on_call ? 1 : 0;
+
+  SimulationParams params;
+  params.disk.write_cache_enabled = write_cache;
+
+  Simulation sim(opts, params);
+  RegisterBenchComponents(sim.factories());
+  Machine& ma = sim.AddMachine("ma");
+  Machine& mb = sim.AddMachine("mb");
+  Process& server_proc = ma.CreateProcess();
+  Process& client_proc = mb.CreateProcess();
+
+  ExternalClient admin(&sim, "mb");
+  auto server = admin.CreateComponent(server_proc, "CounterServer", "server",
+                                      ComponentKind::kPersistent, {});
+  auto caller = admin.CreateComponent(client_proc, "BatchCaller", "caller",
+                                      ComponentKind::kPersistent,
+                                      MakeArgs(*server, "Add"));
+  admin.Call(*caller, "RunBatch", MakeArgs(int64_t{32}));  // warm-up
+  const int kBatch = 400;
+  double t0 = sim.clock().NowMs();
+  admin.Call(*caller, "RunBatch", MakeArgs(int64_t{kBatch}));
+  return (sim.clock().NowMs() - t0) / kBatch;
+}
+
+void Run() {
+  std::vector<PaperRow> disabled;
+  disabled.push_back({"Persistent -> Persistent (remote)", 10.8,
+                      Measure(/*save=*/false, /*cache=*/false)});
+  disabled.push_back({"Persistent -> Persistent, save state on call", 11.8,
+                      Measure(/*save=*/true, /*cache=*/false)});
+  PrintTable("Table 6a: checkpointing overhead, write cache DISABLED "
+             "(ms per call)",
+             "(ms)", disabled);
+
+  std::vector<PaperRow> enabled;
+  enabled.push_back({"Persistent -> Persistent (remote)", 2.62,
+                     Measure(/*save=*/false, /*cache=*/true)});
+  enabled.push_back({"Persistent -> Persistent, save state on call", 3.82,
+                     Measure(/*save=*/true, /*cache=*/true)});
+  PrintTable("Table 6b: checkpointing overhead, write cache ENABLED "
+             "(ms per call)",
+             "(ms)", enabled);
+
+  std::printf(
+      "\nShape checks: saving the (small) context state after every call\n"
+      "adds ~1 ms regardless of the cache setting — modest next to the\n"
+      "disk media cost, visible next to the cached-write cost.\n");
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main() {
+  phoenix::bench::Run();
+  return 0;
+}

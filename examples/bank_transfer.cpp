@@ -1,0 +1,137 @@
+// A two-machine funds-transfer service built on Phoenix/App: a persistent
+// TransferCoordinator moves money between persistent Account components on
+// another machine. Crashes are injected at the worst possible moments —
+// after the debit, before the credit — and the exactly-once guarantee keeps
+// money conserved without any application-level recovery code.
+//
+//   $ ./build/examples/bank_transfer
+
+#include <cstdio>
+
+#include "core/phoenix.h"
+#include "recovery/recovery_service.h"
+
+namespace {
+
+using namespace phoenix;  // NOLINT: example brevity
+
+class Account : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Deposit", [this](const ArgList& a) -> Result<Value> {
+      balance_ += a[0].AsInt();
+      return Value(balance_);
+    });
+    methods.Register("Withdraw", [this](const ArgList& a) -> Result<Value> {
+      if (balance_ < a[0].AsInt()) {
+        return Status::FailedPrecondition("insufficient funds");
+      }
+      balance_ -= a[0].AsInt();
+      return Value(balance_);
+    });
+    methods.Register(
+        "Balance",
+        [this](const ArgList&) -> Result<Value> { return Value(balance_); },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterInt("balance", &balance_);
+  }
+  Status Initialize(const ArgList& args) override {
+    if (!args.empty()) balance_ = args[0].AsInt();
+    return Status::OK();
+  }
+
+ private:
+  int64_t balance_ = 0;
+};
+
+// Persistent middle tier: one Transfer call = Withdraw at the source +
+// Deposit at the destination. The paper's machinery (forced sends, call-ID
+// dedupe, replay) is what makes the two legs exactly-once even when this
+// component's process dies between them.
+class TransferCoordinator : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Transfer", [this](const ArgList& a) -> Result<Value> {
+      const std::string& from = a[0].AsString();
+      const std::string& to = a[1].AsString();
+      int64_t amount = a[2].AsInt();
+      PHX_RETURN_IF_ERROR(Call(from, "Withdraw", MakeArgs(amount)).status());
+      PHX_RETURN_IF_ERROR(Call(to, "Deposit", MakeArgs(amount)).status());
+      completed_ += 1;
+      return Value(completed_);
+    });
+    methods.Register(
+        "Completed",
+        [this](const ArgList&) -> Result<Value> { return Value(completed_); },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterInt("completed", &completed_);
+  }
+
+ private:
+  int64_t completed_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Simulation sim;
+  sim.factories().Register<Account>("Account");
+  sim.factories().Register<TransferCoordinator>("TransferCoordinator");
+  Machine& bank = sim.AddMachine("bank");
+  Machine& front = sim.AddMachine("front");
+  Process& accounts_proc = bank.CreateProcess();
+  Process& coord_proc = front.CreateProcess();
+
+  ExternalClient teller(&sim, "front");
+  auto alice = teller.CreateComponent(accounts_proc, "Account", "alice",
+                                      ComponentKind::kPersistent,
+                                      MakeArgs(int64_t{1000}));
+  auto bob = teller.CreateComponent(accounts_proc, "Account", "bob",
+                                    ComponentKind::kPersistent,
+                                    MakeArgs(int64_t{1000}));
+  auto coord = teller.CreateComponent(coord_proc, "TransferCoordinator",
+                                      "coordinator",
+                                      ComponentKind::kPersistent, {});
+  if (!alice.ok() || !bob.ok() || !coord.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  // Crash the accounts process right before acknowledging transfer #5's
+  // withdraw (the coordinator, a persistent client, retries with the same
+  // call ID and the duplicate is eliminated), and the coordinator right
+  // after it finishes transfer #3 (recovered on the next call).
+  sim.injector().AddTrigger("bank", accounts_proc.pid(),
+                            FailurePoint::kBeforeReplySend, 9);
+  sim.injector().AddTrigger("front", coord_proc.pid(),
+                            FailurePoint::kAfterReplySend, 3);
+
+  for (int i = 1; i <= 6; ++i) {
+    auto r = teller.Call(*coord, "Transfer",
+                         MakeArgs(*alice, *bob, int64_t{100}));
+    std::printf("transfer %d: %s\n", i,
+                r.ok() ? "ok" : r.status().ToString().c_str());
+  }
+
+  int64_t a = teller.Call(*alice, "Balance", {})->AsInt();
+  int64_t b = teller.Call(*bob, "Balance", {})->AsInt();
+  int64_t done = teller.Call(*coord, "Completed", {})->AsInt();
+  std::printf("\nalice=%lld bob=%lld total=%lld transfers=%lld crashes=%llu\n",
+              static_cast<long long>(a), static_cast<long long>(b),
+              static_cast<long long>(a + b), static_cast<long long>(done),
+              static_cast<unsigned long long>(sim.injector().crashes_fired()));
+
+  if (a + b != 2000 || a != 400 || done != 6) {
+    std::printf("EXACTLY-ONCE VIOLATED (expected alice=400, bob=1600, 6 "
+                "transfers)\n");
+    return 1;
+  }
+  std::printf("money conserved, every transfer applied exactly once, across "
+              "%llu injected crashes.\n",
+              static_cast<unsigned long long>(sim.injector().crashes_fired()));
+  return 0;
+}

@@ -1,0 +1,132 @@
+// A guided tour of the recovery machinery: what is on the log, what a
+// context state record contains, what the two recovery passes do, and how
+// checkpoints move the replay origin. Prints a narrated trace.
+//
+//   $ ./build/examples/crash_recovery_tour
+
+#include <cstdio>
+
+#include "core/phoenix.h"
+#include "recovery/checkpoint_manager.h"
+#include "recovery/recovery_service.h"
+#include "wal/log_reader.h"
+
+namespace {
+
+using namespace phoenix;  // NOLINT: example brevity
+
+class Ledger : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Append", [this](const ArgList& a) -> Result<Value> {
+      entries_.MutableList().push_back(a[0]);
+      total_ += a[0].AsInt();
+      return Value(total_);
+    });
+    methods.Register(
+        "Total",
+        [this](const ArgList&) -> Result<Value> { return Value(total_); },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterValue("entries", &entries_);
+    fields.RegisterInt("total", &total_);
+  }
+
+ private:
+  Value entries_{Value::List{}};
+  int64_t total_ = 0;
+};
+
+const char* TypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kIncomingCall:
+      return "IncomingCall";
+    case LogRecordType::kReplySent:
+      return "ReplySent";
+    case LogRecordType::kOutgoingCall:
+      return "OutgoingCall";
+    case LogRecordType::kReplyReceived:
+      return "ReplyReceived";
+    case LogRecordType::kCreation:
+      return "Creation";
+    case LogRecordType::kLastCallReply:
+      return "LastCallReply";
+    case LogRecordType::kContextState:
+      return "ContextState";
+    case LogRecordType::kBeginCheckpoint:
+      return "BeginCheckpoint";
+    case LogRecordType::kCheckpointContextEntry:
+      return "CkptContextEntry";
+    case LogRecordType::kCheckpointLastCall:
+      return "CkptLastCall";
+    case LogRecordType::kCheckpointRemoteType:
+      return "CkptRemoteType";
+    case LogRecordType::kEndCheckpoint:
+      return "EndCheckpoint";
+  }
+  return "?";
+}
+
+void DumpLog(Process& process) {
+  std::printf("  stable log of %s:\n", process.log_name().c_str());
+  LogReader reader(process.log().StableLog(), 0);
+  while (auto rec = reader.Next()) {
+    std::printf("    lsn %6llu  %s\n",
+                static_cast<unsigned long long>(rec->lsn),
+                TypeName(RecordTypeOf(rec->record)));
+  }
+  auto wkf = process.log().ReadWellKnownLsn();
+  if (wkf.ok()) {
+    std::printf("    well-known file -> begin-checkpoint at lsn %llu\n",
+                static_cast<unsigned long long>(*wkf));
+  } else {
+    std::printf("    well-known file: (none yet)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Simulation sim;
+  sim.factories().Register<Ledger>("Ledger");
+  Machine& machine = sim.AddMachine("alpha");
+  Process& process = machine.CreateProcess();
+  ExternalClient client(&sim, "alpha");
+
+  std::printf("== 1. create a persistent Ledger and append three entries ==\n");
+  auto uri = client.CreateComponent(process, "Ledger", "ledger",
+                                    ComponentKind::kPersistent, {});
+  for (int i = 1; i <= 3; ++i) {
+    client.Call(*uri, "Append", MakeArgs(i * 10));
+  }
+  DumpLog(process);
+
+  std::printf("\n== 2. save the context state (application checkpoint) ==\n");
+  Context* ctx = process.FindContextOfComponent("ledger");
+  auto state_lsn = process.checkpoints().SaveContextState(*ctx);
+  std::printf("  state record at lsn %llu holds the serialized fields\n",
+              static_cast<unsigned long long>(*state_lsn));
+
+  std::printf("\n== 3. take a process checkpoint (tables + recovery LSNs) ==\n");
+  process.checkpoints().TakeProcessCheckpoint();
+  client.Call(*uri, "Append", MakeArgs(40));  // the force publishes it
+  DumpLog(process);
+
+  std::printf("\n== 4. crash ==\n");
+  process.Kill();
+  std::printf("  volatile state gone; stable log and well-known file "
+              "survive\n");
+
+  std::printf("\n== 5. recover: pass 1 finds the contexts, restores the\n"
+              "      state record; pass 2 replays only the suffix ==\n");
+  double t0 = sim.clock().NowMs();
+  Status s = machine.recovery_service().EnsureProcessAlive(process.pid());
+  std::printf("  recovery: %s in %.1f simulated ms\n", s.ToString().c_str(),
+              sim.clock().NowMs() - t0);
+
+  auto total = client.Call(*uri, "Total", {});
+  std::printf("  ledger total after recovery: %s (expected 100)\n",
+              total->ToString().c_str());
+  return total->AsInt() == 100 ? 0 : 1;
+}

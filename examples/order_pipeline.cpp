@@ -1,0 +1,179 @@
+// The paper's introduction motivates Phoenix/App against the classic TP
+// "string of beads" style, where stateless components must read their state
+// from recoverable queues and write it back after every step. Here is the
+// alternative it enables: a natural, stateful three-tier order pipeline —
+// intake, payment, shipping, on three machines — with NO queues, NO
+// distributed commits and NO application recovery code, surviving crashes
+// of every tier mid-pipeline.
+//
+//   $ ./build/examples/order_pipeline
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/phoenix.h"
+#include "recovery/recovery_service.h"
+
+namespace {
+
+using namespace phoenix;  // NOLINT: example brevity
+
+// Tier 3: shipping. Keeps the manifest of shipped orders.
+class Shipping : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Ship", [this](const ArgList& a) -> Result<Value> {
+      manifest_.MutableList().push_back(a[0]);  // order id
+      return Value(static_cast<int64_t>(manifest_.AsList().size()));
+    });
+    methods.Register(
+        "Shipped",
+        [this](const ArgList&) -> Result<Value> {
+          return Value(static_cast<int64_t>(manifest_.AsList().size()));
+        },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterValue("manifest", &manifest_);
+  }
+
+ private:
+  Value manifest_{Value::List{}};
+};
+
+// Tier 2: payments. Charges and remembers the running total.
+class Payments : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Charge", [this](const ArgList& a) -> Result<Value> {
+      if (a[1].AsInt() <= 0) {
+        return Status::InvalidArgument("amount must be positive");
+      }
+      charged_ += a[1].AsInt();
+      ++charges_;
+      return Value(charged_);
+    });
+    methods.Register(
+        "Totals",
+        [this](const ArgList&) -> Result<Value> {
+          return Value(MakeArgs(charges_, charged_));
+        },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterInt("charged", &charged_);
+    fields.RegisterInt("charges", &charges_);
+  }
+
+ private:
+  int64_t charged_ = 0;
+  int64_t charges_ = 0;
+};
+
+// Tier 1: intake. One PlaceOrder call = charge + ship + record — ordinary
+// sequential code holding its state in fields; the runtime makes every step
+// exactly-once across crashes of any tier.
+class OrderIntake : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("PlaceOrder", [this](const ArgList& a) -> Result<Value> {
+      int64_t order_id = ++orders_taken_;
+      PHX_RETURN_IF_ERROR(
+          CallRef(payments_, "Charge", MakeArgs(order_id, a[0].AsInt()))
+              .status());
+      PHX_RETURN_IF_ERROR(
+          CallRef(shipping_, "Ship", MakeArgs(order_id)).status());
+      return Value(order_id);
+    });
+    methods.Register(
+        "OrdersTaken",
+        [this](const ArgList&) -> Result<Value> {
+          return Value(orders_taken_);
+        },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterInt("orders_taken", &orders_taken_);
+    fields.RegisterComponentRef("payments", &payments_);
+    fields.RegisterComponentRef("shipping", &shipping_);
+  }
+  Status Initialize(const ArgList& args) override {
+    payments_.uri = args[0].AsString();
+    shipping_.uri = args[1].AsString();
+    return Status::OK();
+  }
+
+ private:
+  int64_t orders_taken_ = 0;
+  ComponentRefField payments_;
+  ComponentRefField shipping_;
+};
+
+}  // namespace
+
+int main() {
+  Simulation sim;
+  sim.factories().Register<OrderIntake>("OrderIntake");
+  sim.factories().Register<Payments>("Payments");
+  sim.factories().Register<Shipping>("Shipping");
+  Machine& front = sim.AddMachine("front");
+  Machine& pay_machine = sim.AddMachine("payments");
+  Machine& ship_machine = sim.AddMachine("shipping");
+  Process& intake_proc = front.CreateProcess();
+  Process& pay_proc = pay_machine.CreateProcess();
+  Process& ship_proc = ship_machine.CreateProcess();
+
+  ExternalClient web(&sim, "front");
+  auto payments = web.CreateComponent(pay_proc, "Payments", "payments",
+                                      ComponentKind::kPersistent, {});
+  auto shipping = web.CreateComponent(ship_proc, "Shipping", "shipping",
+                                      ComponentKind::kPersistent, {});
+  auto intake = web.CreateComponent(
+      intake_proc, "OrderIntake", "intake", ComponentKind::kPersistent,
+      MakeArgs(*payments, *shipping));
+  if (!intake.ok()) return 1;
+
+  // Crash every tier at an awkward moment: payments right before it
+  // acknowledges order 3's charge; shipping right after logging order 5's
+  // Ship call; intake right after it answers order 7. (Intake's clients
+  // are external web requests, so it is only crashed *between* requests —
+  // mid-request crashes of the downstream tiers are fully masked by
+  // intake's persistent retries; see docs/PROTOCOL.md on the external
+  // window.)
+  sim.injector().AddTrigger("payments", pay_proc.pid(),
+                            FailurePoint::kBeforeReplySend, 3);
+  sim.injector().AddTrigger("shipping", ship_proc.pid(),
+                            FailurePoint::kAfterIncomingLogged, 5);
+  sim.injector().AddTrigger("front", intake_proc.pid(),
+                            FailurePoint::kAfterReplySend, 7);
+
+  const int kOrders = 8;
+  for (int i = 1; i <= kOrders; ++i) {
+    auto r = web.Call(*intake, "PlaceOrder", MakeArgs(int64_t{10 * i}));
+    std::printf("order %d -> %s\n", i,
+                r.ok() ? StrCat("id ", r->AsInt()).c_str()
+                       : r.status().ToString().c_str());
+  }
+
+  auto totals = web.Call(*payments, "Totals", {});
+  auto shipped = web.Call(*shipping, "Shipped", {});
+  auto taken = web.Call(*intake, "OrdersTaken", {});
+  std::printf("\ntaken=%lld charges=%lld charged=$%lld shipped=%lld "
+              "(crashes injected: %llu)\n",
+              static_cast<long long>(taken->AsInt()),
+              static_cast<long long>(totals->AsList()[0].AsInt()),
+              static_cast<long long>(totals->AsList()[1].AsInt()),
+              static_cast<long long>(shipped->AsInt()),
+              static_cast<unsigned long long>(
+                  sim.injector().crashes_fired()));
+
+  // The single invariant the string-of-beads model needs queues and
+  // distributed commits to get: every order charged once AND shipped once.
+  bool exact = taken->AsInt() == kOrders &&
+               totals->AsList()[0].AsInt() == kOrders &&
+               totals->AsList()[1].AsInt() == 10 * (kOrders * (kOrders + 1)) / 2 &&
+               shipped->AsInt() == kOrders;
+  std::printf(exact ? "pipeline exactly-once: OK\n"
+                    : "PIPELINE INVARIANT VIOLATED\n");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+#include "bookstore/basket_manager.h"
+
+namespace phoenix::bookstore {
+
+void BasketManager::RegisterMethods(MethodRegistry& methods) {
+  methods.Register("Add", [this](const ArgList& a) { return Add(a); });
+  methods.Register(
+      "Items", [this](const ArgList&) -> Result<Value> { return items_; },
+      MethodTraits{.read_only = true});
+  methods.Register(
+      "Total",
+      [this](const ArgList&) -> Result<Value> {
+        double total = 0.0;
+        for (const Value& item : items_.AsList()) {
+          total += item.AsList()[3].AsDouble();
+        }
+        return Value(total);
+      },
+      MethodTraits{.read_only = true});
+  methods.Register("Clear", [this](const ArgList& a) { return Clear(a); });
+}
+
+void BasketManager::RegisterFields(FieldRegistry& fields) {
+  fields.RegisterValue("items", &items_);
+}
+
+Result<Value> BasketManager::Add(const ArgList& args) {
+  if (args.size() != 4) {
+    return Status::InvalidArgument("Add(store_uri, book_id, title, price)");
+  }
+  items_.MutableList().push_back(Value(Value::List(args)));
+  return Value(static_cast<int64_t>(items_.AsList().size()));
+}
+
+Result<Value> BasketManager::Clear(const ArgList&) {
+  int64_t removed = static_cast<int64_t>(items_.AsList().size());
+  items_ = Value(Value::List{});
+  return Value(removed);
+}
+
+}  // namespace phoenix::bookstore

@@ -1,0 +1,36 @@
+#ifndef PHOENIX_BOOKSTORE_BASKET_MANAGER_H_
+#define PHOENIX_BOOKSTORE_BASKET_MANAGER_H_
+
+#include "core/phoenix.h"
+
+namespace phoenix::bookstore {
+
+// One buyer's shopping basket (Figure 10). In the specialized deployment it
+// is a *subordinate* of the BookSeller — it lives in the seller's context,
+// so every Add/Items/Clear is a plain local call with no interception or
+// logging (§3.2.1); its state rides along in the seller's context state
+// records. The baseline deployment creates it as a standalone persistent
+// component instead.
+//
+// Methods:
+//   Add(store_uri, book_id, title, price) -> item count
+//   Items() -> list of [store_uri, book_id, title, price]
+//   Total() -> sum of prices
+//   Clear() -> number of items removed
+class BasketManager : public Component {
+ public:
+  BasketManager() = default;
+
+  void RegisterMethods(MethodRegistry& methods) override;
+  void RegisterFields(FieldRegistry& fields) override;
+
+ private:
+  Result<Value> Add(const ArgList& args);
+  Result<Value> Clear(const ArgList& args);
+
+  Value items_{Value::List{}};
+};
+
+}  // namespace phoenix::bookstore
+
+#endif  // PHOENIX_BOOKSTORE_BASKET_MANAGER_H_

@@ -1,0 +1,88 @@
+#include "bookstore/book_buyer.h"
+
+#include "common/strings.h"
+
+namespace phoenix::bookstore {
+
+BookBuyer::BookBuyer(Simulation* sim, const Deployment* deployment,
+                     std::string buyer_name, std::string region,
+                     std::string client_machine)
+    : sim_(sim),
+      deployment_(deployment),
+      buyer_name_(std::move(buyer_name)),
+      region_(std::move(region)),
+      client_(sim, std::move(client_machine)) {}
+
+Result<std::string> BookBuyer::SearchBooks(const std::string& keyword) {
+  PHX_ASSIGN_OR_RETURN(Value hits, client_.Call(deployment_->grabber_uri,
+                                                "Search", MakeArgs(keyword)));
+  std::string out = StrCat("search \"", keyword, "\": ",
+                           hits.AsList().size(), " hits");
+  for (const Value& row : hits.AsList()) {
+    out += StrCat("\n  ", row.AsList()[2].AsString(), "  $",
+                  FormatDouble(row.AsList()[3].AsDouble(), 2));
+  }
+  return out;
+}
+
+Result<std::string> BookBuyer::AddFirstHitFromEachStore(
+    const std::string& keyword) {
+  PHX_ASSIGN_OR_RETURN(Value hits, client_.Call(deployment_->grabber_uri,
+                                                "Search", MakeArgs(keyword)));
+  int added = 0;
+  for (const std::string& store : deployment_->store_uris) {
+    for (const Value& row : hits.AsList()) {
+      if (row.AsList()[0].AsString() == store) {
+        PHX_RETURN_IF_ERROR(
+            client_
+                .Call(deployment_->seller_uri, "AddToBasket",
+                      MakeArgs(buyer_name_, store, row.AsList()[1].AsInt()))
+                .status());
+        ++added;
+        break;
+      }
+    }
+  }
+  return StrCat("added ", added, " books (one per store) to the basket");
+}
+
+Result<std::string> BookBuyer::ShowBasket() {
+  PHX_ASSIGN_OR_RETURN(Value items,
+                       client_.Call(deployment_->seller_uri, "ShowBasket",
+                                    MakeArgs(buyer_name_)));
+  std::string out = StrCat("basket of ", buyer_name_, " (",
+                           items.AsList().size(), " items):");
+  for (const Value& item : items.AsList()) {
+    out += StrCat("\n  ", item.AsList()[2].AsString(), "  $",
+                  FormatDouble(item.AsList()[3].AsDouble(), 2));
+  }
+  return out;
+}
+
+Result<std::string> BookBuyer::TotalWithTax() {
+  PHX_ASSIGN_OR_RETURN(Value subtotal,
+                       client_.Call(deployment_->seller_uri, "BasketSubtotal",
+                                    MakeArgs(buyer_name_)));
+  PHX_ASSIGN_OR_RETURN(
+      Value total, client_.Call(deployment_->tax_uri, "TotalWithTax",
+                                MakeArgs(subtotal.AsDouble(), region_)));
+  return StrCat("subtotal $", FormatDouble(subtotal.AsDouble(), 2),
+                ", with ", region_, " tax: $",
+                FormatDouble(total.AsDouble(), 2));
+}
+
+Result<std::string> BookBuyer::Checkout() {
+  PHX_ASSIGN_OR_RETURN(Value total,
+                       client_.Call(deployment_->seller_uri, "Checkout",
+                                    MakeArgs(buyer_name_, region_)));
+  return StrCat("checked out; charged $", FormatDouble(total.AsDouble(), 2));
+}
+
+Result<std::string> BookBuyer::EmptyBasket() {
+  PHX_ASSIGN_OR_RETURN(Value removed,
+                       client_.Call(deployment_->seller_uri, "ClearBasket",
+                                    MakeArgs(buyer_name_)));
+  return StrCat("removed ", removed.AsInt(), " books from the basket");
+}
+
+}  // namespace phoenix::bookstore

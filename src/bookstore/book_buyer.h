@@ -1,0 +1,43 @@
+#ifndef PHOENIX_BOOKSTORE_BOOK_BUYER_H_
+#define PHOENIX_BOOKSTORE_BOOK_BUYER_H_
+
+#include <string>
+
+#include "bookstore/setup.h"
+#include "core/phoenix.h"
+
+namespace phoenix::bookstore {
+
+// The console client of Figure 10 — an *external* component (no Phoenix
+// guarantees). The paper's demo displayed text menus; for experiments it
+// was rewritten to generate inputs automatically. This class provides both:
+// scripted operations with human-readable transcripts, used by the
+// bookstore example, and the silent automated session lives in setup.h's
+// RunBuyerSession.
+class BookBuyer {
+ public:
+  BookBuyer(Simulation* sim, const Deployment* deployment,
+            std::string buyer_name, std::string region,
+            std::string client_machine);
+
+  // Each operation returns a printable transcript line (or a Status error).
+  Result<std::string> SearchBooks(const std::string& keyword);
+  Result<std::string> AddFirstHitFromEachStore(const std::string& keyword);
+  Result<std::string> ShowBasket();
+  Result<std::string> TotalWithTax();
+  Result<std::string> Checkout();
+  Result<std::string> EmptyBasket();
+
+  ExternalClient& client() { return client_; }
+
+ private:
+  Simulation* sim_;
+  const Deployment* deployment_;
+  std::string buyer_name_;
+  std::string region_;
+  ExternalClient client_;
+};
+
+}  // namespace phoenix::bookstore
+
+#endif  // PHOENIX_BOOKSTORE_BOOK_BUYER_H_

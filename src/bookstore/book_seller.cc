@@ -1,0 +1,162 @@
+#include "bookstore/book_seller.h"
+
+#include "common/strings.h"
+
+namespace phoenix::bookstore {
+
+void BookSeller::RegisterMethods(MethodRegistry& methods) {
+  methods.Register("AddToBasket",
+                   [this](const ArgList& a) { return AddToBasket(a); });
+  methods.Register(
+      "ShowBasket", [this](const ArgList& a) { return ShowBasket(a); },
+      MethodTraits{.read_only = true});
+  methods.Register(
+      "BasketSubtotal",
+      [this](const ArgList& a) { return BasketSubtotal(a); },
+      MethodTraits{.read_only = true});
+  methods.Register("Checkout",
+                   [this](const ArgList& a) { return Checkout(a); });
+  methods.Register("ClearBasket",
+                   [this](const ArgList& a) { return ClearBasket(a); });
+}
+
+void BookSeller::RegisterFields(FieldRegistry& fields) {
+  fields.RegisterComponentRef("tax_calculator", &tax_calculator_);
+  fields.RegisterBool("subordinate_baskets", &subordinate_baskets_);
+  fields.RegisterValue("baskets", &baskets_);
+}
+
+Status BookSeller::Initialize(const ArgList& args) {
+  if (args.size() != 2 || args[0].kind() != Value::Kind::kString ||
+      args[1].kind() != Value::Kind::kBool) {
+    return Status::InvalidArgument(
+        "BookSeller(tax_calculator_uri, subordinate_baskets)");
+  }
+  tax_calculator_.uri = args[0].AsString();
+  subordinate_baskets_ = args[1].AsBool();
+  return Status::OK();
+}
+
+std::string BookSeller::FindBasket(const std::string& buyer) const {
+  for (const Value& pair : baskets_.AsList()) {
+    if (pair.AsList()[0].AsString() == buyer) {
+      return pair.AsList()[1].AsString();
+    }
+  }
+  return "";
+}
+
+Result<std::string> BookSeller::EnsureBasket(const std::string& buyer) {
+  std::string existing = FindBasket(buyer);
+  if (!existing.empty()) return existing;
+
+  std::string basket_name = StrCat(name(), "_basket_", buyer);
+  std::string uri;
+  if (subordinate_baskets_) {
+    PHX_ASSIGN_OR_RETURN(uri,
+                         CreateSubordinate("BasketManager", basket_name, {}));
+  } else {
+    // Baseline deployment: a standalone persistent component, created via
+    // this process's activator — a logged, recoverable call.
+    Process* proc = context()->process();
+    PHX_ASSIGN_OR_RETURN(
+        Value created,
+        Call(proc->ActivatorUri(), "Create",
+             MakeArgs("BasketManager", basket_name,
+                      static_cast<int64_t>(ComponentKind::kPersistent),
+                      Value::List{})));
+    uri = created.AsString();
+  }
+  Value::List pair;
+  pair.push_back(Value(buyer));
+  pair.push_back(Value(uri));
+  baskets_.MutableList().push_back(Value(std::move(pair)));
+  return uri;
+}
+
+Result<Value> BookSeller::AddToBasket(const ArgList& args) {
+  if (args.size() != 3 || args[0].kind() != Value::Kind::kString ||
+      args[1].kind() != Value::Kind::kString ||
+      args[2].kind() != Value::Kind::kInt) {
+    return Status::InvalidArgument("AddToBasket(buyer, store_uri, book_id)");
+  }
+  // Reserve the copy at the store (a persistent, state-changing call — the
+  // reservation is what makes the basket durable against oversell), then
+  // record it in the basket.
+  const std::string& store_uri = args[1].AsString();
+  PHX_ASSIGN_OR_RETURN(
+      Value book, Call(store_uri, "Reserve", MakeArgs(args[2], int64_t{1})));
+  PHX_ASSIGN_OR_RETURN(std::string basket, EnsureBasket(args[0].AsString()));
+  return Call(basket, "Add",
+              MakeArgs(store_uri, book.AsList()[0].AsInt(),
+                       book.AsList()[1].AsString(),
+                       book.AsList()[2].AsDouble()));
+}
+
+Result<Value> BookSeller::ShowBasket(const ArgList& args) {
+  if (args.size() != 1 || args[0].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("ShowBasket(buyer)");
+  }
+  std::string basket = FindBasket(args[0].AsString());
+  if (basket.empty()) return Value(Value::List{});
+  return Call(basket, "Items", {});
+}
+
+Result<Value> BookSeller::BasketSubtotal(const ArgList& args) {
+  if (args.size() != 1 || args[0].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("BasketSubtotal(buyer)");
+  }
+  std::string basket = FindBasket(args[0].AsString());
+  if (basket.empty()) return Value(0.0);
+  return Call(basket, "Total", {});
+}
+
+Result<Value> BookSeller::Checkout(const ArgList& args) {
+  if (args.size() != 2 || args[0].kind() != Value::Kind::kString ||
+      args[1].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("Checkout(buyer, region)");
+  }
+  const std::string& buyer = args[0].AsString();
+  std::string basket = FindBasket(buyer);
+  if (basket.empty()) {
+    return Status::FailedPrecondition("empty basket for " + buyer);
+  }
+  PHX_ASSIGN_OR_RETURN(Value items, Call(basket, "Items", {}));
+
+  // One sale confirmation per item (the stock was already reserved at add
+  // time): several distinct persistent servers inside a single method
+  // execution — the multi-call optimization's target pattern.
+  double subtotal = 0.0;
+  for (const Value& item : items.AsList()) {
+    const Value::List& row = item.AsList();
+    PHX_RETURN_IF_ERROR(Call(row[0].AsString(), "ConfirmSale",
+                             MakeArgs(row[1].AsInt(), int64_t{1}))
+                            .status());
+    subtotal += row[3].AsDouble();
+  }
+
+  PHX_ASSIGN_OR_RETURN(
+      Value total,
+      CallRef(tax_calculator_, "TotalWithTax", MakeArgs(subtotal, args[1])));
+  PHX_RETURN_IF_ERROR(Call(basket, "Clear", {}).status());
+  return total;
+}
+
+Result<Value> BookSeller::ClearBasket(const ArgList& args) {
+  if (args.size() != 1 || args[0].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("ClearBasket(buyer)");
+  }
+  std::string basket = FindBasket(args[0].AsString());
+  if (basket.empty()) return Value(int64_t{0});
+  // Removing a book returns its reservation to the store.
+  PHX_ASSIGN_OR_RETURN(Value items, Call(basket, "Items", {}));
+  for (const Value& item : items.AsList()) {
+    const Value::List& row = item.AsList();
+    PHX_RETURN_IF_ERROR(Call(row[0].AsString(), "Release",
+                             MakeArgs(row[1].AsInt(), int64_t{1}))
+                            .status());
+  }
+  return Call(basket, "Clear", {});
+}
+
+}  // namespace phoenix::bookstore

@@ -1,0 +1,51 @@
+#ifndef PHOENIX_BOOKSTORE_BOOK_SELLER_H_
+#define PHOENIX_BOOKSTORE_BOOK_SELLER_H_
+
+#include "core/phoenix.h"
+
+namespace phoenix::bookstore {
+
+// Manages a set of basket managers, one per book buyer (Figure 10).
+// Persistent. Depending on deployment its baskets are subordinates (living
+// in this context — the specialized configuration) or standalone persistent
+// components created through the process activator (baseline).
+//
+// Methods:
+//   AddToBasket(buyer, store_uri, book_id) -> item count
+//       (reserves the copy at the store — a persistent state change)
+//   ShowBasket(buyer) -> list of items                           (read-only)
+//   BasketSubtotal(buyer) -> sum of prices                       (read-only)
+//   Checkout(buyer, region) -> total with tax; confirms each reservation as
+//       a sale (several distinct servers in one method execution — the §3.5
+//       multi-call optimization's showcase), asks the tax calculator, and
+//       clears the basket.
+//   ClearBasket(buyer) -> items removed; reservations returned to stores
+class BookSeller : public Component {
+ public:
+  BookSeller() = default;
+
+  void RegisterMethods(MethodRegistry& methods) override;
+  void RegisterFields(FieldRegistry& fields) override;
+  // args: [tax_calculator_uri, subordinate_baskets(bool)]
+  Status Initialize(const ArgList& args) override;
+
+ private:
+  Result<Value> AddToBasket(const ArgList& args);
+  Result<Value> ShowBasket(const ArgList& args);
+  Result<Value> BasketSubtotal(const ArgList& args);
+  Result<Value> Checkout(const ArgList& args);
+  Result<Value> ClearBasket(const ArgList& args);
+
+  // URI of `buyer`'s basket, creating it on first use.
+  Result<std::string> EnsureBasket(const std::string& buyer);
+  // nullptr-equivalent: empty string when the buyer has no basket yet.
+  std::string FindBasket(const std::string& buyer) const;
+
+  ComponentRefField tax_calculator_;
+  bool subordinate_baskets_ = true;
+  Value baskets_{Value::List{}};  // list of [buyer, basket_uri]
+};
+
+}  // namespace phoenix::bookstore
+
+#endif  // PHOENIX_BOOKSTORE_BOOK_SELLER_H_

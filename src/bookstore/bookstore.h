@@ -1,0 +1,50 @@
+#ifndef PHOENIX_BOOKSTORE_BOOKSTORE_H_
+#define PHOENIX_BOOKSTORE_BOOKSTORE_H_
+
+#include "core/phoenix.h"
+
+namespace phoenix::bookstore {
+
+// A persistent bookstore (Figure 10): the inventory of one store. The
+// catalog is generated deterministically from the store's label at
+// Initialize time; purchases mutate stock counts, which are exactly the
+// state the recovery machinery must preserve.
+//
+// Methods:
+//   Search(keyword) -> list of [book_id, title, price, stock]   (read-only)
+//   GetBook(book_id) -> [book_id, title, price, stock]          (read-only)
+//   Buy(book_id, qty) -> remaining stock; fails when out of stock
+//   Reserve(book_id, qty) -> the book entry; holds stock for a basket
+//   Release(book_id, qty) -> new stock; returns a reservation
+//   ConfirmSale(book_id, qty) -> total sold; turns a reservation into a sale
+//   Restock(book_id, qty) -> new stock
+//   TotalSold() -> int                                          (read-only)
+class Bookstore : public Component {
+ public:
+  Bookstore() = default;
+
+  void RegisterMethods(MethodRegistry& methods) override;
+  void RegisterFields(FieldRegistry& fields) override;
+  // args: [label]
+  Status Initialize(const ArgList& args) override;
+
+ private:
+  Result<Value> Search(const ArgList& args);
+  Result<Value> GetBook(const ArgList& args);
+  Result<Value> Buy(const ArgList& args);
+  Result<Value> Reserve(const ArgList& args);
+  Result<Value> Release(const ArgList& args);
+  Result<Value> ConfirmSale(const ArgList& args);
+  Result<Value> Restock(const ArgList& args);
+
+  // Catalog entry layout inside catalog_: [id, title, price, stock].
+  Value::List* FindEntry(int64_t book_id);
+
+  std::string label_;
+  Value catalog_{Value::List{}};
+  int64_t total_sold_ = 0;
+};
+
+}  // namespace phoenix::bookstore
+
+#endif  // PHOENIX_BOOKSTORE_BOOKSTORE_H_

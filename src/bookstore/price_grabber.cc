@@ -1,0 +1,61 @@
+#include "bookstore/price_grabber.h"
+
+namespace phoenix::bookstore {
+
+void PriceGrabber::RegisterMethods(MethodRegistry& methods) {
+  methods.Register("Search", [this](const ArgList& a) { return Search(a); });
+  methods.Register("BestPrice",
+                   [this](const ArgList& a) { return BestPrice(a); });
+}
+
+void PriceGrabber::RegisterFields(FieldRegistry& fields) {
+  fields.RegisterValue("store_uris", &store_uris_);
+}
+
+Status PriceGrabber::Initialize(const ArgList& args) {
+  Value::List uris;
+  for (const Value& v : args) {
+    if (v.kind() != Value::Kind::kString) {
+      return Status::InvalidArgument("PriceGrabber(store_uri...)");
+    }
+    uris.push_back(v);
+  }
+  store_uris_ = Value(std::move(uris));
+  return Status::OK();
+}
+
+Result<Value> PriceGrabber::Search(const ArgList& args) {
+  if (args.size() != 1 || args[0].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("Search(keyword)");
+  }
+  Value::List rolled_up;
+  for (const Value& store : store_uris_.AsList()) {
+    PHX_ASSIGN_OR_RETURN(Value hits,
+                         Call(store.AsString(), "Search", {args[0]}));
+    for (const Value& hit : hits.AsList()) {
+      const Value::List& book = hit.AsList();
+      Value::List row;
+      row.push_back(store);        // store_uri
+      row.push_back(book[0]);      // book_id
+      row.push_back(book[1]);      // title
+      row.push_back(book[2]);      // price
+      rolled_up.push_back(Value(std::move(row)));
+    }
+  }
+  return Value(std::move(rolled_up));
+}
+
+Result<Value> PriceGrabber::BestPrice(const ArgList& args) {
+  PHX_ASSIGN_OR_RETURN(Value all, Search(args));
+  if (all.AsList().empty()) return Status::NotFound("no hits");
+  const Value* best = nullptr;
+  for (const Value& row : all.AsList()) {
+    if (best == nullptr ||
+        row.AsList()[3].AsDouble() < best->AsList()[3].AsDouble()) {
+      best = &row;
+    }
+  }
+  return *best;
+}
+
+}  // namespace phoenix::bookstore

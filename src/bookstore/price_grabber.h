@@ -1,0 +1,34 @@
+#ifndef PHOENIX_BOOKSTORE_PRICE_GRABBER_H_
+#define PHOENIX_BOOKSTORE_PRICE_GRABBER_H_
+
+#include "core/phoenix.h"
+
+namespace phoenix::bookstore {
+
+// Keyword search across all bookstores (Figure 10). A meta-search engine —
+// the paper's motivating example of a *read-only* component: stateless, but
+// it reads persistent stores, so its replies are unrepeatable (§3.2.3).
+// In the baseline deployment it is declared persistent instead.
+//
+// Methods:
+//   Search(keyword) -> list of [store_uri, book_id, title, price]
+//   BestPrice(keyword) -> [store_uri, book_id, title, price] of cheapest hit
+class PriceGrabber : public Component {
+ public:
+  PriceGrabber() = default;
+
+  void RegisterMethods(MethodRegistry& methods) override;
+  void RegisterFields(FieldRegistry& fields) override;
+  // args: [store_uri...]
+  Status Initialize(const ArgList& args) override;
+
+ private:
+  Result<Value> Search(const ArgList& args);
+  Result<Value> BestPrice(const ArgList& args);
+
+  Value store_uris_{Value::List{}};
+};
+
+}  // namespace phoenix::bookstore
+
+#endif  // PHOENIX_BOOKSTORE_PRICE_GRABBER_H_

@@ -1,0 +1,35 @@
+#include "bookstore/tax_calculator.h"
+
+namespace phoenix::bookstore {
+
+void TaxCalculator::RegisterMethods(MethodRegistry& methods) {
+  methods.Register("ComputeTax",
+                   [this](const ArgList& a) { return ComputeTax(a); });
+  methods.Register("TotalWithTax",
+                   [this](const ArgList& a) { return TotalWithTax(a); });
+}
+
+double TaxCalculator::RateForRegion(const std::string& region) {
+  if (region == "WA") return 0.095;
+  if (region == "OR") return 0.0;
+  if (region == "CA") return 0.085;
+  if (region == "NY") return 0.08875;
+  return 0.06;
+}
+
+Result<Value> TaxCalculator::ComputeTax(const ArgList& args) {
+  if (args.size() != 2 || args[1].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("ComputeTax(amount, region)");
+  }
+  return Value(args[0].AsDouble() * RateForRegion(args[1].AsString()));
+}
+
+Result<Value> TaxCalculator::TotalWithTax(const ArgList& args) {
+  if (args.size() != 2 || args[1].kind() != Value::Kind::kString) {
+    return Status::InvalidArgument("TotalWithTax(amount, region)");
+  }
+  return Value(args[0].AsDouble() *
+               (1.0 + RateForRegion(args[1].AsString())));
+}
+
+}  // namespace phoenix::bookstore

@@ -1,0 +1,31 @@
+#ifndef PHOENIX_BOOKSTORE_TAX_CALCULATOR_H_
+#define PHOENIX_BOOKSTORE_TAX_CALCULATOR_H_
+
+#include "core/phoenix.h"
+
+namespace phoenix::bookstore {
+
+// Sales tax from total price and user region (Figure 10) — the paper's
+// example of a *functional* component: pure, stateless, calls nothing, so
+// the optimized system logs nothing anywhere for its calls (§3.2.2).
+//
+// Methods:
+//   ComputeTax(amount, region) -> tax amount
+//   TotalWithTax(amount, region) -> amount + tax
+class TaxCalculator : public Component {
+ public:
+  TaxCalculator() = default;
+
+  void RegisterMethods(MethodRegistry& methods) override;
+
+  // Pure rate table, exposed for tests.
+  static double RateForRegion(const std::string& region);
+
+ private:
+  Result<Value> ComputeTax(const ArgList& args);
+  Result<Value> TotalWithTax(const ArgList& args);
+};
+
+}  // namespace phoenix::bookstore
+
+#endif  // PHOENIX_BOOKSTORE_TAX_CALCULATOR_H_

@@ -1,0 +1,19 @@
+#ifndef PHOENIX_COMMON_CRC32C_H_
+#define PHOENIX_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phoenix {
+
+// CRC-32C (Castagnoli). Used to detect torn or garbled log records after a
+// crash: a record whose stored CRC does not match its payload is treated as
+// the end of the log.
+uint32_t Crc32c(const void* data, size_t n);
+
+// Extends a running CRC with more bytes (start from `crc = 0`).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_CRC32C_H_

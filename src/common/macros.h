@@ -1,0 +1,49 @@
+#ifndef PHOENIX_COMMON_MACROS_H_
+#define PHOENIX_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Propagates a non-OK Status out of the enclosing function.
+#define PHX_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::phoenix::Status _phx_status = (expr);        \
+    if (!_phx_status.ok()) return _phx_status;     \
+  } while (0)
+
+// Evaluates `rexpr` (a Result<T>), propagates its Status on error, otherwise
+// move-assigns the value into `lhs`. `lhs` may include a declaration.
+#define PHX_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  PHX_ASSIGN_OR_RETURN_IMPL_(                                   \
+      PHX_MACRO_CONCAT_(_phx_result, __LINE__), lhs, rexpr)
+
+#define PHX_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return std::move(result).status(); \
+  lhs = std::move(result).value()
+
+#define PHX_MACRO_CONCAT_INNER_(a, b) a##b
+#define PHX_MACRO_CONCAT_(a, b) PHX_MACRO_CONCAT_INNER_(a, b)
+
+// Fatal invariant check. Phoenix is exception-free; a violated internal
+// invariant aborts with a diagnostic.
+#define PHX_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PHX_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define PHX_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::phoenix::Status _phx_status = (expr);                                 \
+    if (!_phx_status.ok()) {                                                \
+      std::fprintf(stderr, "PHX_CHECK_OK failed: %s at %s:%d\n",            \
+                   _phx_status.ToString().c_str(), __FILE__, __LINE__);     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // PHOENIX_COMMON_MACROS_H_

@@ -1,0 +1,38 @@
+#include "common/random.h"
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace phoenix {
+
+uint64_t Random::Next() {
+  // splitmix64 step.
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  PHX_CHECK(n > 0);
+  return Next() % n;
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  PHX_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,39 @@
+#ifndef PHOENIX_COMMON_RANDOM_H_
+#define PHOENIX_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace phoenix {
+
+// Deterministic splitmix64-based PRNG. All randomness in the simulator flows
+// through seeded instances of this class so that every run — including every
+// injected crash schedule and disk-seek jitter — is exactly reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  Random(const Random&) = default;
+  Random& operator=(const Random&) = default;
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_RANDOM_H_

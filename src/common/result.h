@@ -1,0 +1,58 @@
+#ifndef PHOENIX_COMMON_RESULT_H_
+#define PHOENIX_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace phoenix {
+
+// Result<T> holds either a T or a non-OK Status (a minimal StatusOr).
+// Accessing value() on an error result aborts: callers must check ok()
+// first or use PHX_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    PHX_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    PHX_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    PHX_CHECK(ok());
+    return *value_;
+  }
+  T value() && {
+    PHX_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_RESULT_H_

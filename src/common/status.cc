@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace phoenix {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kCrashed:
+      return "crashed";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace phoenix

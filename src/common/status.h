@@ -1,0 +1,96 @@
+#ifndef PHOENIX_COMMON_STATUS_H_
+#define PHOENIX_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace phoenix {
+
+// Error codes used throughout Phoenix/App. Phoenix is exception-free: every
+// fallible operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kCorruption = 6,          // torn/garbled log record, bad CRC
+  kUnavailable = 7,         // remote process/component crashed; retryable
+  kCrashed = 8,             // the *local* process was killed mid-operation
+  kUnimplemented = 9,
+  kOutOfRange = 10,
+};
+
+// Returns the canonical lowercase name of `code` ("ok", "unavailable", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap value type carrying success or an (code, message) error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Crashed(std::string msg) {
+    return Status(StatusCode::kCrashed, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCrashed() const { return code_ == StatusCode::kCrashed; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_STATUS_H_

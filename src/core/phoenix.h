@@ -1,0 +1,83 @@
+#ifndef PHOENIX_CORE_PHOENIX_H_
+#define PHOENIX_CORE_PHOENIX_H_
+
+// Phoenix/App public API — single include for applications.
+//
+// A minimal program:
+//
+//   class Counter : public phoenix::Component {
+//    public:
+//     void RegisterMethods(phoenix::MethodRegistry& m) override {
+//       m.Register("Add", [this](const phoenix::ArgList& a) {
+//         count_ += a[0].AsInt();
+//         return phoenix::Result<phoenix::Value>(phoenix::Value(count_));
+//       });
+//     }
+//     void RegisterFields(phoenix::FieldRegistry& f) override {
+//       f.RegisterInt("count", &count_);
+//     }
+//    private:
+//     int64_t count_ = 0;
+//   };
+//
+//   phoenix::Simulation sim;
+//   sim.factories().Register<Counter>("Counter");
+//   auto& m = sim.AddMachine("alpha");
+//   auto& p = m.CreateProcess();
+//   phoenix::ExternalClient client(&sim, "alpha");
+//   auto uri = client.CreateComponent(p, "Counter", "c1",
+//                                     phoenix::ComponentKind::kPersistent, {});
+//   client.Call(*uri, "Add", phoenix::MakeArgs(5));
+//
+// Kill the process at any of the failure points and the component's state
+// recovers exactly-once (see tests/exactly_once_test.cc).
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "runtime/component.h"
+#include "runtime/context.h"
+#include "runtime/kinds.h"
+#include "runtime/machine.h"
+#include "runtime/process.h"
+#include "runtime/simulation.h"
+#include "serde/value.h"
+
+namespace phoenix {
+
+// A plain program outside Phoenix's guarantees (the paper's "external
+// component"): it attaches no call IDs, logs nothing, and — unlike
+// persistent components — its retries after a server crash may observe the
+// §3.1.2 window of vulnerability.
+class ExternalClient {
+ public:
+  // `machine` is where the client program runs; "" means co-located with
+  // whatever it calls (no network charge).
+  ExternalClient(Simulation* sim, std::string machine);
+
+  // Calls `method` on the component at `uri`. Retries unavailable servers
+  // (restarting them through the recovery service) when the runtime option
+  // external_client_retries is set.
+  Result<Value> Call(const std::string& uri, const std::string& method,
+                     ArgList args);
+
+  // Creates a component through `process`'s activator (a logged, recoverable
+  // persistent call). Returns the new component's URI.
+  Result<std::string> CreateComponent(Process& process,
+                                      const std::string& type_name,
+                                      const std::string& name,
+                                      ComponentKind kind, ArgList ctor_args);
+
+  uint64_t calls_sent() const { return calls_sent_; }
+  uint64_t retries() const { return retries_; }
+
+ private:
+  Simulation* sim_;
+  std::string machine_;
+  uint64_t calls_sent_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_CORE_PHOENIX_H_

@@ -1,0 +1,169 @@
+#include "recovery/checkpoint_manager.h"
+
+#include <algorithm>
+
+#include "runtime/context.h"
+#include "runtime/process.h"
+#include "runtime/simulation.h"
+
+namespace phoenix {
+
+CheckpointManager::CheckpointManager(Process* process) : process_(process) {}
+
+Result<uint64_t> CheckpointManager::SaveContextState(Context& ctx) {
+  Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  const CostModel& costs = sim->costs();
+
+  if (proc.MaybeCrash(FailurePoint::kDuringStateSave)) {
+    return Status::Crashed("crash during context state save");
+  }
+
+  ContextStateRecord record;
+  record.context_id = ctx.id();
+  record.last_outgoing_seq = ctx.last_outgoing_seq();
+
+  // §4.2: replies referenced by this context's last-call entries must be on
+  // the log before the state record — after restoring from the state we can
+  // no longer recreate them by replay. Entries that already have an LSN
+  // from an earlier save are not written again.
+  for (auto& [client, entry] : proc.last_calls().EntriesForContext(ctx.id())) {
+    if (entry->reply_lsn == kInvalidLsn && entry->reply_in_memory) {
+      LastCallReplyRecord reply_record;
+      reply_record.context_id = ctx.id();
+      reply_record.call_id = CallId{client, entry->seq};
+      reply_record.reply = entry->reply;
+      reply_record.status_code = entry->status_code;
+      entry->reply_lsn = proc.log().Append(reply_record);
+    }
+    if (entry->reply_lsn != kInvalidLsn) {
+      record.last_call_refs.push_back(
+          LastCallRef{CallId{client, entry->seq}, entry->reply_lsn});
+    }
+  }
+
+  record.components = ctx.SnapshotComponents();
+  sim->clock().AdvanceMs(costs.state_save_fixed_ms +
+                         costs.state_save_per_byte_ms *
+                             static_cast<double>(ctx.StateSizeHint()));
+
+  // Not forced: a later send-message force makes it stable (§4.3). Until
+  // then recovery falls back to replaying from the previous origin.
+  uint64_t lsn = proc.log().Append(record);
+  ctx.set_state_record_lsn(lsn);
+  ++state_saves_;
+  return lsn;
+}
+
+void CheckpointManager::OnIncomingCallFinished(Context& ctx) {
+  const RuntimeOptions& opts = process_->simulation()->options();
+  if (!process_->alive() || process_->recovering()) return;
+
+  if (opts.save_context_state_every > 0) {
+    uint64_t& count = calls_since_save_[ctx.id()];
+    if (++count >= opts.save_context_state_every) {
+      count = 0;
+      // A crash injected during the save surfaces through process death,
+      // which the caller observes.
+      (void)SaveContextState(ctx);
+      if (!process_->alive()) return;
+    }
+  }
+  if (opts.process_checkpoint_every > 0) {
+    if (++calls_since_checkpoint_ >= opts.process_checkpoint_every) {
+      calls_since_checkpoint_ = 0;
+      (void)TakeProcessCheckpoint();
+    }
+  }
+}
+
+Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
+  Process& proc = *process_;
+
+  // Begin/end records bracket the table dump so readers can tell a complete
+  // checkpoint from one cut short by a crash (§4.3).
+  uint64_t begin_lsn = proc.log().Append(BeginCheckpointRecord{});
+
+  if (proc.MaybeCrash(FailurePoint::kDuringCheckpoint)) {
+    return Status::Crashed("crash during process checkpoint");
+  }
+
+  for (const auto& [context_id, ctx] : proc.contexts()) {
+    CheckpointContextEntryRecord entry;
+    entry.context_id = context_id;
+    // The activator context (id 0) is rebuilt at process start; records
+    // before this checkpoint are already materialized as creation records,
+    // so its replay origin moves up to the checkpoint itself.
+    entry.recovery_lsn = context_id == 0 ? begin_lsn : ctx->recovery_lsn();
+    entry.last_outgoing_seq = ctx->last_outgoing_seq();
+    proc.log().Append(entry);
+  }
+
+  for (const auto& [key, entry] : proc.last_calls().entries()) {
+    CheckpointLastCallRecord record;
+    record.context_id = entry.context_id;
+    record.call_id = CallId{key.first, entry.seq};
+    record.reply_lsn = entry.reply_lsn;
+    proc.log().Append(record);
+  }
+
+  for (const auto& [uri, info] : proc.remote_types().entries()) {
+    CheckpointRemoteTypeRecord record;
+    record.uri = uri;
+    record.kind = info.kind;
+    record.type_name = info.type_name;
+    proc.log().Append(record);
+  }
+
+  uint64_t end_lsn = proc.log().Append(EndCheckpointRecord{begin_lsn});
+  pending_begin_lsn_ = begin_lsn;
+  pending_end_lsn_ = end_lsn;
+  ++checkpoints_taken_;
+  // The buffer may already have spilled (capacity force); publish if so.
+  MaybePublishCheckpoint();
+  return begin_lsn;
+}
+
+void CheckpointManager::MaybePublishCheckpoint() {
+  if (pending_begin_lsn_ == kInvalidLsn) return;
+  if (!process_->log().IsStable(pending_end_lsn_)) return;
+  // §4.3: once the checkpoint is flushed, force the begin LSN into the
+  // well-known file; recovery starts its first pass there.
+  process_->log().WriteWellKnownLsn(pending_begin_lsn_);
+  pending_begin_lsn_ = kInvalidLsn;
+  pending_end_lsn_ = kInvalidLsn;
+  ++checkpoints_published_;
+  if (process_->simulation()->options().auto_truncate_log) {
+    GarbageCollect();
+  }
+}
+
+uint64_t CheckpointManager::ComputeTruncationPoint() const {
+  Process& proc = *process_;
+  // Nothing is reclaimable before the first published checkpoint: recovery
+  // would scan from the very beginning.
+  Result<uint64_t> well_known = proc.log().ReadWellKnownLsn();
+  if (!well_known.ok()) return proc.log().head_base();
+
+  uint64_t point = *well_known;
+  for (const auto& [context_id, ctx] : proc.contexts()) {
+    uint64_t origin = ctx->recovery_lsn();
+    if (origin != kInvalidLsn) point = std::min(point, origin);
+  }
+  for (const auto& [key, entry] : proc.last_calls().entries()) {
+    if (entry.reply_lsn != kInvalidLsn) {
+      point = std::min(point, entry.reply_lsn);
+    }
+  }
+  return std::max(point, proc.log().head_base());
+}
+
+uint64_t CheckpointManager::GarbageCollect() {
+  uint64_t before = process_->log().head_base();
+  uint64_t point = ComputeTruncationPoint();
+  if (point <= before) return 0;
+  process_->log().TrimHead(point);
+  return point - before;
+}
+
+}  // namespace phoenix

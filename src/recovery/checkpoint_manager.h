@@ -1,0 +1,75 @@
+#ifndef PHOENIX_RECOVERY_CHECKPOINT_MANAGER_H_
+#define PHOENIX_RECOVERY_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/result.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+class Context;
+class Process;
+
+// Implements Section 4's checkpointing: context state records (§4.2) and
+// process checkpoints (§4.3). Neither is forced — a later send-message
+// force makes them stable; once the end-checkpoint record is stable the LSN
+// of the begin record is force-written to the well-known file.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(Process* process);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  // Saves `ctx`'s state now: first writes LastCallReplyRecords for any
+  // last-call entries of this context whose replies are not yet on the log
+  // (filling in their LSNs), then appends the ContextStateRecord and
+  // updates the context table entry. Returns the state record's LSN.
+  Result<uint64_t> SaveContextState(Context& ctx);
+
+  // Called by the interceptor when `ctx` finishes an incoming call (the
+  // "not active" moment of §4.2); saves state every
+  // options.save_context_state_every calls.
+  void OnIncomingCallFinished(Context& ctx);
+
+  // Takes a process checkpoint: begin record, context table entries,
+  // last-call entries, remote component types, end record. Returns the
+  // begin record's LSN.
+  Result<uint64_t> TakeProcessCheckpoint();
+
+  // Publishes the pending checkpoint to the well-known file once its end
+  // record has been flushed (called after forces). With
+  // options.auto_truncate_log set, a publish also garbage-collects the log
+  // head.
+  void MaybePublishCheckpoint();
+
+  // Log truncation (an engineering necessity checkpoints enable, though the
+  // paper stops short of it): everything below the returned LSN can never
+  // be read again — it is below the published checkpoint, below every
+  // context's recovery LSN, and below every live last-call reply record.
+  uint64_t ComputeTruncationPoint() const;
+
+  // Trims the log head to the truncation point. Returns bytes reclaimed.
+  uint64_t GarbageCollect();
+
+  // --- statistics ---
+  uint64_t state_saves() const { return state_saves_; }
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t checkpoints_published() const { return checkpoints_published_; }
+
+ private:
+  Process* process_;
+  uint64_t pending_begin_lsn_ = kInvalidLsn;
+  uint64_t pending_end_lsn_ = kInvalidLsn;
+  std::map<uint64_t, uint64_t> calls_since_save_;  // context id -> count
+  uint64_t calls_since_checkpoint_ = 0;
+  uint64_t state_saves_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t checkpoints_published_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RECOVERY_CHECKPOINT_MANAGER_H_

@@ -1,0 +1,87 @@
+#ifndef PHOENIX_RECOVERY_RECOVERY_MANAGER_H_
+#define PHOENIX_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/result.h"
+#include "recovery/replay.h"
+#include "runtime/last_call_table.h"
+#include "runtime/remote_type_table.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+class Process;
+
+// Two-pass crash recovery of a process (§4.4).
+//
+// Pass 1 scans from the published checkpoint (well-known-file LSN; the whole
+// log when none) to the end, collecting every context that existed at the
+// crash with its newest state-record/creation LSN, plus the checkpointed
+// global tables. Contexts with state records are then restored field by
+// field.
+//
+// Pass 2 scans from the minimum recovery LSN, buffering each context's
+// message records per incoming call and replaying a call once the next
+// incoming record arrives; outgoing calls are answered from the buffered
+// replies and suppressed (Figure 5). The final buffered call of each
+// context replays last and may run into live execution when a logged reply
+// is missing — its outgoing calls then really go out, with the same
+// deterministic IDs, and the servers eliminate duplicates. Replies of
+// replayed calls go to the recovery manager, never to clients
+// (condition 5).
+// Recovers a single failed context (§4.4's "easier" case): the process and
+// its tables survive, only `context_id`'s component instances were lost
+// (Context::ClearMembers). The state record LSN is read from the surviving
+// context table entry, the state (or blank creation) is restored, and the
+// context's records — including the still-buffered unforced tail, which a
+// context failure does not lose — are replayed.
+Status RecoverContextFailure(Process* process, uint64_t context_id);
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(Process* process);
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  Status Recover();
+
+  struct Stats {
+    uint64_t records_scanned = 0;
+    uint64_t calls_replayed = 0;
+    uint64_t creations_replayed = 0;
+    uint64_t contexts_restored_from_state = 0;
+    uint64_t contexts_found = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Per-context facts gathered in pass 1.
+  struct ContextInfo {
+    uint64_t recovery_lsn = kInvalidLsn;
+    uint64_t checkpoint_last_outgoing_seq = 0;
+    bool restored_from_state = false;
+  };
+
+  Status PassOne(uint64_t start_lsn);
+  Status RestoreContextStates();
+  void InstallTables();
+  Status PassTwo();
+  // Replays (and removes) the pending unit of `context_id`, if any.
+  Status FlushPending(uint64_t context_id);
+  Status ReplayUnit(uint64_t context_id, PendingReplay unit);
+
+  Process* process_;
+  Stats stats_;
+  std::map<uint64_t, ContextInfo> infos_;
+  std::map<LastCallTable::Key, LastCallEntry> rebuilt_last_calls_;
+  std::map<std::string, RemoteTypeInfo> rebuilt_remote_types_;
+  std::map<uint64_t, PendingReplay> pending_;
+  bool in_pass_two_ = false;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RECOVERY_RECOVERY_MANAGER_H_

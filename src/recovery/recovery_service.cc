@@ -1,0 +1,105 @@
+#include "recovery/recovery_service.h"
+
+#include "common/strings.h"
+#include "recovery/recovery_manager.h"
+#include "runtime/machine.h"
+#include "runtime/process.h"
+#include "runtime/simulation.h"
+#include "serde/codec.h"
+
+namespace phoenix {
+
+RecoveryService::RecoveryService(Machine* machine) : machine_(machine) {}
+
+std::string RecoveryService::TableFileName() const {
+  return machine_->name() + "/.recovery_service";
+}
+
+void RecoveryService::PersistTable() {
+  Encoder enc;
+  enc.PutVarint(registered_.size());
+  for (const auto& [pid, log_name] : registered_) {
+    enc.PutVarint(pid);
+    enc.PutString(log_name);
+  }
+  Simulation* sim = machine_->simulation();
+  sim->storage().WriteFile(TableFileName(), enc.buffer());
+  // The paper force-writes registration updates to the service's log.
+  sim->clock().AdvanceMs(
+      machine_->disk().WriteLatencyMs(sim->clock().NowMs(), enc.size()));
+}
+
+uint32_t RecoveryService::RegisterProcess() {
+  uint32_t pid = next_pid_++;
+  registered_[pid] = StrCat(machine_->name(), "/proc", pid, ".log");
+  PersistTable();
+  return pid;
+}
+
+void RecoveryService::NotifyCrashed(uint32_t pid) {
+  // The monitor notices the abnormal exit; restart happens on demand
+  // (EnsureProcessAlive / RestartAllDead).
+  (void)pid;
+}
+
+Status RecoveryService::EnsureProcessAlive(uint32_t pid) {
+  Process* process = machine_->GetProcess(pid);
+  if (process == nullptr) {
+    return Status::NotFound(StrCat("unknown process ", pid));
+  }
+  if (process->alive()) return Status::OK();
+
+  // Recovery only reads the stable log, so it is idempotent: if the process
+  // is killed again mid-recovery (inject_failures_during_recovery), the
+  // monitor simply restarts it.
+  Status status = Status::Crashed("not attempted");
+  for (int attempt = 0; attempt < 16 && status.IsCrashed(); ++attempt) {
+    process->Start();
+    process->set_recovering(true);
+    RecoveryManager recovery(process);
+    status = recovery.Recover();
+    process->set_recovering(false);
+    process->SetPendingFlusher(nullptr);
+    if (status.IsCrashed() || !process->alive()) {
+      process->Kill();
+      status = Status::Crashed("process died during recovery");
+    }
+  }
+  if (status.ok()) ++recoveries_performed_;
+  return status;
+}
+
+Status RecoveryService::RestartAllDead() {
+  for (const auto& [pid, log_name] : registered_) {
+    PHX_RETURN_IF_ERROR(EnsureProcessAlive(pid));
+  }
+  return Status::OK();
+}
+
+int RecoveryService::dead_count() const {
+  int dead = 0;
+  for (const auto& [pid, log_name] : registered_) {
+    Process* process =
+        const_cast<Machine*>(machine_)->GetProcess(pid);
+    if (process != nullptr && !process->alive()) ++dead;
+  }
+  return dead;
+}
+
+Result<std::map<uint32_t, std::string>> RecoveryService::ReadDurableTable()
+    const {
+  PHX_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> data,
+      machine_->simulation()->storage().ReadFile(TableFileName()));
+  Decoder dec(data);
+  PHX_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+  std::map<uint32_t, std::string> table;
+  for (uint64_t i = 0; i < n; ++i) {
+    PHX_ASSIGN_OR_RETURN(uint64_t pid, dec.GetVarint());
+    PHX_ASSIGN_OR_RETURN(std::string log_name, dec.GetString());
+    table[static_cast<uint32_t>(pid)] = std::move(log_name);
+  }
+  return table;
+}
+
+}  // namespace phoenix

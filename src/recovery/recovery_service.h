@@ -1,0 +1,64 @@
+#ifndef PHOENIX_RECOVERY_RECOVERY_SERVICE_H_
+#define PHOENIX_RECOVERY_RECOVERY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace phoenix {
+
+class Machine;
+class Process;
+
+// The per-machine recovery service (Figure 4 / §2.4). Processes hosting
+// persistent components register at start; the service assigns their
+// logical process IDs (stable across failures — they are part of every
+// method call ID), force-writes its registration table to stable storage,
+// detects abnormal exits, and restarts/recovers dead processes.
+class RecoveryService {
+ public:
+  explicit RecoveryService(Machine* machine);
+
+  RecoveryService(const RecoveryService&) = delete;
+  RecoveryService& operator=(const RecoveryService&) = delete;
+
+  // Registers a new process: assigns the next logical pid and durably
+  // records it. Returns the pid.
+  uint32_t RegisterProcess();
+
+  // Called by Process::Kill so the service learns of the abnormal exit.
+  void NotifyCrashed(uint32_t pid);
+
+  // Restarts and recovers `pid` if it is dead (callers' retry paths use
+  // this; a real deployment's monitor would do it asynchronously).
+  // Returns kNotFound for unknown pids.
+  Status EnsureProcessAlive(uint32_t pid);
+
+  // Restarts every dead registered process.
+  Status RestartAllDead();
+
+  // Number of dead registered processes.
+  int dead_count() const;
+
+  // Reads the durable registration table back (used on machine restart and
+  // by tests asserting durability).
+  Result<std::map<uint32_t, std::string>> ReadDurableTable() const;
+
+  uint64_t recoveries_performed() const { return recoveries_performed_; }
+
+ private:
+  void PersistTable();
+  std::string TableFileName() const;
+
+  Machine* machine_;
+  // pid -> log name. The durable copy lives in stable storage.
+  std::map<uint32_t, std::string> registered_;
+  uint32_t next_pid_ = 1;
+  uint64_t recoveries_performed_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RECOVERY_RECOVERY_SERVICE_H_

@@ -1,0 +1,24 @@
+#include "recovery/replay.h"
+
+namespace phoenix {
+
+CallMessage MessageFromRecord(const IncomingCallRecord& record,
+                              const std::string& target_uri) {
+  CallMessage msg;
+  msg.target_uri = target_uri;
+  msg.method = record.method;
+  msg.args = record.args;
+  if (!record.call_id.caller.machine.empty() || record.call_id.seq != 0 ||
+      record.client_kind != ComponentKind::kExternal) {
+    // External callers carry no ID (an empty caller key marks them).
+    msg.has_call_id = record.client_kind != ComponentKind::kExternal;
+    msg.call_id = record.call_id;
+  }
+  if (record.client_kind != ComponentKind::kExternal) {
+    msg.has_sender_info = true;
+    msg.sender_kind = record.client_kind;
+  }
+  return msg;
+}
+
+}  // namespace phoenix

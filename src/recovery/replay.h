@@ -1,0 +1,32 @@
+#ifndef PHOENIX_RECOVERY_REPLAY_H_
+#define PHOENIX_RECOVERY_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+
+#include "runtime/context.h"
+#include "runtime/message.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+// One buffered unit of replay for a context (§4.4): either its creation
+// call or one incoming method call, plus the logged replies of the outgoing
+// calls it made. The recovery manager accumulates these while scanning and
+// replays a unit when the next incoming record (or end of log) shows the
+// previous call is fully buffered.
+struct PendingReplay {
+  bool is_creation = false;
+  uint64_t start_lsn = 0;
+  IncomingCallRecord incoming;  // valid when !is_creation
+  CreationRecord creation;      // valid when is_creation
+  ReplayFeed feed;
+};
+
+// Rebuilds the CallMessage a logged incoming call was delivered as.
+CallMessage MessageFromRecord(const IncomingCallRecord& record,
+                              const std::string& target_uri);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RECOVERY_REPLAY_H_

@@ -1,0 +1,71 @@
+#include "runtime/call_id.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace phoenix {
+
+std::string ClientKey::ToString() const {
+  return StrCat(machine, "/", process_id, "/", component_id);
+}
+
+void ClientKey::EncodeTo(Encoder& enc) const {
+  enc.PutString(machine);
+  enc.PutVarint(process_id);
+  enc.PutVarint(component_id);
+}
+
+Result<ClientKey> ClientKey::DecodeFrom(Decoder& dec) {
+  ClientKey key;
+  PHX_ASSIGN_OR_RETURN(key.machine, dec.GetString());
+  PHX_ASSIGN_OR_RETURN(uint64_t pid, dec.GetVarint());
+  key.process_id = static_cast<uint32_t>(pid);
+  PHX_ASSIGN_OR_RETURN(key.component_id, dec.GetVarint());
+  return key;
+}
+
+std::string CallId::ToString() const {
+  return StrCat(caller.ToString(), "#", seq);
+}
+
+void CallId::EncodeTo(Encoder& enc) const {
+  caller.EncodeTo(enc);
+  enc.PutVarint(seq);
+}
+
+Result<CallId> CallId::DecodeFrom(Decoder& dec) {
+  CallId id;
+  PHX_ASSIGN_OR_RETURN(id.caller, ClientKey::DecodeFrom(dec));
+  PHX_ASSIGN_OR_RETURN(id.seq, dec.GetVarint());
+  return id;
+}
+
+std::string MakeComponentUri(const std::string& machine, uint32_t process_id,
+                             const std::string& component_name) {
+  return StrCat("phx://", machine, "/", process_id, "/", component_name);
+}
+
+Result<ParsedUri> ParseComponentUri(const std::string& uri) {
+  constexpr std::string_view kScheme = "phx://";
+  if (!StartsWith(uri, kScheme)) {
+    return Status::InvalidArgument("bad uri scheme: " + uri);
+  }
+  std::vector<std::string> parts =
+      StrSplit(std::string_view(uri).substr(kScheme.size()), '/');
+  if (parts.size() != 3 || parts[0].empty() || parts[2].empty()) {
+    return Status::InvalidArgument("bad uri: " + uri);
+  }
+  ParsedUri parsed;
+  parsed.machine = parts[0];
+  char* end = nullptr;
+  parsed.process_id =
+      static_cast<uint32_t>(std::strtoul(parts[1].c_str(), &end, 10));
+  if (end == parts[1].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad uri process id: " + uri);
+  }
+  parsed.component_name = parts[2];
+  return parsed;
+}
+
+}  // namespace phoenix

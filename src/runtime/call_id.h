@@ -1,0 +1,65 @@
+#ifndef PHOENIX_RUNTIME_CALL_ID_H_
+#define PHOENIX_RUNTIME_CALL_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "common/result.h"
+#include "serde/codec.h"
+
+namespace phoenix {
+
+// Identifies a *caller*: the first three parts of the paper's globally
+// unique method-call ID (§2.3) — machine name, logical process ID assigned
+// by the recovery service, and logical component ID assigned by the runtime.
+// Logical IDs survive failures, which is what makes duplicate detection work
+// across restarts.
+struct ClientKey {
+  std::string machine;
+  uint32_t process_id = 0;
+  uint64_t component_id = 0;
+
+  friend bool operator==(const ClientKey&, const ClientKey&) = default;
+  friend auto operator<=>(const ClientKey& a, const ClientKey& b) {
+    return std::tie(a.machine, a.process_id, a.component_id) <=>
+           std::tie(b.machine, b.process_id, b.component_id);
+  }
+
+  std::string ToString() const;
+  void EncodeTo(Encoder& enc) const;
+  static Result<ClientKey> DecodeFrom(Decoder& dec);
+};
+
+// The globally unique ID attached to every outgoing method call (§2.3):
+// ClientKey plus the caller's local method-call sequence number, which is
+// incremented for every outgoing call of a context and restored from the log
+// after a crash — so a retried call after recovery carries the *same* ID and
+// the server's last-call table can eliminate the duplicate.
+struct CallId {
+  ClientKey caller;
+  uint64_t seq = 0;
+
+  friend bool operator==(const CallId&, const CallId&) = default;
+
+  std::string ToString() const;
+  void EncodeTo(Encoder& enc) const;
+  static Result<CallId> DecodeFrom(Decoder& dec);
+};
+
+// Component URI, e.g. "phx://machineA/1/Bookstore1". Component references
+// held in fields are checkpointed as URIs and re-resolved on restore (§4.2).
+std::string MakeComponentUri(const std::string& machine, uint32_t process_id,
+                             const std::string& component_name);
+
+// Splits a URI back into (machine, process_id, component_name).
+struct ParsedUri {
+  std::string machine;
+  uint32_t process_id = 0;
+  std::string component_name;
+};
+Result<ParsedUri> ParseComponentUri(const std::string& uri);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_CALL_ID_H_

@@ -1,0 +1,108 @@
+#include "runtime/component.h"
+
+#include "common/macros.h"
+#include "runtime/context.h"
+#include "runtime/machine.h"
+#include "runtime/process.h"
+#include "runtime/simulation.h"
+
+namespace phoenix {
+
+const char* ComponentKindName(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kExternal:
+      return "external";
+    case ComponentKind::kPersistent:
+      return "persistent";
+    case ComponentKind::kSubordinate:
+      return "subordinate";
+    case ComponentKind::kFunctional:
+      return "functional";
+    case ComponentKind::kReadOnly:
+      return "read_only";
+  }
+  return "unknown";
+}
+
+std::string Component::uri() const {
+  PHX_CHECK(context_ != nullptr);
+  Process* process = context_->process();
+  return MakeComponentUri(process->machine_name(), process->pid(), name_);
+}
+
+Result<Value> Component::Call(const std::string& server_uri,
+                              const std::string& method, ArgList args) {
+  PHX_CHECK(context_ != nullptr);
+  return context_->OutgoingCall(this, server_uri, method, std::move(args));
+}
+
+Result<std::string> Component::CreateSubordinate(const std::string& type_name,
+                                                 const std::string& name,
+                                                 ArgList ctor_args) {
+  PHX_CHECK(context_ != nullptr);
+  Context& ctx = *context_;
+  Process* process = ctx.process();
+  Simulation* sim = process->simulation();
+
+  if (ctx.FindSlot(name) != nullptr || process->FindComponent(name) != nullptr) {
+    // Deterministic re-execution (replay) re-creates subordinates; the
+    // second creation finds the first.
+    ComponentSlot* slot = ctx.FindSlot(name);
+    if (slot == nullptr) {
+      return Status::AlreadyExists("component name in use: " + name);
+    }
+    return slot->instance->uri();
+  }
+
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Component> instance,
+                       sim->factories().Create(type_name));
+  uint64_t sub_id = ctx.NextSubordinateId();
+  Component* sub = ctx.AddComponent(std::move(instance), type_name, name,
+                                    ComponentKind::kSubordinate, sub_id);
+  process->IndexComponentName(name, ctx.id());
+  PHX_RETURN_IF_ERROR(sub->Initialize(ctor_args));
+  return sub->uri();
+}
+
+void Component::Work(double ms) {
+  PHX_CHECK(context_ != nullptr);
+  context_->process()->simulation()->clock().AdvanceMs(ms);
+}
+
+void ComponentFactoryRegistry::RegisterFactory(const std::string& type_name,
+                                               Factory factory) {
+  auto [it, inserted] = factories_.emplace(type_name, std::move(factory));
+  (void)it;
+  PHX_CHECK(inserted);
+}
+
+Result<std::unique_ptr<Component>> ComponentFactoryRegistry::Create(
+    const std::string& type_name) const {
+  auto it = factories_.find(type_name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no factory for component type: " + type_name);
+  }
+  return it->second();
+}
+
+const MethodTraits* ComponentFactoryRegistry::LookupMethodTraits(
+    const std::string& type_name, const std::string& method) const {
+  auto cached = traits_.find(type_name);
+  if (cached == traits_.end()) {
+    auto factory = factories_.find(type_name);
+    if (factory == factories_.end()) return nullptr;
+    // Build the trait map once from a throwaway blank instance.
+    std::unique_ptr<Component> probe = factory->second();
+    MethodRegistry methods;
+    probe->RegisterMethods(methods);
+    std::map<std::string, MethodTraits> traits;
+    for (const auto& [name, entry] : methods.entries()) {
+      traits[name] = entry.traits;
+    }
+    cached = traits_.emplace(type_name, std::move(traits)).first;
+  }
+  auto it = cached->second.find(method);
+  return it == cached->second.end() ? nullptr : &it->second;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,142 @@
+#ifndef PHOENIX_RUNTIME_COMPONENT_H_
+#define PHOENIX_RUNTIME_COMPONENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "runtime/field_registry.h"
+#include "runtime/kinds.h"
+#include "runtime/method_registry.h"
+#include "serde/value.h"
+
+namespace phoenix {
+
+class Context;
+
+// Base class of every Phoenix component — the analogue of the paper's
+// PersistentObject (itself derived from ContextBoundObject). Derived classes:
+//
+//  - MUST register their callable methods in RegisterMethods();
+//  - MUST register their durable fields in RegisterFields() if stateful
+//    (persistent/subordinate) — this is the reflection substitute used by
+//    context state saving (§4.2);
+//  - MAY override Initialize(), the logged "creation call" run once at
+//    creation and re-run during replay-from-creation. Like any method body
+//    it must be deterministic; outgoing calls it makes are intercepted and
+//    logged normally.
+//
+// Method handlers run single-threaded per context (the paper's PWD
+// requirement) and make outgoing calls through Call()/CallRef().
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  virtual void RegisterMethods(MethodRegistry& methods) = 0;
+  virtual void RegisterFields(FieldRegistry& fields) { (void)fields; }
+  virtual Status Initialize(const ArgList& args) {
+    (void)args;
+    return Status::OK();
+  }
+
+  // --- identity, filled in by the runtime at creation ---
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ComponentKind kind() const { return kind_; }
+  const std::string& type_name() const { return type_name_; }
+  Context* context() const { return context_; }
+
+  // Full URI of this component ("phx://machine/pid/name").
+  std::string uri() const;
+
+ protected:
+  Component() = default;
+
+  // Outgoing method call to `server_uri`, routed through this component's
+  // context interceptor (or dispatched directly when the target lives in
+  // the same context — the subordinate fast path of §3.2.1).
+  Result<Value> Call(const std::string& server_uri, const std::string& method,
+                     ArgList args);
+  Result<Value> CallRef(const ComponentRefField& ref, const std::string& method,
+                        ArgList args) {
+    return Call(ref.uri, method, std::move(args));
+  }
+
+  // Creates a subordinate component inside this component's context.
+  // Returns its URI. Not logged: subordinate creation is deterministic
+  // given the parent's incoming calls, so replay recreates it.
+  Result<std::string> CreateSubordinate(const std::string& type_name,
+                                        const std::string& name,
+                                        ArgList ctor_args);
+
+  // Charges `ms` of simulated CPU work to the clock (used by applications
+  // to model non-trivial method bodies).
+  void Work(double ms);
+
+ private:
+  friend class Context;
+
+  uint64_t id_ = 0;
+  std::string name_;
+  std::string type_name_;
+  ComponentKind kind_ = ComponentKind::kPersistent;
+  Context* context_ = nullptr;
+};
+
+// Runtime metadata wrapper pairing a component instance with its dispatch
+// and field tables (populated right after construction).
+struct ComponentSlot {
+  std::unique_ptr<Component> instance;
+  MethodRegistry methods;
+  FieldRegistry fields;
+};
+
+// Type-name -> factory map, per Simulation: the substitute for CLR metadata
+// that lets recovery re-instantiate components from creation records and
+// context state records. Also caches per-type method traits so a *client*
+// can know a remote method is read-only once it has learned the server's
+// type (§3.3/§3.4 — in .NET this came from the shared interface metadata).
+class ComponentFactoryRegistry {
+ public:
+  ComponentFactoryRegistry() = default;
+
+  ComponentFactoryRegistry(const ComponentFactoryRegistry&) = delete;
+  ComponentFactoryRegistry& operator=(const ComponentFactoryRegistry&) =
+      delete;
+
+  using Factory = std::function<std::unique_ptr<Component>()>;
+
+  // Registers `type_name`; T must be default-constructible.
+  template <typename T>
+  void Register(const std::string& type_name) {
+    RegisterFactory(type_name, [] { return std::make_unique<T>(); });
+  }
+
+  void RegisterFactory(const std::string& type_name, Factory factory);
+
+  bool Has(const std::string& type_name) const {
+    return factories_.count(type_name) > 0;
+  }
+
+  // Instantiates a blank (not yet initialized) component of `type_name`.
+  Result<std::unique_ptr<Component>> Create(const std::string& type_name) const;
+
+  // Traits of `method` on `type_name`; nullptr when the type or method is
+  // unknown (callers then use the most conservative logging).
+  const MethodTraits* LookupMethodTraits(const std::string& type_name,
+                                         const std::string& method) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+  // Lazily built: type name -> (method name -> traits).
+  mutable std::map<std::string, std::map<std::string, MethodTraits>> traits_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_COMPONENT_H_

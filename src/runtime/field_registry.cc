@@ -1,0 +1,132 @@
+#include "runtime/field_registry.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace phoenix {
+
+void FieldRegistry::RegisterBool(const std::string& name, bool* field) {
+  fields_.push_back({name, FieldType::kBool, field});
+}
+void FieldRegistry::RegisterInt(const std::string& name, int64_t* field) {
+  fields_.push_back({name, FieldType::kInt, field});
+}
+void FieldRegistry::RegisterDouble(const std::string& name, double* field) {
+  fields_.push_back({name, FieldType::kDouble, field});
+}
+void FieldRegistry::RegisterString(const std::string& name,
+                                   std::string* field) {
+  fields_.push_back({name, FieldType::kString, field});
+}
+void FieldRegistry::RegisterValue(const std::string& name, Value* field) {
+  fields_.push_back({name, FieldType::kValue, field});
+}
+void FieldRegistry::RegisterComponentRef(const std::string& name,
+                                         ComponentRefField* field) {
+  fields_.push_back({name, FieldType::kRef, field});
+}
+
+std::vector<FieldSnapshot> FieldRegistry::Snapshot() const {
+  std::vector<FieldSnapshot> out;
+  out.reserve(fields_.size());
+  for (const Entry& e : fields_) {
+    FieldSnapshot snap;
+    snap.name = e.name;
+    switch (e.type) {
+      case FieldType::kBool:
+        snap.value = Value(*static_cast<bool*>(e.ptr));
+        break;
+      case FieldType::kInt:
+        snap.value = Value(*static_cast<int64_t*>(e.ptr));
+        break;
+      case FieldType::kDouble:
+        snap.value = Value(*static_cast<double*>(e.ptr));
+        break;
+      case FieldType::kString:
+        snap.value = Value(*static_cast<std::string*>(e.ptr));
+        break;
+      case FieldType::kValue:
+        snap.value = *static_cast<Value*>(e.ptr);
+        break;
+      case FieldType::kRef:
+        snap.value = Value(static_cast<ComponentRefField*>(e.ptr)->uri);
+        snap.is_component_ref = true;
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+const FieldRegistry::Entry* FieldRegistry::FindEntry(
+    const std::string& name) const {
+  for (const Entry& e : fields_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Status FieldRegistry::Restore(const std::vector<FieldSnapshot>& snapshot) {
+  for (const FieldSnapshot& snap : snapshot) {
+    const Entry* e = FindEntry(snap.name);
+    if (e == nullptr) {
+      return Status::Corruption(
+          StrCat("state record has unknown field '", snap.name, "'"));
+    }
+    switch (e->type) {
+      case FieldType::kBool:
+        if (snap.value.kind() != Value::Kind::kBool) {
+          return Status::Corruption(StrCat("field '", snap.name,
+                                           "' expected bool"));
+        }
+        *static_cast<bool*>(e->ptr) = snap.value.AsBool();
+        break;
+      case FieldType::kInt:
+        if (snap.value.kind() != Value::Kind::kInt) {
+          return Status::Corruption(StrCat("field '", snap.name,
+                                           "' expected int"));
+        }
+        *static_cast<int64_t*>(e->ptr) = snap.value.AsInt();
+        break;
+      case FieldType::kDouble:
+        if (snap.value.kind() != Value::Kind::kDouble &&
+            snap.value.kind() != Value::Kind::kInt) {
+          return Status::Corruption(StrCat("field '", snap.name,
+                                           "' expected double"));
+        }
+        *static_cast<double*>(e->ptr) = snap.value.AsDouble();
+        break;
+      case FieldType::kString:
+        if (snap.value.kind() != Value::Kind::kString) {
+          return Status::Corruption(StrCat("field '", snap.name,
+                                           "' expected string"));
+        }
+        *static_cast<std::string*>(e->ptr) = snap.value.AsString();
+        break;
+      case FieldType::kValue:
+        *static_cast<Value*>(e->ptr) = snap.value;
+        break;
+      case FieldType::kRef:
+        if (!snap.is_component_ref ||
+            snap.value.kind() != Value::Kind::kString) {
+          return Status::Corruption(StrCat("field '", snap.name,
+                                           "' expected component ref"));
+        }
+        static_cast<ComponentRefField*>(e->ptr)->uri = snap.value.AsString();
+        break;
+    }
+  }
+  // Registered fields missing from the snapshot keep their constructed
+  // defaults; this permits adding fields to a component between releases.
+  return Status::OK();
+}
+
+size_t FieldRegistry::StateSizeHint() const {
+  size_t total = 0;
+  for (const FieldSnapshot& snap : Snapshot()) {
+    total += snap.name.size() + 2 + snap.value.EncodedSizeHint();
+  }
+  return total;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,72 @@
+#ifndef PHOENIX_RUNTIME_FIELD_REGISTRY_H_
+#define PHOENIX_RUNTIME_FIELD_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serde/value.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+// A field holding a reference to another Phoenix component. Checkpoints save
+// the URI; restore re-resolves it (§4.2). Components call through it with
+// Component::Call(ref.uri, ...).
+struct ComponentRefField {
+  std::string uri;
+  bool empty() const { return uri.empty(); }
+};
+
+// Explicit substitute for .NET reflection (§4.2): every stateful component
+// enumerates its fields once in RegisterFields(), giving the checkpoint
+// machinery named, typed accessors to the private state of a derived class —
+// the role the paper's "persistent base class + reflection" played.
+//
+// Registered pointers alias the component's members and must outlive the
+// registry (the registry is owned by the component's runtime metadata).
+class FieldRegistry {
+ public:
+  FieldRegistry() = default;
+
+  FieldRegistry(FieldRegistry&&) = default;
+  FieldRegistry& operator=(FieldRegistry&&) = default;
+  FieldRegistry(const FieldRegistry&) = delete;
+  FieldRegistry& operator=(const FieldRegistry&) = delete;
+
+  void RegisterBool(const std::string& name, bool* field);
+  void RegisterInt(const std::string& name, int64_t* field);
+  void RegisterDouble(const std::string& name, double* field);
+  void RegisterString(const std::string& name, std::string* field);
+  // Arbitrary structured state (lists, nested lists, ...).
+  void RegisterValue(const std::string& name, Value* field);
+  void RegisterComponentRef(const std::string& name, ComponentRefField* field);
+
+  // Serializes current field values for a context state record.
+  std::vector<FieldSnapshot> Snapshot() const;
+
+  // Overwrites fields from `snapshot`. Unknown or type-mismatched fields
+  // fail with kCorruption (schema drift between save and restore).
+  Status Restore(const std::vector<FieldSnapshot>& snapshot);
+
+  // Approximate serialized size, for checkpoint cost accounting.
+  size_t StateSizeHint() const;
+
+  size_t field_count() const { return fields_.size(); }
+
+ private:
+  enum class FieldType { kBool, kInt, kDouble, kString, kValue, kRef };
+  struct Entry {
+    std::string name;
+    FieldType type;
+    void* ptr;
+  };
+  const Entry* FindEntry(const std::string& name) const;
+
+  std::vector<Entry> fields_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_FIELD_REGISTRY_H_

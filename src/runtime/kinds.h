@@ -1,0 +1,46 @@
+#ifndef PHOENIX_RUNTIME_KINDS_H_
+#define PHOENIX_RUNTIME_KINDS_H_
+
+#include <cstdint>
+
+namespace phoenix {
+
+// Component kinds (Sections 2.2 and 3.2). Programmers declare a kind per
+// component — the analogue of the paper's declarative .NET attributes — and
+// the interceptors pick a logging discipline from the (client kind, server
+// kind, method traits) triple.
+enum class ComponentKind : uint8_t {
+  // Not managed by Phoenix: no logging, no guarantees (default for plain
+  // callers such as a console program).
+  kExternal = 0,
+  // Stateful, persistent across crashes via logging + replay.
+  kPersistent = 1,
+  // Persistent, but only callable from its parent component (and the
+  // parent's other subordinates); lives in the parent's context, so calls to
+  // it are plain local calls — never intercepted, never logged (§3.2.1).
+  kSubordinate = 2,
+  // Stateless and purely functional: calls nothing (or only functional
+  // components); same arguments always produce the same reply (§3.2.2).
+  kFunctional = 3,
+  // Stateless but may read persistent components, so replies are not
+  // repeatable (§3.2.3).
+  kReadOnly = 4,
+};
+
+// Returns the canonical name ("external", "persistent", ...).
+const char* ComponentKindName(ComponentKind kind);
+
+// True for kinds whose state must be recovered after a crash.
+inline bool IsStatefulKind(ComponentKind kind) {
+  return kind == ComponentKind::kPersistent ||
+         kind == ComponentKind::kSubordinate;
+}
+
+// True for kinds managed by the Phoenix runtime (everything but external).
+inline bool IsPhoenixKind(ComponentKind kind) {
+  return kind != ComponentKind::kExternal;
+}
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_KINDS_H_

@@ -1,0 +1,30 @@
+#include "runtime/last_call_table.h"
+
+namespace phoenix {
+
+const LastCallEntry* LastCallTable::Lookup(const ClientKey& client,
+                                           uint64_t context_id) const {
+  auto it = entries_.find(Key(client, context_id));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+LastCallEntry* LastCallTable::LookupMutable(const ClientKey& client,
+                                            uint64_t context_id) {
+  auto it = entries_.find(Key(client, context_id));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void LastCallTable::Update(const ClientKey& client, LastCallEntry entry) {
+  entries_[Key(client, entry.context_id)] = std::move(entry);
+}
+
+std::vector<std::pair<ClientKey, LastCallEntry*>>
+LastCallTable::EntriesForContext(uint64_t context_id) {
+  std::vector<std::pair<ClientKey, LastCallEntry*>> out;
+  for (auto& [key, entry] : entries_) {
+    if (entry.context_id == context_id) out.emplace_back(key.first, &entry);
+  }
+  return out;
+}
+
+}  // namespace phoenix

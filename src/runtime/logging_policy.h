@@ -1,0 +1,64 @@
+#ifndef PHOENIX_RUNTIME_LOGGING_POLICY_H_
+#define PHOENIX_RUNTIME_LOGGING_POLICY_H_
+
+#include <string>
+
+#include "core/options.h"
+#include "runtime/kinds.h"
+
+namespace phoenix {
+
+struct MultiCallTracker;
+
+// What the interceptor does with one message event. These four decision
+// functions are the paper's Algorithms 1-5 as a single table, keyed by the
+// optimization switches and the (client kind, server kind, method traits)
+// triple. They are pure (except the §3.5 tracker) and unit-tested directly
+// against the algorithm boxes in the paper.
+struct LogDecision {
+  bool write = false;      // append a record for this message
+  bool force = false;      // force the log at this event
+  bool long_form = true;   // long (full content) vs short (identity only)
+  bool dedupe = false;     // incoming only: check/update the last-call table
+};
+
+// Message 1 arriving at a component of kind `server_kind`.
+LogDecision DecideIncoming(const RuntimeOptions& opts,
+                           ComponentKind server_kind, ComponentKind client_kind,
+                           bool method_read_only);
+
+// Message 2 leaving a component of kind `server_kind`.
+LogDecision DecideReplySend(const RuntimeOptions& opts,
+                            ComponentKind server_kind,
+                            ComponentKind client_kind, bool method_read_only);
+
+// Message 3 leaving a component of kind `client_kind` toward a server whose
+// kind may not be known yet (`server_known` false => most conservative).
+// Note on replay: every cross-context outgoing call consumes one sequence
+// number regardless of these decisions, so call IDs stay deterministic no
+// matter what the client has learned about server kinds. Replay suppresses
+// a call iff a logged reply exists for its sequence number; calls whose
+// replies were never logged (functional servers) or were lost with the
+// buffer simply re-execute live — server-side duplicate elimination makes
+// that safe.
+struct OutgoingDecision {
+  bool write = false;           // baseline writes message 3; optimized never
+  bool force = false;           // force previous records before the send
+  bool attach_call_id = false;  // carry the globally unique ID
+};
+OutgoingDecision DecideOutgoing(const RuntimeOptions& opts,
+                                ComponentKind client_kind, bool server_known,
+                                ComponentKind server_kind,
+                                bool method_read_only,
+                                MultiCallTracker* tracker,
+                                const std::string& server_uri);
+
+// Message 4 arriving back at a component of kind `client_kind`.
+LogDecision DecideReplyReceived(const RuntimeOptions& opts,
+                                ComponentKind client_kind,
+                                ComponentKind server_kind,
+                                bool method_read_only);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_LOGGING_POLICY_H_

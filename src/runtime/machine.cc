@@ -1,0 +1,26 @@
+#include "runtime/machine.h"
+
+#include "runtime/simulation.h"
+
+namespace phoenix {
+
+Machine::Machine(Simulation* simulation, std::string name, uint64_t disk_seed)
+    : simulation_(simulation),
+      name_(std::move(name)),
+      disk_(simulation->params_disk(), disk_seed),
+      recovery_service_(this) {}
+
+Process& Machine::CreateProcess() {
+  uint32_t pid = recovery_service_.RegisterProcess();
+  auto [it, inserted] = processes_.emplace(
+      pid, std::make_unique<Process>(this, pid));
+  (void)inserted;
+  return *it->second;
+}
+
+Process* Machine::GetProcess(uint32_t pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace phoenix

@@ -1,0 +1,53 @@
+#ifndef PHOENIX_RUNTIME_MACHINE_H_
+#define PHOENIX_RUNTIME_MACHINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "recovery/recovery_service.h"
+#include "runtime/process.h"
+#include "sim/disk_model.h"
+
+namespace phoenix {
+
+class Simulation;
+
+// A simulated machine: a name, one log disk shared by all processes on it,
+// and the machine-wide recovery service that monitors and restarts
+// registered processes (Figure 4).
+class Machine {
+ public:
+  Machine(Simulation* simulation, std::string name, uint64_t disk_seed);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulation* simulation() const { return simulation_; }
+  DiskModel& disk() { return disk_; }
+  RecoveryService& recovery_service() { return recovery_service_; }
+
+  // Creates and starts a process; the recovery service assigns its logical
+  // pid and durably registers it.
+  Process& CreateProcess();
+
+  Process* GetProcess(uint32_t pid);
+
+  const std::map<uint32_t, std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  friend class RecoveryService;
+
+  Simulation* simulation_;
+  std::string name_;
+  DiskModel disk_;
+  RecoveryService recovery_service_;
+  std::map<uint32_t, std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_MACHINE_H_

@@ -1,0 +1,19 @@
+#include "runtime/message.h"
+
+namespace phoenix {
+
+size_t CallMessage::EncodedSizeHint() const {
+  size_t n = 16 + target_uri.size() + method.size();
+  for (const Value& v : args) n += v.EncodedSizeHint();
+  if (has_call_id) n += 16 + call_id.caller.machine.size();
+  if (has_sender_info) n += 4 + sender_type_name.size();
+  return n;
+}
+
+size_t ReplyMessage::EncodedSizeHint() const {
+  size_t n = 8 + value.EncodedSizeHint() + status.message().size();
+  if (has_server_info) n += 4 + server_type_name.size();
+  return n;
+}
+
+}  // namespace phoenix

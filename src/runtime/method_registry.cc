@@ -1,0 +1,22 @@
+#include "runtime/method_registry.h"
+
+#include "common/macros.h"
+
+namespace phoenix {
+
+void MethodRegistry::Register(
+    const std::string& name,
+    std::function<Result<Value>(const ArgList&)> handler,
+    MethodTraits traits) {
+  auto [it, inserted] =
+      entries_.emplace(name, MethodEntry{std::move(handler), traits});
+  (void)it;
+  PHX_CHECK(inserted);
+}
+
+const MethodEntry* MethodRegistry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,222 @@
+#include "runtime/process.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "recovery/checkpoint_manager.h"
+#include "recovery/recovery_service.h"
+#include "runtime/machine.h"
+#include "runtime/simulation.h"
+
+namespace phoenix {
+namespace {
+
+// The built-in activator (component id 0 of every process). Component
+// creation is one of its persistent method calls, so creations ride on the
+// ordinary logging / duplicate-elimination / replay machinery. Create is
+// idempotent per component name, which is what makes replaying it safe.
+class ActivatorComponent : public Component {
+ public:
+  explicit ActivatorComponent(Process* process) : process_(process) {}
+
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Create", [this](const ArgList& args) {
+      return DoCreate(args);
+    });
+  }
+
+ private:
+  Result<Value> DoCreate(const ArgList& args) {
+    // args: type_name, name, kind, ctor_args(list)
+    if (args.size() != 4 || args[0].kind() != Value::Kind::kString ||
+        args[1].kind() != Value::Kind::kString ||
+        args[2].kind() != Value::Kind::kInt ||
+        args[3].kind() != Value::Kind::kList) {
+      return Status::InvalidArgument(
+          "Create(type_name, name, kind, ctor_args)");
+    }
+    auto kind = static_cast<ComponentKind>(args[2].AsInt());
+    PHX_ASSIGN_OR_RETURN(
+        std::string uri,
+        process_->CreateComponent(args[0].AsString(), args[1].AsString(),
+                                  kind, args[3].AsList()));
+    return Value(uri);
+  }
+
+  Process* process_;
+};
+
+}  // namespace
+
+Process::Process(Machine* machine, uint32_t pid)
+    : machine_(machine), pid_(pid) {
+  Start();
+}
+
+Process::~Process() = default;
+
+Simulation* Process::simulation() const { return machine_->simulation(); }
+
+const std::string& Process::machine_name() const { return machine_->name(); }
+
+std::string Process::log_name() const {
+  return StrCat(machine_->name(), "/proc", pid_, ".log");
+}
+
+std::string Process::ActivatorUri() const {
+  return MakeComponentUri(machine_name(), pid_, kActivatorName);
+}
+
+bool Process::MaybeCrash(FailurePoint point) {
+  Simulation* sim = simulation();
+  if (recovering_ && !sim->options().inject_failures_during_recovery) {
+    return false;
+  }
+  if (sim->injector().ShouldCrash(machine_name(), pid_, point)) {
+    Kill();
+    return true;
+  }
+  return false;
+}
+
+void Process::Kill() {
+  if (!alive_) return;
+  alive_ = false;
+  ++crash_count_;
+  pending_flusher_ = nullptr;
+  // Everything volatile dies with the process: unforced log records, the
+  // contexts (component states), and the global tables of Table 1.
+  log_->DropBuffer();
+  contexts_.clear();
+  component_to_context_.clear();
+  last_calls_.Clear();
+  remote_types_.Clear();
+  next_parent_id_ = 1;
+  machine_->recovery_service().NotifyCrashed(pid_);
+}
+
+void Process::Start() {
+  Simulation* sim = simulation();
+  log_ = std::make_unique<LogManager>(log_name(), &sim->storage(),
+                                      &machine_->disk(), &sim->clock(),
+                                      &sim->costs());
+  checkpoints_ = std::make_unique<CheckpointManager>(this);
+  contexts_.clear();
+  component_to_context_.clear();
+  last_calls_.Clear();
+  remote_types_.Clear();
+  next_parent_id_ = 1;
+  alive_ = true;
+
+  // The activator lives in context 0 and is never logged as created — it is
+  // reconstructed identically at every start.
+  Context* ctx = CreateRawContext(0);
+  ctx->AddComponent(std::make_unique<ActivatorComponent>(this), "_Activator",
+                    kActivatorName, ComponentKind::kPersistent, 0);
+  component_to_context_[kActivatorName] = 0;
+}
+
+Result<std::string> Process::CreateComponent(const std::string& type_name,
+                                             const std::string& name,
+                                             ComponentKind kind,
+                                             ArgList ctor_args) {
+  if (!alive_) return Status::Unavailable("process is down");
+  if (kind == ComponentKind::kExternal) {
+    return Status::InvalidArgument(
+        "external components are not created inside Phoenix processes");
+  }
+  if (kind == ComponentKind::kSubordinate) {
+    return Status::InvalidArgument(
+        "subordinates are created by their parent via CreateSubordinate");
+  }
+  // Idempotent per name: replayed/retried Create calls find the first one.
+  if (auto it = component_to_context_.find(name);
+      it != component_to_context_.end()) {
+    Context* ctx = FindContext(it->second);
+    ComponentSlot* slot = ctx->FindSlot(name);
+    PHX_CHECK(slot != nullptr);
+    return slot->instance->uri();
+  }
+
+  Simulation* sim = simulation();
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Component> instance,
+                       sim->factories().Create(type_name));
+
+  uint64_t id = next_parent_id_++;
+  Context* ctx = CreateRawContext(id);
+  Component* comp =
+      ctx->AddComponent(std::move(instance), type_name, name, kind, id);
+  component_to_context_[name] = id;
+
+  // The creation record is the context's replay origin (§4.4 treats it like
+  // an incoming call). Not forced: the activator's reply force covers it.
+  CreationRecord rec;
+  rec.context_id = id;
+  rec.type_name = type_name;
+  rec.name = name;
+  rec.kind = kind;
+  rec.ctor_args = ctor_args;
+  uint64_t lsn = log_->Append(rec);
+  ctx->set_creation_lsn(lsn);
+
+  Status init = ctx->RunInitialize(ctor_args);
+  if (init.IsCrashed()) return init;
+  if (!init.ok()) return init;
+  return comp->uri();
+}
+
+Context* Process::FindContext(uint64_t context_id) {
+  auto it = contexts_.find(context_id);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+Context* Process::FindContextOfComponent(const std::string& name) {
+  auto it = component_to_context_.find(name);
+  return it == component_to_context_.end() ? nullptr
+                                           : FindContext(it->second);
+}
+
+ComponentSlot* Process::FindComponent(const std::string& name) {
+  Context* ctx = FindContextOfComponent(name);
+  return ctx == nullptr ? nullptr : ctx->FindSlot(name);
+}
+
+void Process::IndexComponentName(const std::string& name,
+                                 uint64_t context_id) {
+  component_to_context_[name] = context_id;
+}
+
+Context* Process::CreateRawContext(uint64_t context_id) {
+  auto [it, inserted] = contexts_.emplace(
+      context_id, std::make_unique<Context>(this, context_id));
+  PHX_CHECK(inserted);
+  return it->second.get();
+}
+
+Result<ReplyMessage> Process::DeliverCall(const CallMessage& msg) {
+  if (!alive_) return Status::Unavailable("process is down");
+  PHX_ASSIGN_OR_RETURN(ParsedUri target, ParseComponentUri(msg.target_uri));
+  Context* ctx = FindContextOfComponent(target.component_name);
+  if (ctx == nullptr) {
+    return Status::NotFound("no component " + target.component_name);
+  }
+  if (recovering_ && pending_flusher_ != nullptr) {
+    // Finish recovering the target context before serving live traffic.
+    pending_flusher_(ctx->id());
+    if (!alive_) return Status::Unavailable("process is down");
+    ctx = FindContextOfComponent(target.component_name);
+    if (ctx == nullptr) {
+      return Status::NotFound("no component " + target.component_name);
+    }
+  }
+  ComponentSlot* slot = ctx->FindSlot(target.component_name);
+  PHX_CHECK(slot != nullptr);
+  if (slot->instance->kind() == ComponentKind::kSubordinate) {
+    // §3.2.1: only the parent accepts calls from outside the context.
+    return Status::FailedPrecondition(
+        StrCat("subordinate ", target.component_name,
+               " only serves calls from inside its context"));
+  }
+  return ctx->HandleIncoming(msg);
+}
+
+}  // namespace phoenix

@@ -1,0 +1,143 @@
+#ifndef PHOENIX_RUNTIME_PROCESS_H_
+#define PHOENIX_RUNTIME_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "runtime/context.h"
+#include "sim/failure_injector.h"
+#include "runtime/last_call_table.h"
+#include "runtime/message.h"
+#include "runtime/remote_type_table.h"
+#include "wal/log_manager.h"
+
+namespace phoenix {
+
+class Machine;
+class Simulation;
+class CheckpointManager;
+
+// Name of the built-in activator component present in every process
+// (context/component id 0). Component creation is a normal persistent
+// method call to it, so creations are logged, deduplicated and replayed by
+// exactly the same machinery as any other call.
+inline constexpr char kActivatorName[] = "_activator";
+
+// A simulated OS process hosting Phoenix contexts (Figure 7): the log
+// manager, the global tables of Table 1 (context table = the Context
+// objects themselves, component name table, remote component table, shared
+// last-call table), and the crash/restart surface the recovery service
+// drives.
+class Process {
+ public:
+  Process(Machine* machine, uint32_t pid);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  // --- identity ---
+  uint32_t pid() const { return pid_; }
+  Machine* machine() const { return machine_; }
+  Simulation* simulation() const;
+  const std::string& machine_name() const;
+  std::string log_name() const;
+  std::string ActivatorUri() const;
+
+  // --- subsystems ---
+  LogManager& log() { return *log_; }
+  LastCallTable& last_calls() { return last_calls_; }
+  RemoteTypeTable& remote_types() { return remote_types_; }
+  CheckpointManager& checkpoints() { return *checkpoints_; }
+
+  // --- liveness ---
+  bool alive() const { return alive_; }
+  bool recovering() const { return recovering_; }
+  void set_recovering(bool r) { recovering_ = r; }
+
+  // Crash: all volatile state is dropped — contexts, tables, and the
+  // unforced log buffer. The stable log and well-known file survive.
+  void Kill();
+
+  // Re-initializes the volatile runtime structures (empty tables, fresh
+  // activator) after a crash; the recovery manager then repopulates them
+  // from the log. Also used for the initial start.
+  void Start();
+
+  // --- components / contexts ---
+
+  // Creates a component in a fresh context, writing its creation record and
+  // running Initialize(). Idempotent per name (a re-created name returns
+  // the existing URI). This is the internal path; remote callers go through
+  // the activator's "Create" method.
+  Result<std::string> CreateComponent(const std::string& type_name,
+                                      const std::string& name,
+                                      ComponentKind kind, ArgList ctor_args);
+
+  Context* FindContext(uint64_t context_id);
+  // Context owning component `name` (parents and subordinates).
+  Context* FindContextOfComponent(const std::string& name);
+  ComponentSlot* FindComponent(const std::string& name);
+  const std::map<uint64_t, std::unique_ptr<Context>>& contexts() const {
+    return contexts_;
+  }
+
+  // Registers component `name` as living in context `context_id`
+  // (recovery uses this when rebuilding contexts from snapshots).
+  void IndexComponentName(const std::string& name, uint64_t context_id);
+
+  // Creates an empty context shell with a fixed id (recovery restore path).
+  Context* CreateRawContext(uint64_t context_id);
+
+  uint64_t next_parent_id() const { return next_parent_id_; }
+  void set_next_parent_id(uint64_t id) { next_parent_id_ = id; }
+
+  // --- transport entry point ---
+  // Delivers `msg` to the context of its target component. Fails with
+  // kUnavailable if this process is dead, kNotFound for unknown targets,
+  // kFailedPrecondition for remote calls to subordinates.
+  Result<ReplyMessage> DeliverCall(const CallMessage& msg);
+
+  // Consults the failure injector at `point`; if a crash is due, kills this
+  // process and returns true. Silent while recovering unless
+  // options.inject_failures_during_recovery is set.
+  bool MaybeCrash(FailurePoint point);
+
+  // While recovering, DeliverCall flushes the target context's pending
+  // replay through this hook before handling a live call — a context must
+  // be recovered to its last send before serving anyone (condition 1).
+  using PendingFlusher = std::function<void(uint64_t context_id)>;
+  void SetPendingFlusher(PendingFlusher flusher) {
+    pending_flusher_ = std::move(flusher);
+  }
+
+  // --- statistics ---
+  uint64_t incoming_calls() const { return incoming_calls_; }
+  void CountIncomingCall() { ++incoming_calls_; }
+  uint64_t crash_count() const { return crash_count_; }
+
+ private:
+  Machine* machine_;
+  uint32_t pid_;
+  bool alive_ = false;
+  bool recovering_ = false;
+
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
+  std::map<uint64_t, std::unique_ptr<Context>> contexts_;  // the context table
+  std::map<std::string, uint64_t> component_to_context_;   // component table
+  LastCallTable last_calls_;
+  RemoteTypeTable remote_types_;
+  uint64_t next_parent_id_ = 1;  // id 0 is the activator
+  uint64_t incoming_calls_ = 0;
+  uint64_t crash_count_ = 0;
+  PendingFlusher pending_flusher_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_PROCESS_H_

@@ -1,0 +1,15 @@
+#include "runtime/remote_type_table.h"
+
+namespace phoenix {
+
+const RemoteTypeInfo* RemoteTypeTable::Lookup(const std::string& uri) const {
+  auto it = entries_.find(uri);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void RemoteTypeTable::Learn(const std::string& uri, ComponentKind kind,
+                            const std::string& type_name) {
+  entries_[uri] = RemoteTypeInfo{kind, type_name};
+}
+
+}  // namespace phoenix

@@ -1,0 +1,47 @@
+#ifndef PHOENIX_RUNTIME_REMOTE_TYPE_TABLE_H_
+#define PHOENIX_RUNTIME_REMOTE_TYPE_TABLE_H_
+
+#include <map>
+#include <string>
+
+#include "runtime/kinds.h"
+
+namespace phoenix {
+
+// What a process has learned about a remote component (§3.4): its kind and
+// its type name (the latter lets clients look up read-only method traits
+// through the factory registry, standing in for shared interface metadata).
+struct RemoteTypeInfo {
+  ComponentKind kind = ComponentKind::kPersistent;
+  std::string type_name;
+};
+
+// Remote component table (Table 1): server types start out unknown — the
+// most conservative logging is used — and are learned gradually from reply
+// attachments.
+class RemoteTypeTable {
+ public:
+  RemoteTypeTable() = default;
+
+  RemoteTypeTable(const RemoteTypeTable&) = delete;
+  RemoteTypeTable& operator=(const RemoteTypeTable&) = delete;
+
+  // nullptr when `uri` has not been learned yet.
+  const RemoteTypeInfo* Lookup(const std::string& uri) const;
+
+  void Learn(const std::string& uri, ComponentKind kind,
+             const std::string& type_name);
+
+  const std::map<std::string, RemoteTypeInfo>& entries() const {
+    return entries_;
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, RemoteTypeInfo> entries_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_REMOTE_TYPE_TABLE_H_

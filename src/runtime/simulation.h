@@ -1,0 +1,102 @@
+#ifndef PHOENIX_RUNTIME_SIMULATION_H_
+#define PHOENIX_RUNTIME_SIMULATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "runtime/component.h"
+#include "runtime/machine.h"
+#include "runtime/message.h"
+#include "sim/cost_model.h"
+#include "sim/failure_injector.h"
+#include "sim/network_model.h"
+#include "sim/sim_clock.h"
+#include "sim/stable_storage.h"
+
+namespace phoenix {
+
+// Knobs for the simulated hardware.
+struct SimulationParams {
+  DiskParams disk;
+  NetworkParams network;
+  CostModel costs;
+  uint64_t seed = 1;
+  // Non-empty: mirror stable storage into this real directory (and load
+  // what a previous run left there), so Phoenix state survives restarts of
+  // the hosting OS process. See StableStorage::EnablePersistence.
+  std::string persistence_dir;
+};
+
+// The root object: the whole distributed system under test. Owns the clock,
+// stable storage, failure injector, network, every machine, the component
+// factory registry and the runtime option switches — and implements the
+// transport that routes call messages between contexts.
+class Simulation {
+ public:
+  explicit Simulation(RuntimeOptions options = {},
+                      SimulationParams params = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // --- topology ---
+  Machine& AddMachine(const std::string& name);
+  Machine* GetMachine(const std::string& name);
+
+  // --- shared services ---
+  SimClock& clock() { return clock_; }
+  StableStorage& storage() { return storage_; }
+  FailureInjector& injector() { return injector_; }
+  NetworkModel& network() { return network_; }
+  const CostModel& costs() const { return params_.costs; }
+  const DiskParams& params_disk() const { return params_.disk; }
+  RuntimeOptions& options() { return options_; }
+  const RuntimeOptions& options() const { return options_; }
+  ComponentFactoryRegistry& factories() { return factories_; }
+  uint64_t seed() const { return params_.seed; }
+
+  // --- transport ---
+
+  // Routes `msg` from `source_machine` ("" for a co-located driver) to its
+  // target process, charging marshalling, interception, attachment and
+  // network costs. One attempt: kUnavailable surfaces to the caller, whose
+  // interceptor implements retry (condition 4).
+  Result<ReplyMessage> RouteCall(const std::string& source_machine,
+                                 const CallMessage& msg);
+
+  // Resolves a URI to its hosting process (nullptr if machine/process
+  // unknown).
+  Process* ResolveProcess(const std::string& uri);
+
+  // --- execution-context tracking (single-threaded call stack) ---
+  Context* current_context() const {
+    return context_stack_.empty() ? nullptr : context_stack_.back();
+  }
+  void PushContext(Context* ctx) { context_stack_.push_back(ctx); }
+  void PopContext() { context_stack_.pop_back(); }
+
+  // --- aggregate statistics (benchmarks read deltas) ---
+  uint64_t TotalForces() const;
+  uint64_t TotalAppends() const;
+
+ private:
+  RuntimeOptions options_;
+  SimulationParams params_;
+  SimClock clock_;
+  StableStorage storage_;
+  FailureInjector injector_;
+  NetworkModel network_;
+  ComponentFactoryRegistry factories_;
+  std::map<std::string, std::unique_ptr<Machine>> machines_;
+  std::vector<Context*> context_stack_;
+  uint64_t next_disk_seed_ = 101;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_SIMULATION_H_

@@ -1,0 +1,182 @@
+#include "serde/codec.h"
+
+#include <cstring>
+
+namespace phoenix {
+
+void Encoder::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Encoder::PutBytes(const uint8_t* data, size_t n) {
+  PutVarint(n);
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+void Encoder::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case Value::Kind::kInt: {
+      // zigzag-encode so negatives stay small
+      int64_t i = v.AsInt();
+      PutVarint((static_cast<uint64_t>(i) << 1) ^
+                static_cast<uint64_t>(i >> 63));
+      break;
+    }
+    case Value::Kind::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case Value::Kind::kString:
+      PutString(v.AsString());
+      break;
+    case Value::Kind::kBytes:
+      PutBytes(v.AsBytes().data.data(), v.AsBytes().data.size());
+      break;
+    case Value::Kind::kList: {
+      PutVarint(v.AsList().size());
+      for (const Value& e : v.AsList()) PutValue(e);
+      break;
+    }
+  }
+}
+
+void Encoder::PutArgList(const ArgList& args) {
+  PutVarint(args.size());
+  for (const Value& v : args) PutValue(v);
+}
+
+Result<uint8_t> Decoder::GetU8() {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  return *data_++;
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(*data_++) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> Decoder::GetU64() {
+  if (remaining() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(*data_++) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> Decoder::GetVarint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (exhausted()) return Status::Corruption("truncated varint");
+    uint8_t byte = *data_++;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::Corruption("varint too long");
+}
+
+Result<double> Decoder::GetDouble() {
+  PHX_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<std::string> Decoder::GetString() {
+  PHX_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  if (remaining() < n) return Status::Corruption("truncated string");
+  std::string s(reinterpret_cast<const char*>(data_), n);
+  data_ += n;
+  return s;
+}
+
+Result<Value> Decoder::GetValue() {
+  PHX_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (static_cast<Value::Kind>(tag)) {
+    case Value::Kind::kNull:
+      return Value();
+    case Value::Kind::kBool: {
+      PHX_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+      return Value(b != 0);
+    }
+    case Value::Kind::kInt: {
+      PHX_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+      int64_t i = static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+      return Value(i);
+    }
+    case Value::Kind::kDouble: {
+      PHX_ASSIGN_OR_RETURN(double d, GetDouble());
+      return Value(d);
+    }
+    case Value::Kind::kString: {
+      PHX_ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value(std::move(s));
+    }
+    case Value::Kind::kBytes: {
+      PHX_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+      if (remaining() < n) return Status::Corruption("truncated bytes");
+      Value::Bytes b;
+      b.data.assign(data_, data_ + n);
+      data_ += n;
+      return Value(std::move(b));
+    }
+    case Value::Kind::kList: {
+      PHX_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+      Value::List list;
+      list.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        PHX_ASSIGN_OR_RETURN(Value v, GetValue());
+        list.push_back(std::move(v));
+      }
+      return Value(std::move(list));
+    }
+  }
+  return Status::Corruption("bad value tag");
+}
+
+Result<ArgList> Decoder::GetArgList() {
+  PHX_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  ArgList args;
+  args.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PHX_ASSIGN_OR_RETURN(Value v, GetValue());
+    args.push_back(std::move(v));
+  }
+  return args;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,67 @@
+#ifndef PHOENIX_SERDE_CODEC_H_
+#define PHOENIX_SERDE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serde/value.h"
+
+namespace phoenix {
+
+// Append-only binary encoder: varints, fixed-width ints, length-prefixed
+// strings, and Values. The wire/log format for every Phoenix artifact
+// (messages, log records, checkpoints) is built from these primitives.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);    // fixed little-endian
+  void PutU64(uint64_t v);    // fixed little-endian
+  void PutVarint(uint64_t v);
+  void PutDouble(double v);
+  void PutString(const std::string& s);        // varint length + bytes
+  void PutBytes(const uint8_t* data, size_t n);
+  void PutValue(const Value& v);
+  void PutArgList(const ArgList& args);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Sequential decoder over an encoded buffer. Every getter returns a Result
+// and fails with kCorruption on truncated or malformed input (e.g. a torn
+// log record).
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t n) : data_(data), end_(data + n) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<Value> GetValue();
+  Result<ArgList> GetArgList();
+
+  size_t remaining() const { return static_cast<size_t>(end_ - data_); }
+  bool exhausted() const { return data_ == end_; }
+
+ private:
+  const uint8_t* data_;
+  const uint8_t* end_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_SERDE_CODEC_H_

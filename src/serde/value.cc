@@ -1,0 +1,98 @@
+#include "serde/value.h"
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace phoenix {
+
+bool Value::AsBool() const {
+  PHX_CHECK(kind() == Kind::kBool);
+  return std::get<bool>(rep_);
+}
+
+int64_t Value::AsInt() const {
+  PHX_CHECK(kind() == Kind::kInt);
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  if (kind() == Kind::kInt) return static_cast<double>(std::get<int64_t>(rep_));
+  PHX_CHECK(kind() == Kind::kDouble);
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  PHX_CHECK(kind() == Kind::kString);
+  return std::get<std::string>(rep_);
+}
+
+const Value::Bytes& Value::AsBytes() const {
+  PHX_CHECK(kind() == Kind::kBytes);
+  return std::get<Bytes>(rep_);
+}
+
+const Value::List& Value::AsList() const {
+  PHX_CHECK(kind() == Kind::kList);
+  return std::get<List>(rep_);
+}
+
+Value::List& Value::MutableList() {
+  PHX_CHECK(kind() == Kind::kList);
+  return std::get<List>(rep_);
+}
+
+size_t Value::EncodedSizeHint() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 1;
+    case Kind::kBool:
+      return 2;
+    case Kind::kInt:
+      return 6;
+    case Kind::kDouble:
+      return 9;
+    case Kind::kString:
+      return 3 + std::get<std::string>(rep_).size();
+    case Kind::kBytes:
+      return 3 + std::get<Bytes>(rep_).data.size();
+    case Kind::kList: {
+      size_t total = 3;
+      for (const Value& v : std::get<List>(rep_)) {
+        total += v.EncodedSizeHint();
+      }
+      return total;
+    }
+  }
+  return 1;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return std::get<bool>(rep_) ? "true" : "false";
+    case Kind::kInt:
+      return StrCat(std::get<int64_t>(rep_));
+    case Kind::kDouble:
+      return FormatDouble(std::get<double>(rep_), 4);
+    case Kind::kString:
+      return StrCat("\"", std::get<std::string>(rep_), "\"");
+    case Kind::kBytes:
+      return StrCat("bytes[", std::get<Bytes>(rep_).data.size(), "]");
+    case Kind::kList: {
+      std::string out = "[";
+      const List& list = std::get<List>(rep_);
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace phoenix

@@ -1,0 +1,97 @@
+#ifndef PHOENIX_SERDE_VALUE_H_
+#define PHOENIX_SERDE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace phoenix {
+
+// Value is the dynamic datum Phoenix marshals across context boundaries:
+// method arguments, replies, and checkpointed component fields are all
+// Values. It plays the role the CLR type system + remoting formatter played
+// in the paper's .NET prototype.
+//
+// Supported kinds: null, bool, int64, double, string, bytes, and list (a
+// heterogeneous vector of Values — rich enough for structured replies such
+// as the bookstore's search results).
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kString = 4,
+    kBytes = 5,
+    kList = 6,
+  };
+
+  using List = std::vector<Value>;
+  // Bytes are kept in a distinct wrapper so they encode/compare apart from
+  // strings.
+  struct Bytes {
+    std::vector<uint8_t> data;
+    friend bool operator==(const Bytes&, const Bytes&) = default;
+  };
+
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(int i) : rep_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+  explicit Value(Bytes b) : rep_(std::move(b)) {}
+  explicit Value(List l) : rep_(std::move(l)) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  // Typed accessors. Calling the wrong one aborts (internal invariant);
+  // components validate argument kinds up front via MethodRegistry traits.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const Bytes& AsBytes() const;
+  const List& AsList() const;
+  List& MutableList();
+
+  // Approximate marshalled size in bytes; drives simulated transfer and
+  // log-append costs.
+  size_t EncodedSizeHint() const;
+
+  // Human-readable rendering for examples and debugging.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Bytes, List>
+      rep_;
+};
+
+using ArgList = std::vector<Value>;
+
+// Builds an ArgList from heterogeneous C++ literals:
+//   MakeArgs(1, "title", 3.5)
+template <typename... Args>
+ArgList MakeArgs(Args&&... args) {
+  ArgList out;
+  out.reserve(sizeof...(args));
+  (out.emplace_back(Value(std::forward<Args>(args))), ...);
+  return out;
+}
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_SERDE_VALUE_H_

@@ -1,0 +1,1 @@
+#include "sim/cost_model.h"

@@ -1,0 +1,52 @@
+#include "sim/disk_model.h"
+
+#include <cmath>
+
+namespace phoenix {
+
+DiskModel::DiskModel(const DiskParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  // This drive's actual rotation period, within spindle tolerance.
+  double u = 2.0 * rng_.NextDouble() - 1.0;
+  period_ms_ = params_.rotation_ms * (1.0 + params_.spindle_tolerance * u);
+}
+
+double DiskModel::WriteLatencyMs(double now_ms, size_t bytes) {
+  ++total_writes_;
+  total_bytes_ += bytes;
+
+  if (params_.write_cache_enabled) {
+    // Acknowledged from the controller cache: bus transfer + fixed overhead,
+    // no rotational wait (Table 6, "write cache enabled").
+    double latency =
+        params_.cached_write_ms + static_cast<double>(bytes) / 133000.0;
+    total_media_time_ms_ += latency;
+    return latency;
+  }
+
+  const double rotation = period_ms_;
+  double transfer = static_cast<double>(bytes) / params_.media_rate_bytes_per_ms;
+
+  // Occasional track-to-track seek when the sequential append crosses a
+  // track boundary.
+  double seek = 0.0;
+  track_fill_bytes_ += bytes;
+  if (track_fill_bytes_ >= params_.track_capacity_bytes) {
+    track_fill_bytes_ %= params_.track_capacity_bytes;
+    seek = params_.track_to_track_seek_ms;
+  }
+
+  // Small head-settle jitter so interleaved workloads do not phase-lock.
+  double settle = 0.3 * rng_.NextDouble();
+
+  // Rotational wait until the target sector passes under the head again.
+  double phase_now = std::fmod(now_ms + seek + settle, rotation);
+  double wait = std::fmod(next_sector_phase_ms_ - phase_now + rotation, rotation);
+
+  double latency = seek + settle + wait + transfer;
+  next_sector_phase_ms_ = std::fmod(now_ms + latency, rotation);
+  total_media_time_ms_ += latency;
+  return latency;
+}
+
+}  // namespace phoenix

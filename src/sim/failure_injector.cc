@@ -1,0 +1,78 @@
+#include "sim/failure_injector.h"
+
+#include <algorithm>
+
+namespace phoenix {
+
+const char* FailurePointName(FailurePoint point) {
+  switch (point) {
+    case FailurePoint::kBeforeIncomingLogged:
+      return "before_incoming_logged";
+    case FailurePoint::kAfterIncomingLogged:
+      return "after_incoming_logged";
+    case FailurePoint::kBeforeOutgoingSend:
+      return "before_outgoing_send";
+    case FailurePoint::kAfterOutgoingReply:
+      return "after_outgoing_reply";
+    case FailurePoint::kBeforeReplySend:
+      return "before_reply_send";
+    case FailurePoint::kAfterReplySend:
+      return "after_reply_send";
+    case FailurePoint::kDuringStateSave:
+      return "during_state_save";
+    case FailurePoint::kDuringCheckpoint:
+      return "during_checkpoint";
+  }
+  return "unknown";
+}
+
+void FailureInjector::AddTrigger(const std::string& machine,
+                                 uint32_t process_id, FailurePoint point,
+                                 uint64_t fire_on_hit) {
+  Key key(machine, process_id, static_cast<int>(point));
+  // Relative to the hits already consumed at registration time.
+  triggers_[key].push_back(hit_counts_[key] + fire_on_hit);
+}
+
+void FailureInjector::EnableRandomCrashes(double p, uint64_t seed) {
+  random_p_ = p;
+  rng_ = Random(seed);
+}
+
+bool FailureInjector::ShouldCrash(const std::string& machine,
+                                  uint32_t process_id, FailurePoint point) {
+  Key key(machine, process_id, static_cast<int>(point));
+  uint64_t hits = ++hit_counts_[key];
+
+  auto it = triggers_.find(key);
+  if (it != triggers_.end()) {
+    auto& pending = it->second;
+    auto match = std::find(pending.begin(), pending.end(), hits);
+    if (match != pending.end()) {
+      pending.erase(match);
+      ++crashes_fired_;
+      return true;
+    }
+  }
+  if (random_p_ > 0.0 && rng_.Bernoulli(random_p_)) {
+    ++crashes_fired_;
+    return true;
+  }
+  return false;
+}
+
+uint64_t FailureInjector::HitCount(const std::string& machine,
+                                   uint32_t process_id,
+                                   FailurePoint point) const {
+  auto it = hit_counts_.find(Key(machine, process_id, static_cast<int>(point)));
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+void FailureInjector::Clear() {
+  hit_counts_.clear();
+  triggers_.clear();
+  random_p_ = 0.0;
+  crashes_fired_ = 0;
+}
+
+}  // namespace phoenix

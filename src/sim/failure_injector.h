@@ -1,0 +1,79 @@
+#ifndef PHOENIX_SIM_FAILURE_INJECTOR_H_
+#define PHOENIX_SIM_FAILURE_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace phoenix {
+
+// Where in the message protocol a crash is injected. These refine the three
+// failure points of Figure 2 (a failure "before message 3", "after message 3
+// but before message 2", "after message 2") with the log-force boundaries
+// that matter for the external-client window of vulnerability (§3.1.2).
+enum class FailurePoint : int {
+  kBeforeIncomingLogged = 0,  // message 1 arrived, not yet logged
+  kAfterIncomingLogged = 1,   // message 1 logged, before execution
+  kBeforeOutgoingSend = 2,    // Fig. 2 point 1: before message 3 leaves
+  kAfterOutgoingReply = 3,    // Fig. 2 point 2: message 4 received
+  kBeforeReplySend = 4,       // processing done, before message 2 is sent
+  kAfterReplySend = 5,        // Fig. 2 point 3: message 2 already sent
+  kDuringStateSave = 6,       // mid context-state save
+  kDuringCheckpoint = 7,      // mid process checkpoint (after begin record)
+};
+
+constexpr int kNumFailurePoints = 8;
+
+// Returns a short name for the failure point (for test diagnostics).
+const char* FailurePointName(FailurePoint point);
+
+// Deterministic crash scheduler. The runtime consults it at each hook; when
+// a trigger fires the hosting process is killed on the spot: volatile state
+// and unforced log buffers are dropped, the stable log survives.
+class FailureInjector {
+ public:
+  FailureInjector() : rng_(0) {}
+
+  FailureInjector(const FailureInjector&) = delete;
+  FailureInjector& operator=(const FailureInjector&) = delete;
+
+  // Crash process `process_id` on `machine` the `fire_on_hit`-th time it
+  // reaches `point` counted from NOW (1-based, relative to registration, so
+  // setup traffic that already touched the hook does not shift schedules;
+  // counts persist across restarts).
+  void AddTrigger(const std::string& machine, uint32_t process_id,
+                  FailurePoint point, uint64_t fire_on_hit = 1);
+
+  // Additionally crash at any hook with probability `p` (seeded — random
+  // schedules are still reproducible).
+  void EnableRandomCrashes(double p, uint64_t seed);
+
+  // Called by the runtime at each hook. True => the process must die now.
+  bool ShouldCrash(const std::string& machine, uint32_t process_id,
+                   FailurePoint point);
+
+  // Number of crashes this injector has caused so far.
+  uint64_t crashes_fired() const { return crashes_fired_; }
+
+  // Hook hit counts, for tests asserting a schedule actually executed.
+  uint64_t HitCount(const std::string& machine, uint32_t process_id,
+                    FailurePoint point) const;
+
+  void Clear();
+
+ private:
+  using Key = std::tuple<std::string, uint32_t, int>;
+  std::map<Key, uint64_t> hit_counts_;
+  std::map<Key, std::vector<uint64_t>> triggers_;  // pending fire_on_hit lists
+  double random_p_ = 0.0;
+  Random rng_;
+  uint64_t crashes_fired_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_SIM_FAILURE_INJECTOR_H_

@@ -1,0 +1,1 @@
+#include "sim/network_model.h"

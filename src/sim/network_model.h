@@ -1,0 +1,41 @@
+#ifndef PHOENIX_SIM_NETWORK_MODEL_H_
+#define PHOENIX_SIM_NETWORK_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phoenix {
+
+// 100 Mb/s switched Ethernet between the two test machines (Section 5.1).
+struct NetworkParams {
+  double one_way_latency_ms = 0.08;
+  double bytes_per_ms = 12500.0;  // 100 Mb/s = 12.5 MB/s
+};
+
+// Charges transfer time for messages between machines. Calls within one
+// machine (cross-process or cross-context) do not go through the network;
+// their cost is covered by the marshalling constants in CostModel.
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkParams& params) : params_(params) {}
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  // Latency of one message of `bytes` between two machines.
+  double TransferLatencyMs(size_t bytes) const {
+    return params_.one_way_latency_ms +
+           static_cast<double>(bytes) / params_.bytes_per_ms;
+  }
+
+  uint64_t total_messages() const { return total_messages_; }
+  void CountMessage() { ++total_messages_; }
+
+ private:
+  NetworkParams params_;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_SIM_NETWORK_MODEL_H_

@@ -1,0 +1,217 @@
+#include "sim/stable_storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace phoenix {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<uint8_t>& EmptyBytes() {
+  static const std::vector<uint8_t>& empty = *new std::vector<uint8_t>();
+  return empty;
+}
+
+// Flattens a logical name ("machineA/proc1.log") into one path segment.
+std::string EncodeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out.push_back(c == '/' ? '~' : c);
+  return out;
+}
+
+std::string DecodeName(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (char c : encoded) out.push_back(c == '~' ? '/' : c);
+  return out;
+}
+
+bool WriteWhole(const fs::path& path, const void* data, size_t n) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  return static_cast<bool>(out);
+}
+
+bool ReadWhole(const fs::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  auto size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(out->data()), size);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status StableStorage::EnablePersistence(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create persistence dir: " + ec.message());
+  }
+  dir_ = dir;
+
+  // Load whatever an earlier run left behind. Layout:
+  //   <encoded>.log  + <encoded>.base   — a log and its head base
+  //   <encoded>.file                    — an atomically-replaced small file
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    fs::path path = entry.path();
+    std::string stem = DecodeName(path.stem().string());
+    std::vector<uint8_t> bytes;
+    if (path.extension() == ".log") {
+      if (!ReadWhole(path, &bytes)) {
+        return Status::Internal("cannot read " + path.string());
+      }
+      Log& log = logs_[stem];
+      log.bytes = std::move(bytes);
+      std::vector<uint8_t> base_bytes;
+      fs::path base_path = path;
+      base_path.replace_extension(".base");
+      if (ReadWhole(base_path, &base_bytes) && base_bytes.size() == 8) {
+        uint64_t base = 0;
+        for (int i = 0; i < 8; ++i) {
+          base |= static_cast<uint64_t>(base_bytes[i]) << (8 * i);
+        }
+        log.base = base;
+      }
+    } else if (path.extension() == ".file") {
+      if (!ReadWhole(path, &bytes)) {
+        return Status::Internal("cannot read " + path.string());
+      }
+      files_[stem] = std::move(bytes);
+    }
+  }
+  return Status::OK();
+}
+
+void StableStorage::PersistLog(const std::string& name, const Log& log) const {
+  if (dir_.empty()) return;
+  fs::path path = fs::path(dir_) / (EncodeName(name) + ".log");
+  WriteWhole(path, log.bytes.data(), log.bytes.size());
+  uint8_t base_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    base_bytes[i] = static_cast<uint8_t>(log.base >> (8 * i));
+  }
+  fs::path base_path = fs::path(dir_) / (EncodeName(name) + ".base");
+  WriteWhole(base_path, base_bytes, sizeof(base_bytes));
+}
+
+void StableStorage::PersistFile(const std::string& name,
+                                const std::vector<uint8_t>& data) const {
+  if (dir_.empty()) return;
+  fs::path path = fs::path(dir_) / (EncodeName(name) + ".file");
+  WriteWhole(path, data.data(), data.size());
+}
+
+void StableStorage::RemovePersisted(const std::string& name,
+                                    bool is_log) const {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  if (is_log) {
+    fs::remove(fs::path(dir_) / (EncodeName(name) + ".log"), ec);
+    fs::remove(fs::path(dir_) / (EncodeName(name) + ".base"), ec);
+  } else {
+    fs::remove(fs::path(dir_) / (EncodeName(name) + ".file"), ec);
+  }
+}
+
+uint64_t StableStorage::AppendLog(const std::string& name,
+                                  const std::vector<uint8_t>& data) {
+  Log& log = logs_[name];
+  uint64_t offset = log.base + log.bytes.size();
+  log.bytes.insert(log.bytes.end(), data.begin(), data.end());
+  PersistLog(name, log);
+  return offset;
+}
+
+uint64_t StableStorage::LogSize(const std::string& name) const {
+  auto it = logs_.find(name);
+  return it == logs_.end() ? 0 : it->second.base + it->second.bytes.size();
+}
+
+const std::vector<uint8_t>& StableStorage::ReadLog(
+    const std::string& name) const {
+  auto it = logs_.find(name);
+  return it == logs_.end() ? EmptyBytes() : it->second.bytes;
+}
+
+uint64_t StableStorage::LogBase(const std::string& name) const {
+  auto it = logs_.find(name);
+  return it == logs_.end() ? 0 : it->second.base;
+}
+
+void StableStorage::TrimLogHead(const std::string& name, uint64_t new_base) {
+  auto it = logs_.find(name);
+  if (it == logs_.end()) return;
+  Log& log = it->second;
+  if (new_base <= log.base) return;
+  uint64_t drop = std::min<uint64_t>(new_base - log.base, log.bytes.size());
+  log.bytes.erase(log.bytes.begin(),
+                  log.bytes.begin() + static_cast<ptrdiff_t>(drop));
+  log.base += drop;
+  PersistLog(name, log);
+}
+
+void StableStorage::DeleteLog(const std::string& name) {
+  logs_.erase(name);
+  RemovePersisted(name, /*is_log=*/true);
+}
+
+void StableStorage::CorruptLog(const std::string& name, uint64_t offset,
+                               int flip_count) {
+  auto it = logs_.find(name);
+  if (it == logs_.end()) return;
+  Log& log = it->second;
+  for (int i = 0; i < flip_count; ++i) {
+    uint64_t pos = offset + static_cast<uint64_t>(i) * 7;
+    if (pos < log.base) continue;
+    uint64_t rel = pos - log.base;
+    if (rel >= log.bytes.size()) break;
+    log.bytes[rel] ^= 0x55;
+  }
+  PersistLog(name, it->second);
+}
+
+void StableStorage::TruncateLog(const std::string& name, uint64_t size) {
+  auto it = logs_.find(name);
+  if (it == logs_.end()) return;
+  Log& log = it->second;
+  if (size <= log.base) {
+    log.bytes.clear();
+  } else {
+    uint64_t keep = size - log.base;
+    if (keep < log.bytes.size()) log.bytes.resize(keep);
+  }
+  PersistLog(name, log);
+}
+
+void StableStorage::WriteFile(const std::string& name,
+                              const std::vector<uint8_t>& data) {
+  files_[name] = data;
+  PersistFile(name, data);
+}
+
+Result<std::vector<uint8_t>> StableStorage::ReadFile(
+    const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("file: " + name);
+  return it->second;
+}
+
+bool StableStorage::FileExists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+void StableStorage::DeleteFile(const std::string& name) {
+  files_.erase(name);
+  RemovePersisted(name, /*is_log=*/false);
+}
+
+}  // namespace phoenix

@@ -1,0 +1,95 @@
+#ifndef PHOENIX_SIM_STABLE_STORAGE_H_
+#define PHOENIX_SIM_STABLE_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace phoenix {
+
+// Durable byte store standing in for the machines' filesystems. It is owned
+// by the Simulation — NOT by any Process — so its contents survive simulated
+// crashes, while everything a Process holds in memory (including unforced
+// log buffers) is lost.
+//
+// Two kinds of objects:
+//  - append-only logs (one per process, named "<machine>/proc<k>.log"), and
+//  - small atomically-replaced files (the per-process "well-known file"
+//    holding the LSN of the last flushed begin-checkpoint record, §4.3).
+class StableStorage {
+ public:
+  StableStorage() = default;
+
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+
+  // Optional real durability: loads any logs/files previously persisted
+  // under `dir` and write-through mirrors every mutation there from now on.
+  // With this enabled, a Phoenix deployment survives restarts of the actual
+  // OS process hosting the simulation — recover with
+  // RecoveryService::EnsureProcessAlive after re-creating the topology
+  // (see tests/persistence_test.cc).
+  Status EnablePersistence(const std::string& dir);
+  bool persistent() const { return !dir_.empty(); }
+
+  // --- append-only logs ---
+  // Appends `data` to log `name`, creating it if absent. Returns the
+  // logical offset of the first appended byte (logical offsets keep
+  // counting across head truncations, so LSNs stay stable).
+  uint64_t AppendLog(const std::string& name,
+                     const std::vector<uint8_t>& data);
+
+  // Logical end offset of log `name` (0 if absent): base + retained bytes.
+  uint64_t LogSize(const std::string& name) const;
+
+  // Read-only view of log `name`'s RETAINED contents (empty if absent).
+  // Byte i of the view is logical offset LogBase(name) + i.
+  const std::vector<uint8_t>& ReadLog(const std::string& name) const;
+
+  // Logical offset of the first retained byte (> 0 after head truncation).
+  uint64_t LogBase(const std::string& name) const;
+
+  // Garbage-collects everything before logical offset `new_base` (log
+  // truncation: recovery never reads below the checkpointed minimum
+  // recovery LSN). No-op if new_base <= current base; clamped to the end.
+  void TrimLogHead(const std::string& name, uint64_t new_base);
+
+  // Deletes log `name` if present (used by tests to reset a process).
+  void DeleteLog(const std::string& name);
+
+  // Flips `flip_count` random bits in log `name` starting at byte `offset`
+  // (failure-injection helper for torn-write / corruption tests).
+  void CorruptLog(const std::string& name, uint64_t offset, int flip_count);
+
+  // Truncates log `name` to `size` bytes, simulating a torn tail write.
+  void TruncateLog(const std::string& name, uint64_t size);
+
+  // --- small atomically replaced files ---
+  void WriteFile(const std::string& name, const std::vector<uint8_t>& data);
+  Result<std::vector<uint8_t>> ReadFile(const std::string& name) const;
+  bool FileExists(const std::string& name) const;
+  void DeleteFile(const std::string& name);
+
+ private:
+  struct Log {
+    uint64_t base = 0;  // logical offset of bytes[0]
+    std::vector<uint8_t> bytes;
+  };
+
+  void PersistLog(const std::string& name, const Log& log) const;
+  void PersistFile(const std::string& name,
+                   const std::vector<uint8_t>& data) const;
+  void RemovePersisted(const std::string& name, bool is_log) const;
+
+  std::map<std::string, Log> logs_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+  std::string dir_;  // empty = in-memory only
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_SIM_STABLE_STORAGE_H_

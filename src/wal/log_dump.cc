@@ -1,0 +1,150 @@
+#include "wal/log_dump.h"
+
+#include "common/strings.h"
+#include "runtime/kinds.h"
+
+namespace phoenix {
+namespace {
+
+// Bounded preview of an argument list.
+std::string PreviewArgs(const ArgList& args) {
+  std::string out = "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::string piece = args[i].ToString();
+    if (piece.size() > 32) piece = piece.substr(0, 29) + "...";
+    out += piece;
+    if (out.size() > 100) {
+      out += ", ...";
+      break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string PreviewValue(const Value& value) {
+  std::string piece = value.ToString();
+  if (piece.size() > 48) piece = piece.substr(0, 45) + "...";
+  return piece;
+}
+
+struct DescribeVisitor {
+  std::string operator()(const IncomingCallRecord& r) {
+    return StrCat("IncomingCall     ctx ", r.context_id, "  from ",
+                  ComponentKindName(r.client_kind), " ",
+                  r.call_id.ToString(), "  ", r.method,
+                  PreviewArgs(r.args));
+  }
+  std::string operator()(const ReplySentRecord& r) {
+    return StrCat("ReplySent        ctx ", r.context_id, "  to ",
+                  r.call_id.ToString(), r.long_form ? "  long " : "  short",
+                  r.long_form ? PreviewValue(r.reply) : "");
+  }
+  std::string operator()(const OutgoingCallRecord& r) {
+    return StrCat("OutgoingCall     ctx ", r.context_id, "  ",
+                  r.call_id.ToString(), " -> ", r.server_uri, "  ", r.method,
+                  PreviewArgs(r.args));
+  }
+  std::string operator()(const ReplyReceivedRecord& r) {
+    return StrCat("ReplyReceived    ctx ", r.context_id, "  seq ", r.seq,
+                  "  from ", ComponentKindName(r.server_kind), "  ",
+                  PreviewValue(r.reply));
+  }
+  std::string operator()(const CreationRecord& r) {
+    return StrCat("Creation         ctx ", r.context_id, "  ",
+                  ComponentKindName(r.kind), " ", r.type_name, " \"", r.name,
+                  "\" ", PreviewArgs(r.ctor_args));
+  }
+  std::string operator()(const LastCallReplyRecord& r) {
+    return StrCat("LastCallReply    ctx ", r.context_id, "  for ",
+                  r.call_id.ToString(), "  ", PreviewValue(r.reply));
+  }
+  std::string operator()(const ContextStateRecord& r) {
+    size_t fields = 0;
+    for (const ComponentSnapshot& snap : r.components) {
+      fields += snap.fields.size();
+    }
+    return StrCat("ContextState     ctx ", r.context_id, "  ",
+                  r.components.size(), " component(s), ", fields,
+                  " field(s), out-seq ", r.last_outgoing_seq, ", ",
+                  r.last_call_refs.size(), " last-call ref(s)");
+  }
+  std::string operator()(const BeginCheckpointRecord&) {
+    return "BeginCheckpoint";
+  }
+  std::string operator()(const CheckpointContextEntryRecord& r) {
+    return StrCat("CkptContextEntry ctx ", r.context_id, "  recovery-lsn ",
+                  r.recovery_lsn == kInvalidLsn
+                      ? std::string("-")
+                      : StrCat(r.recovery_lsn),
+                  "  out-seq ", r.last_outgoing_seq);
+  }
+  std::string operator()(const CheckpointLastCallRecord& r) {
+    return StrCat("CkptLastCall     ctx ", r.context_id, "  ",
+                  r.call_id.ToString(), "  reply-lsn ",
+                  r.reply_lsn == kInvalidLsn ? std::string("-")
+                                             : StrCat(r.reply_lsn));
+  }
+  std::string operator()(const CheckpointRemoteTypeRecord& r) {
+    return StrCat("CkptRemoteType   ", r.uri, " is ",
+                  ComponentKindName(r.kind), " ", r.type_name);
+  }
+  std::string operator()(const EndCheckpointRecord& r) {
+    return StrCat("EndCheckpoint    begin-lsn ", r.begin_lsn);
+  }
+};
+
+}  // namespace
+
+const char* LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kIncomingCall:
+      return "IncomingCall";
+    case LogRecordType::kReplySent:
+      return "ReplySent";
+    case LogRecordType::kOutgoingCall:
+      return "OutgoingCall";
+    case LogRecordType::kReplyReceived:
+      return "ReplyReceived";
+    case LogRecordType::kCreation:
+      return "Creation";
+    case LogRecordType::kLastCallReply:
+      return "LastCallReply";
+    case LogRecordType::kContextState:
+      return "ContextState";
+    case LogRecordType::kBeginCheckpoint:
+      return "BeginCheckpoint";
+    case LogRecordType::kCheckpointContextEntry:
+      return "CkptContextEntry";
+    case LogRecordType::kCheckpointLastCall:
+      return "CkptLastCall";
+    case LogRecordType::kCheckpointRemoteType:
+      return "CkptRemoteType";
+    case LogRecordType::kEndCheckpoint:
+      return "EndCheckpoint";
+  }
+  return "?";
+}
+
+std::string DescribeRecord(const LogRecord& record) {
+  return std::visit(DescribeVisitor{}, record);
+}
+
+std::string DumpLog(const LogView& view) {
+  std::string out;
+  if (view.base > 0) {
+    out += StrCat("  (head truncated below lsn ", view.base, ")\n");
+  }
+  LogReader reader(view, view.base);
+  while (auto parsed = reader.Next()) {
+    out += StrCat("  lsn ", parsed->lsn, "  ",
+                  DescribeRecord(parsed->record), "\n");
+  }
+  if (reader.tail_torn()) {
+    out += StrCat("  (torn tail after lsn ", reader.end_lsn(), ")\n");
+  }
+  return out;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,25 @@
+#ifndef PHOENIX_WAL_LOG_DUMP_H_
+#define PHOENIX_WAL_LOG_DUMP_H_
+
+#include <string>
+
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+// Canonical name of a record type ("IncomingCall", "ContextState", ...).
+const char* LogRecordTypeName(LogRecordType type);
+
+// One-line human-readable rendering of a record: type, context, call id,
+// method and a bounded preview of the payload.
+std::string DescribeRecord(const LogRecord& record);
+
+// Multi-line dump of a whole log view: one "lsn <n> <description>" line per
+// record, plus a torn-tail note when the scan stops early. For debugging
+// and the trace tool.
+std::string DumpLog(const LogView& view);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_LOG_DUMP_H_

@@ -1,0 +1,65 @@
+#include "wal/log_manager.h"
+
+namespace phoenix {
+
+LogManager::LogManager(std::string log_name, StableStorage* storage,
+                       DiskModel* disk, SimClock* clock,
+                       const CostModel* costs)
+    : storage_(storage),
+      disk_(disk),
+      clock_(clock),
+      costs_(costs),
+      writer_(log_name, storage, disk, clock),
+      well_known_name_(log_name + ".wkf") {}
+
+uint64_t LogManager::Append(const LogRecord& record) {
+  Encoder enc;
+  EncodeLogRecord(record, enc);
+  clock_->AdvanceMs(costs_->log_append_ms);
+  return writer_.AppendPayload(enc.buffer());
+}
+
+void LogManager::Force() {
+  if (!writer_.has_buffered()) return;
+  clock_->AdvanceMs(costs_->force_dispatch_ms);
+  writer_.Force();
+}
+
+const std::vector<uint8_t>& LogManager::StableLog() const {
+  return storage_->ReadLog(writer_.log_name());
+}
+
+LogView LogManager::StableView() const {
+  return LogView{&StableLog(), storage_->LogBase(writer_.log_name())};
+}
+
+std::vector<uint8_t> LogManager::FullLog() const {
+  std::vector<uint8_t> image = StableLog();
+  const std::vector<uint8_t>& buffered = writer_.buffer();
+  image.insert(image.end(), buffered.begin(), buffered.end());
+  return image;
+}
+
+uint64_t LogManager::head_base() const {
+  return storage_->LogBase(writer_.log_name());
+}
+
+void LogManager::TrimHead(uint64_t lsn) {
+  storage_->TrimLogHead(writer_.log_name(), lsn);
+}
+
+void LogManager::WriteWellKnownLsn(uint64_t lsn) {
+  Encoder enc;
+  enc.PutU64(lsn);
+  storage_->WriteFile(well_known_name_, enc.buffer());
+  clock_->AdvanceMs(disk_->WriteLatencyMs(clock_->NowMs(), enc.size()));
+}
+
+Result<uint64_t> LogManager::ReadWellKnownLsn() const {
+  PHX_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                       storage_->ReadFile(well_known_name_));
+  Decoder dec(data);
+  return dec.GetU64();
+}
+
+}  // namespace phoenix

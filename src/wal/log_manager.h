@@ -1,0 +1,92 @@
+#ifndef PHOENIX_WAL_LOG_MANAGER_H_
+#define PHOENIX_WAL_LOG_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sim/cost_model.h"
+#include "sim/disk_model.h"
+#include "sim/sim_clock.h"
+#include "sim/stable_storage.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+#include "wal/log_writer.h"
+
+namespace phoenix {
+
+// The per-process log manager (Figure 7): owns the process's recovery log
+// and its well-known file, and is the single point through which message
+// interceptors, the checkpoint manager, and recovery touch the log.
+class LogManager {
+ public:
+  // `log_name` is the durable name, e.g. "machineA/proc1.log"; the
+  // well-known file is derived from it. The pointed-to simulation pieces
+  // must outlive the manager.
+  LogManager(std::string log_name, StableStorage* storage, DiskModel* disk,
+             SimClock* clock, const CostModel* costs);
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  // Appends `record` to the log buffer (charging the buffer-copy CPU cost)
+  // and returns its LSN. Does NOT force.
+  uint64_t Append(const LogRecord& record);
+
+  // Forces all buffered records to disk (no-op if none).
+  void Force();
+
+  // True if everything up to and including `lsn` is stable.
+  bool IsStable(uint64_t lsn) const { return writer_.IsStable(lsn); }
+
+  uint64_t next_lsn() const { return writer_.next_lsn(); }
+
+  // Crash: the unforced buffer is gone.
+  void DropBuffer() { writer_.DropBuffer(); }
+
+  // Read-only image of the stable log (for recovery and tests).
+  const std::vector<uint8_t>& StableLog() const;
+
+  // Stable log with its logical base (nonzero after head truncation).
+  LogView StableView() const;
+
+  // Stable log plus the still-buffered tail. A *context* failure (§4.4)
+  // does not lose the process's buffer, so context recovery reads this
+  // combined image; process-crash recovery must use StableLog().
+  std::vector<uint8_t> FullLog() const;
+
+  // Logical offset of the first retained byte (the garbage-collection
+  // point).
+  uint64_t head_base() const;
+
+  // Garbage collection: drops every record before `lsn`. Callers (the
+  // checkpoint manager) must only pass LSNs no recovery can need — below
+  // every context recovery LSN, every live last-call reply LSN, and the
+  // published checkpoint.
+  void TrimHead(uint64_t lsn);
+
+  // --- well-known file (§4.3): LSN of the last flushed begin-checkpoint ---
+  // Force-writes `lsn`; charged as one disk write.
+  void WriteWellKnownLsn(uint64_t lsn);
+  // kNotFound if no checkpoint has ever completed.
+  Result<uint64_t> ReadWellKnownLsn() const;
+
+  // --- statistics ---
+  uint64_t num_appends() const { return writer_.num_appends(); }
+  uint64_t num_forces() const { return writer_.num_forces(); }
+  uint64_t bytes_forced() const { return writer_.bytes_forced(); }
+
+  const std::string& log_name() const { return writer_.log_name(); }
+
+ private:
+  StableStorage* storage_;
+  DiskModel* disk_;
+  SimClock* clock_;
+  const CostModel* costs_;
+  LogWriter writer_;
+  std::string well_known_name_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_LOG_MANAGER_H_

@@ -1,0 +1,78 @@
+#include "wal/log_reader.h"
+
+#include "common/crc32c.h"
+#include "common/macros.h"
+
+namespace phoenix {
+namespace {
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+LogReader::LogReader(const std::vector<uint8_t>& log, uint64_t start_lsn)
+    : log_(log), base_(0), pos_(start_lsn) {}
+
+LogReader::LogReader(const LogView& view, uint64_t start_lsn)
+    : log_(*view.bytes), base_(view.base), pos_(start_lsn) {
+  PHX_CHECK(start_lsn >= view.base);
+}
+
+std::optional<ParsedRecord> LogReader::Next() {
+  if (tail_torn_) return std::nullopt;
+  uint64_t end = base_ + log_.size();
+  if (pos_ == end) return std::nullopt;  // clean end
+  if (pos_ + 8 > end) {
+    tail_torn_ = true;
+    return std::nullopt;
+  }
+  uint64_t rel = pos_ - base_;
+  uint32_t len = LoadU32(&log_[rel]);
+  uint32_t crc = LoadU32(&log_[rel + 4]);
+  if (pos_ + 8 + len > end) {
+    tail_torn_ = true;
+    return std::nullopt;
+  }
+  const uint8_t* payload = &log_[rel + 8];
+  if (Crc32c(payload, len) != crc) {
+    tail_torn_ = true;
+    return std::nullopt;
+  }
+  Result<LogRecord> record = DecodeLogRecord(payload, len);
+  if (!record.ok()) {
+    tail_torn_ = true;
+    return std::nullopt;
+  }
+  ParsedRecord out{pos_, std::move(record).value()};
+  pos_ += 8 + len;
+  ++records_read_;
+  return out;
+}
+
+Result<LogRecord> ReadRecordAt(const LogView& view, uint64_t lsn) {
+  const std::vector<uint8_t>& log = *view.bytes;
+  if (lsn < view.base) {
+    return Status::Corruption("lsn before truncated log head");
+  }
+  uint64_t rel = lsn - view.base;
+  if (rel + 8 > log.size()) return Status::Corruption("lsn out of range");
+  uint32_t len = LoadU32(&log[rel]);
+  uint32_t crc = LoadU32(&log[rel + 4]);
+  if (rel + 8 + len > log.size()) {
+    return Status::Corruption("record extends past end of log");
+  }
+  const uint8_t* payload = &log[rel + 8];
+  if (Crc32c(payload, len) != crc) {
+    return Status::Corruption("record crc mismatch");
+  }
+  return DecodeLogRecord(payload, len);
+}
+
+Result<LogRecord> ReadRecordAt(const std::vector<uint8_t>& log, uint64_t lsn) {
+  return ReadRecordAt(LogView{&log, 0}, lsn);
+}
+
+}  // namespace phoenix

@@ -1,0 +1,64 @@
+#ifndef PHOENIX_WAL_LOG_READER_H_
+#define PHOENIX_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+// A decoded record plus its position on the log.
+struct ParsedRecord {
+  uint64_t lsn = 0;
+  LogRecord record;
+};
+
+// A log image with its logical base: byte i of *bytes is LSN base + i.
+// Head truncation (garbage collection) raises the base; LSNs stay stable.
+struct LogView {
+  const std::vector<uint8_t>* bytes = nullptr;
+  uint64_t base = 0;
+};
+
+// Sequential scanner over a stable log image. Stops cleanly at end-of-log;
+// stops and sets tail_torn() at a truncated frame or CRC mismatch — a torn
+// tail write from the crash, which recovery treats as the end of the log.
+class LogReader {
+ public:
+  // `log` must outlive the reader. `start_lsn` is where scanning begins
+  // (0 for the whole log). The vector overload assumes base 0 (untruncated
+  // logs, unit tests); recovery uses the LogView overload.
+  LogReader(const std::vector<uint8_t>& log, uint64_t start_lsn);
+  LogReader(const LogView& view, uint64_t start_lsn);
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  // Next record, or nullopt at (clean or torn) end.
+  std::optional<ParsedRecord> Next();
+
+  bool tail_torn() const { return tail_torn_; }
+
+  // LSN one past the last successfully parsed record.
+  uint64_t end_lsn() const { return pos_; }
+
+  // Number of records returned so far.
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  const std::vector<uint8_t>& log_;
+  uint64_t base_;
+  uint64_t pos_;  // logical LSN
+  bool tail_torn_ = false;
+  uint64_t records_read_ = 0;
+};
+
+// Reads the single record whose frame starts at `lsn`.
+Result<LogRecord> ReadRecordAt(const std::vector<uint8_t>& log, uint64_t lsn);
+Result<LogRecord> ReadRecordAt(const LogView& view, uint64_t lsn);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_LOG_READER_H_

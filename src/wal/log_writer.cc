@@ -1,0 +1,47 @@
+#include "wal/log_writer.h"
+
+#include "common/crc32c.h"
+
+namespace phoenix {
+
+LogWriter::LogWriter(std::string log_name, StableStorage* storage,
+                     DiskModel* disk, SimClock* clock, size_t buffer_capacity)
+    : log_name_(std::move(log_name)),
+      storage_(storage),
+      disk_(disk),
+      clock_(clock),
+      buffer_capacity_(buffer_capacity),
+      stable_bytes_(storage->LogSize(log_name_)) {}
+
+uint64_t LogWriter::AppendPayload(const std::vector<uint8_t>& payload) {
+  if (buffer_.size() + payload.size() + 8 > buffer_capacity_ &&
+      !buffer_.empty()) {
+    Force();
+  }
+  uint64_t lsn = next_lsn();
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32c(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  ++num_appends_;
+  return lsn;
+}
+
+size_t LogWriter::Force() {
+  if (buffer_.empty()) return 0;
+  size_t bytes = buffer_.size();
+  storage_->AppendLog(log_name_, buffer_);
+  stable_bytes_ += bytes;
+  buffer_.clear();
+  clock_->AdvanceMs(disk_->WriteLatencyMs(clock_->NowMs(), bytes));
+  ++num_forces_;
+  bytes_forced_ += bytes;
+  return bytes;
+}
+
+}  // namespace phoenix

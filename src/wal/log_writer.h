@@ -1,0 +1,76 @@
+#ifndef PHOENIX_WAL_LOG_WRITER_H_
+#define PHOENIX_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/disk_model.h"
+#include "sim/sim_clock.h"
+#include "sim/stable_storage.h"
+
+namespace phoenix {
+
+// Buffered, forced, append-only log writer (one per process). Records
+// accumulate in an in-memory buffer and reach stable storage only at a
+// force (or when the buffer fills) — exactly the paper's §5 setup. A crash
+// drops the buffer: unforced records are gone, which is what the logging
+// disciplines of Section 3 are designed around.
+//
+// Frame format: [u32 payload_len][u32 crc32c(payload)][payload]. The LSN of
+// a record is the byte offset of its frame in the log.
+class LogWriter {
+ public:
+  LogWriter(std::string log_name, StableStorage* storage, DiskModel* disk,
+            SimClock* clock, size_t buffer_capacity = 64 * 1024);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  // Frames `payload` into the buffer; returns its LSN. Forces first if the
+  // buffer would overflow.
+  uint64_t AppendPayload(const std::vector<uint8_t>& payload);
+
+  // Writes all buffered frames to stable storage as one sequential disk
+  // write, advancing the simulated clock by the disk latency. No-op (and
+  // not counted) when nothing is buffered. Returns bytes made stable.
+  size_t Force();
+
+  // LSN the next append will receive.
+  uint64_t next_lsn() const { return stable_bytes_ + buffer_.size(); }
+
+  // True if `lsn` is already on stable storage.
+  bool IsStable(uint64_t lsn) const { return lsn < stable_bytes_; }
+
+  bool has_buffered() const { return !buffer_.empty(); }
+  uint64_t stable_bytes() const { return stable_bytes_; }
+  // The unforced tail (survives context failures, dies with the process).
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  // Crash: unforced records are lost.
+  void DropBuffer() { buffer_.clear(); }
+
+  const std::string& log_name() const { return log_name_; }
+
+  // --- statistics (benchmarks read deltas of these) ---
+  uint64_t num_appends() const { return num_appends_; }
+  uint64_t num_forces() const { return num_forces_; }
+  uint64_t bytes_forced() const { return bytes_forced_; }
+
+ private:
+  std::string log_name_;
+  StableStorage* storage_;
+  DiskModel* disk_;
+  SimClock* clock_;
+  size_t buffer_capacity_;
+  std::vector<uint8_t> buffer_;
+  uint64_t stable_bytes_;
+
+  uint64_t num_appends_ = 0;
+  uint64_t num_forces_ = 0;
+  uint64_t bytes_forced_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_LOG_WRITER_H_

@@ -1,0 +1,198 @@
+// Unit-level behavior of the individual bookstore components.
+
+#include <gtest/gtest.h>
+
+#include "bookstore/setup.h"
+
+namespace phoenix::bookstore {
+namespace {
+
+class BookstoreComponentsTest : public ::testing::Test {
+ protected:
+  BookstoreComponentsTest() {
+    sim_ = std::make_unique<Simulation>(
+        OptionsForLevel(OptLevel::kSpecialized));
+    RegisterBookstoreComponents(sim_->factories());
+    server_ = &sim_->AddMachine("server");
+    deployment_ = Deploy(*sim_, *server_, 2, OptLevel::kSpecialized).value();
+    client_ = std::make_unique<ExternalClient>(sim_.get(), "server");
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  Machine* server_ = nullptr;
+  Deployment deployment_;
+  std::unique_ptr<ExternalClient> client_;
+};
+
+TEST_F(BookstoreComponentsTest, CatalogIsDeterministicPerLabel) {
+  auto a1 = client_->Call(deployment_.store_uris[0], "Search",
+                          MakeArgs("book"));
+  auto a2 = client_->Call(deployment_.store_uris[0], "Search",
+                          MakeArgs("book"));
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(*a1, *a2);
+  // Different stores carry differently-priced editions.
+  auto b = client_->Call(deployment_.store_uris[1], "Search",
+                         MakeArgs("book"));
+  EXPECT_NE(*a1, *b);
+}
+
+TEST_F(BookstoreComponentsTest, SearchMatchesSubstrings) {
+  auto hits = client_->Call(deployment_.store_uris[0], "Search",
+                            MakeArgs("recovery"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->AsList().size(), 2u);  // two recovery titles per catalog
+  auto none = client_->Call(deployment_.store_uris[0], "Search",
+                            MakeArgs("no such topic"));
+  EXPECT_TRUE(none->AsList().empty());
+}
+
+TEST_F(BookstoreComponentsTest, GetBookErrors) {
+  EXPECT_TRUE(client_->Call(deployment_.store_uris[0], "GetBook",
+                            MakeArgs(int64_t{999}))
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(client_->Call(deployment_.store_uris[0], "GetBook",
+                          MakeArgs("one"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BookstoreComponentsTest, ReserveReleaseRoundTrip) {
+  const std::string& store = deployment_.store_uris[0];
+  auto before = client_->Call(store, "GetBook", MakeArgs(int64_t{1}));
+  int64_t stock = before->AsList()[3].AsInt();
+
+  ASSERT_TRUE(
+      client_->Call(store, "Reserve", MakeArgs(int64_t{1}, int64_t{3})).ok());
+  EXPECT_EQ(client_->Call(store, "GetBook", MakeArgs(int64_t{1}))
+                ->AsList()[3]
+                .AsInt(),
+            stock - 3);
+  ASSERT_TRUE(
+      client_->Call(store, "Release", MakeArgs(int64_t{1}, int64_t{3})).ok());
+  EXPECT_EQ(client_->Call(store, "GetBook", MakeArgs(int64_t{1}))
+                ->AsList()[3]
+                .AsInt(),
+            stock);
+  // Confirming a sale counts it without touching stock again.
+  ASSERT_TRUE(client_->Call(store, "Reserve", MakeArgs(int64_t{1}, int64_t{1}))
+                  .ok());
+  ASSERT_TRUE(
+      client_->Call(store, "ConfirmSale", MakeArgs(int64_t{1}, int64_t{1}))
+          .ok());
+  EXPECT_EQ(client_->Call(store, "TotalSold", {})->AsInt(), 1);
+}
+
+TEST_F(BookstoreComponentsTest, ReserveRespectsStock) {
+  const std::string& store = deployment_.store_uris[0];
+  auto too_many =
+      client_->Call(store, "Reserve", MakeArgs(int64_t{1}, int64_t{1000}));
+  EXPECT_EQ(too_many.status().code(), StatusCode::kFailedPrecondition);
+  auto nonpositive =
+      client_->Call(store, "Reserve", MakeArgs(int64_t{1}, int64_t{0}));
+  EXPECT_EQ(nonpositive.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BookstoreComponentsTest, PriceGrabberAggregatesAllStores) {
+  auto hits = client_->Call(deployment_.grabber_uri, "Search",
+                            MakeArgs("recovery"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->AsList().size(), 4u);  // 2 per store x 2 stores
+  // Rows carry the store URI first.
+  for (const Value& row : hits->AsList()) {
+    EXPECT_TRUE(ParseComponentUri(row.AsList()[0].AsString()).ok());
+  }
+  EXPECT_TRUE(client_->Call(deployment_.grabber_uri, "BestPrice",
+                            MakeArgs("no such topic"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(BookstoreComponentsTest, SellerHandlesUnknownBuyerGracefully) {
+  EXPECT_TRUE(client_->Call(deployment_.seller_uri, "ShowBasket",
+                            MakeArgs("nobody"))
+                  ->AsList()
+                  .empty());
+  EXPECT_DOUBLE_EQ(client_->Call(deployment_.seller_uri, "BasketSubtotal",
+                                 MakeArgs("nobody"))
+                       ->AsDouble(),
+                   0.0);
+  EXPECT_EQ(client_->Call(deployment_.seller_uri, "ClearBasket",
+                          MakeArgs("nobody"))
+                ->AsInt(),
+            0);
+  EXPECT_EQ(client_->Call(deployment_.seller_uri, "Checkout",
+                          MakeArgs("nobody", "WA"))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BookstoreComponentsTest, ClearBasketReleasesReservations) {
+  const std::string& store = deployment_.store_uris[0];
+  int64_t stock_before = client_->Call(store, "GetBook", MakeArgs(int64_t{1}))
+                             ->AsList()[3]
+                             .AsInt();
+  ASSERT_TRUE(client_->Call(deployment_.seller_uri, "AddToBasket",
+                            MakeArgs("eve", store, int64_t{1}))
+                  .ok());
+  EXPECT_EQ(client_->Call(store, "GetBook", MakeArgs(int64_t{1}))
+                ->AsList()[3]
+                .AsInt(),
+            stock_before - 1);
+  ASSERT_TRUE(client_->Call(deployment_.seller_uri, "ClearBasket",
+                            MakeArgs("eve"))
+                  .ok());
+  EXPECT_EQ(client_->Call(store, "GetBook", MakeArgs(int64_t{1}))
+                ->AsList()[3]
+                .AsInt(),
+            stock_before);
+}
+
+TEST_F(BookstoreComponentsTest, BasketsAreIsolatedPerBuyer) {
+  ASSERT_TRUE(client_->Call(deployment_.seller_uri, "AddToBasket",
+                            MakeArgs("u1", deployment_.store_uris[0],
+                                     int64_t{1}))
+                  .ok());
+  ASSERT_TRUE(client_->Call(deployment_.seller_uri, "AddToBasket",
+                            MakeArgs("u2", deployment_.store_uris[1],
+                                     int64_t{2}))
+                  .ok());
+  EXPECT_EQ(client_->Call(deployment_.seller_uri, "ShowBasket",
+                          MakeArgs("u1"))
+                ->AsList()
+                .size(),
+            1u);
+  EXPECT_EQ(client_->Call(deployment_.seller_uri, "ShowBasket",
+                          MakeArgs("u2"))
+                ->AsList()
+                .size(),
+            1u);
+}
+
+TEST_F(BookstoreComponentsTest, DeploymentKindsMatchFigure10) {
+  Process& proc = *deployment_.server_process;
+  EXPECT_EQ(proc.FindComponent("grabber")->instance->kind(),
+            ComponentKind::kReadOnly);
+  EXPECT_EQ(proc.FindComponent("tax")->instance->kind(),
+            ComponentKind::kFunctional);
+  EXPECT_EQ(proc.FindComponent("seller")->instance->kind(),
+            ComponentKind::kPersistent);
+  EXPECT_EQ(proc.FindComponent("store1")->instance->kind(),
+            ComponentKind::kPersistent);
+}
+
+TEST_F(BookstoreComponentsTest, OptLevelNamesAndOptions) {
+  EXPECT_STREQ(OptLevelName(OptLevel::kBaseline), "baseline");
+  EXPECT_STREQ(OptLevelName(OptLevel::kSpecialized), "specialized");
+  EXPECT_EQ(OptionsForLevel(OptLevel::kBaseline).logging_mode,
+            LoggingMode::kBaseline);
+  EXPECT_FALSE(
+      OptionsForLevel(OptLevel::kOptimizedLogging).use_specialized_kinds);
+  EXPECT_TRUE(OptionsForLevel(OptLevel::kSpecialized).use_specialized_kinds);
+}
+
+}  // namespace
+}  // namespace phoenix::bookstore

@@ -1,0 +1,156 @@
+// The §5.5 online bookstore under the three optimization levels: identical
+// application results, strictly decreasing force counts (the Table 8
+// ordering), and sensible component behavior.
+
+#include <gtest/gtest.h>
+
+#include "bookstore/setup.h"
+#include "bookstore/tax_calculator.h"
+
+namespace phoenix::bookstore {
+namespace {
+
+struct RunResult {
+  SessionResult session;
+  uint64_t forces = 0;
+  double elapsed_ms = 0;
+};
+
+RunResult RunAtLevel(OptLevel level) {
+  Simulation sim(OptionsForLevel(level));
+  RegisterBookstoreComponents(sim.factories());
+  Machine& client_machine = sim.AddMachine("client");
+  Machine& server_machine = sim.AddMachine("server");
+  (void)client_machine;
+  auto deployment = Deploy(sim, server_machine, /*num_stores=*/2, level);
+  EXPECT_TRUE(deployment.ok()) << deployment.status().ToString();
+
+  ExternalClient buyer(&sim, "client");
+  // Warm-up session (types get learned), then the measured session.
+  EXPECT_TRUE(
+      RunBuyerSession(sim, *deployment, buyer, "warmup", "WA").ok());
+  uint64_t forces_before = sim.TotalForces();
+  double clock_before = sim.clock().NowMs();
+  auto session = RunBuyerSession(sim, *deployment, buyer, "alice", "WA");
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+
+  RunResult out;
+  out.session = *session;
+  out.forces = sim.TotalForces() - forces_before;
+  out.elapsed_ms = sim.clock().NowMs() - clock_before;
+  return out;
+}
+
+TEST(BookstoreTest, SessionFindsBooksAndComputesTax) {
+  RunResult r = RunAtLevel(OptLevel::kSpecialized);
+  // Each store's catalog has two "recovery" titles.
+  EXPECT_EQ(r.session.search_hits, 4);
+  EXPECT_EQ(r.session.items_in_basket, 2);
+  EXPECT_EQ(r.session.items_removed, 2);
+  EXPECT_GT(r.session.total_with_tax, 0.0);
+}
+
+TEST(BookstoreTest, ResultsIdenticalAcrossOptimizationLevels) {
+  RunResult baseline = RunAtLevel(OptLevel::kBaseline);
+  RunResult optimized = RunAtLevel(OptLevel::kOptimizedLogging);
+  RunResult specialized = RunAtLevel(OptLevel::kSpecialized);
+  EXPECT_EQ(baseline.session.search_hits, specialized.session.search_hits);
+  EXPECT_EQ(baseline.session.items_in_basket,
+            specialized.session.items_in_basket);
+  EXPECT_DOUBLE_EQ(baseline.session.total_with_tax,
+                   optimized.session.total_with_tax);
+  EXPECT_DOUBLE_EQ(baseline.session.total_with_tax,
+                   specialized.session.total_with_tax);
+  EXPECT_EQ(baseline.session.items_removed, specialized.session.items_removed);
+}
+
+TEST(BookstoreTest, ForcesDropAcrossLevelsLikeTable8) {
+  // Table 8's shape: 64 > 46 > 34 forces. Absolute counts depend on our
+  // component graph; the strict ordering is the reproduced result.
+  RunResult baseline = RunAtLevel(OptLevel::kBaseline);
+  RunResult optimized = RunAtLevel(OptLevel::kOptimizedLogging);
+  RunResult specialized = RunAtLevel(OptLevel::kSpecialized);
+  EXPECT_GT(baseline.forces, optimized.forces);
+  EXPECT_GT(optimized.forces, specialized.forces);
+  EXPECT_GT(baseline.elapsed_ms, optimized.elapsed_ms);
+  EXPECT_GT(optimized.elapsed_ms, specialized.elapsed_ms);
+  // The paper cut response time roughly in half overall.
+  EXPECT_LT(specialized.elapsed_ms, 0.7 * baseline.elapsed_ms);
+}
+
+TEST(BookstoreTest, CheckoutBuysFromStoresAndClearsBasket) {
+  Simulation sim(OptionsForLevel(OptLevel::kSpecialized));
+  RegisterBookstoreComponents(sim.factories());
+  Machine& server = sim.AddMachine("server");
+  auto deployment = Deploy(sim, server, 2, OptLevel::kSpecialized);
+  ASSERT_TRUE(deployment.ok());
+  ExternalClient buyer(&sim, "server");
+
+  ASSERT_TRUE(buyer
+                  .Call(deployment->seller_uri, "AddToBasket",
+                        MakeArgs("bob", deployment->store_uris[0],
+                                 int64_t{1}))
+                  .ok());
+  ASSERT_TRUE(buyer
+                  .Call(deployment->seller_uri, "AddToBasket",
+                        MakeArgs("bob", deployment->store_uris[1],
+                                 int64_t{2}))
+                  .ok());
+  auto total = buyer.Call(deployment->seller_uri, "Checkout",
+                          MakeArgs("bob", "WA"));
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_GT(total->AsDouble(), 0.0);
+
+  // The basket is empty and each store sold one book.
+  auto items =
+      buyer.Call(deployment->seller_uri, "ShowBasket", MakeArgs("bob"));
+  EXPECT_TRUE(items->AsList().empty());
+  for (const std::string& store : deployment->store_uris) {
+    EXPECT_EQ(buyer.Call(store, "TotalSold", {})->AsInt(), 1);
+  }
+}
+
+TEST(BookstoreTest, BuyRespectsStock) {
+  Simulation sim(OptionsForLevel(OptLevel::kSpecialized));
+  RegisterBookstoreComponents(sim.factories());
+  Machine& server = sim.AddMachine("server");
+  auto deployment = Deploy(sim, server, 1, OptLevel::kSpecialized);
+  ASSERT_TRUE(deployment.ok());
+  ExternalClient buyer(&sim, "server");
+  const std::string& store = deployment->store_uris[0];
+
+  ASSERT_TRUE(buyer.Call(store, "Buy", MakeArgs(int64_t{1}, int64_t{25})).ok());
+  auto sold_out = buyer.Call(store, "Buy", MakeArgs(int64_t{1}, int64_t{1}));
+  EXPECT_EQ(sold_out.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(
+      buyer.Call(store, "Restock", MakeArgs(int64_t{1}, int64_t{5})).ok());
+  EXPECT_TRUE(buyer.Call(store, "Buy", MakeArgs(int64_t{1}, int64_t{1})).ok());
+}
+
+TEST(BookstoreTest, PriceGrabberBestPrice) {
+  Simulation sim(OptionsForLevel(OptLevel::kSpecialized));
+  RegisterBookstoreComponents(sim.factories());
+  Machine& server = sim.AddMachine("server");
+  auto deployment = Deploy(sim, server, 3, OptLevel::kSpecialized);
+  ASSERT_TRUE(deployment.ok());
+  ExternalClient buyer(&sim, "server");
+
+  auto best = buyer.Call(deployment->grabber_uri, "BestPrice",
+                         MakeArgs("recovery"));
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  auto all =
+      buyer.Call(deployment->grabber_uri, "Search", MakeArgs("recovery"));
+  double best_price = best->AsList()[3].AsDouble();
+  for (const Value& row : all->AsList()) {
+    EXPECT_LE(best_price, row.AsList()[3].AsDouble());
+  }
+}
+
+TEST(TaxCalculatorTest, RatesArePureAndRegional) {
+  EXPECT_DOUBLE_EQ(TaxCalculator::RateForRegion("OR"), 0.0);
+  EXPECT_GT(TaxCalculator::RateForRegion("WA"), 0.09);
+  EXPECT_EQ(TaxCalculator::RateForRegion("??"), 0.06);
+}
+
+}  // namespace
+}  // namespace phoenix::bookstore

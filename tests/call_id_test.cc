@@ -1,0 +1,66 @@
+#include "runtime/call_id.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(ClientKeyTest, OrderingAndEquality) {
+  ClientKey a{"m1", 1, 5};
+  ClientKey b{"m1", 1, 5};
+  ClientKey c{"m1", 2, 5};
+  ClientKey d{"m2", 1, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_LT(a, d);
+}
+
+TEST(ClientKeyTest, EncodeDecode) {
+  ClientKey key{"machineB", 7, 123456};
+  Encoder enc;
+  key.EncodeTo(enc);
+  Decoder dec(enc.buffer());
+  Result<ClientKey> out = ClientKey::DecodeFrom(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, key);
+}
+
+TEST(CallIdTest, EncodeDecodeAndToString) {
+  CallId id{ClientKey{"m", 2, 9}, 77};
+  Encoder enc;
+  id.EncodeTo(enc);
+  Decoder dec(enc.buffer());
+  Result<CallId> out = CallId::DecodeFrom(dec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, id);
+  EXPECT_EQ(id.ToString(), "m/2/9#77");
+}
+
+TEST(UriTest, MakeAndParse) {
+  std::string uri = MakeComponentUri("alpha", 3, "store1");
+  EXPECT_EQ(uri, "phx://alpha/3/store1");
+  Result<ParsedUri> parsed = ParseComponentUri(uri);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->machine, "alpha");
+  EXPECT_EQ(parsed->process_id, 3u);
+  EXPECT_EQ(parsed->component_name, "store1");
+}
+
+TEST(UriTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseComponentUri("http://alpha/3/x").ok());
+  EXPECT_FALSE(ParseComponentUri("phx://alpha/3").ok());
+  EXPECT_FALSE(ParseComponentUri("phx://alpha/notanumber/x").ok());
+  EXPECT_FALSE(ParseComponentUri("phx:///3/x").ok());
+  EXPECT_FALSE(ParseComponentUri("phx://alpha/3/").ok());
+  EXPECT_FALSE(ParseComponentUri("").ok());
+}
+
+TEST(UriTest, RoundTripsComponentNamesWithUnderscores) {
+  std::string uri = MakeComponentUri("m", 1, "seller_basket_buyer42");
+  Result<ParsedUri> parsed = ParseComponentUri(uri);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->component_name, "seller_basket_buyer42");
+}
+
+}  // namespace
+}  // namespace phoenix

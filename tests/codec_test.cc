@@ -1,0 +1,125 @@
+#include "serde/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(CodecTest, PrimitiveRoundTrip) {
+  Encoder enc;
+  enc.PutU8(7);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutVarint(300);
+  enc.PutDouble(3.25);
+  enc.PutString("phoenix");
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetU8().value(), 7);
+  EXPECT_EQ(dec.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.GetVarint().value(), 300u);
+  EXPECT_EQ(dec.GetDouble().value(), 3.25);
+  EXPECT_EQ(dec.GetString().value(), "phoenix");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{16383}, uint64_t{16384}, ~uint64_t{0}}) {
+    Encoder enc;
+    enc.PutVarint(v);
+    Decoder dec(enc.buffer());
+    EXPECT_EQ(dec.GetVarint().value(), v);
+  }
+}
+
+TEST(CodecTest, TruncatedInputsFailWithCorruption) {
+  Encoder enc;
+  enc.PutU64(42);
+  Decoder dec(enc.buffer().data(), 3);
+  EXPECT_TRUE(dec.GetU64().status().IsCorruption());
+
+  Decoder empty(nullptr, 0);
+  EXPECT_TRUE(empty.GetU8().status().IsCorruption());
+  EXPECT_TRUE(empty.GetVarint().status().IsCorruption());
+  EXPECT_TRUE(empty.GetString().status().IsCorruption());
+}
+
+TEST(CodecTest, TruncatedStringBody) {
+  Encoder enc;
+  enc.PutString("hello world");
+  Decoder dec(enc.buffer().data(), 4);  // length varint + partial body
+  EXPECT_TRUE(dec.GetString().status().IsCorruption());
+}
+
+TEST(CodecTest, ValueRoundTripAllKinds) {
+  Value::List inner;
+  inner.push_back(Value(int64_t{-5}));
+  inner.push_back(Value("nested"));
+  Value::Bytes bytes;
+  bytes.data = {1, 2, 3, 255};
+
+  std::vector<Value> values;
+  values.push_back(Value());
+  values.push_back(Value(true));
+  values.push_back(Value(false));
+  values.push_back(Value(int64_t{-1234567}));
+  values.push_back(Value(2.71828));
+  values.push_back(Value(std::string("strings work")));
+  values.push_back(Value(bytes));
+  values.push_back(Value(std::move(inner)));
+
+  for (const Value& v : values) {
+    Encoder enc;
+    enc.PutValue(v);
+    Decoder dec(enc.buffer());
+    Result<Value> decoded = dec.GetValue();
+    ASSERT_TRUE(decoded.ok()) << v.ToString();
+    EXPECT_EQ(*decoded, v) << v.ToString();
+    EXPECT_TRUE(dec.exhausted());
+  }
+}
+
+TEST(CodecTest, ZigZagNegativeIntsStaySmall) {
+  Encoder enc;
+  enc.PutValue(Value(int64_t{-1}));
+  EXPECT_LE(enc.size(), 3u);  // tag + 1-byte zigzag varint
+}
+
+TEST(CodecTest, ArgListRoundTrip) {
+  ArgList args = MakeArgs(int64_t{1}, "two", 3.0, true);
+  Encoder enc;
+  enc.PutArgList(args);
+  Decoder dec(enc.buffer());
+  Result<ArgList> decoded = dec.GetArgList();
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], args[i]);
+  }
+}
+
+TEST(CodecTest, BadValueTagIsCorruption) {
+  std::vector<uint8_t> bad = {99};
+  Decoder dec(bad);
+  EXPECT_TRUE(dec.GetValue().status().IsCorruption());
+}
+
+TEST(CodecTest, DeeplyNestedLists) {
+  Value v(int64_t{7});
+  for (int i = 0; i < 20; ++i) {
+    Value::List wrap;
+    wrap.push_back(std::move(v));
+    v = Value(std::move(wrap));
+  }
+  Encoder enc;
+  enc.PutValue(v);
+  Decoder dec(enc.buffer());
+  Result<Value> decoded = dec.GetValue();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, v);
+}
+
+}  // namespace
+}  // namespace phoenix

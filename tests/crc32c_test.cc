@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace phoenix {
+namespace {
+
+TEST(Crc32cTest, KnownVector) {
+  // Canonical CRC-32C test vector: "123456789" -> 0xE3069283.
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32c(s.data(), s.size()), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(Crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::string a = "phoenix recovery log";
+  uint32_t base = Crc32c(a.data(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::string b = a;
+    b[i] ^= 0x01;
+    EXPECT_NE(Crc32c(b.data(), b.size()), base) << "byte " << i;
+  }
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  std::string s = "split into pieces";
+  uint32_t one_shot = Crc32c(s.data(), s.size());
+  uint32_t crc = 0;
+  crc = Crc32cExtend(crc, s.data(), 5);
+  crc = Crc32cExtend(crc, s.data() + 5, s.size() - 5);
+  EXPECT_EQ(crc, one_shot);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,215 @@
+// The paper's core guarantee (§2.2): for persistent components calling
+// persistent components, state changes after crashes are exactly the same
+// as in a failure-free run — for every failure point of Figure 2, in every
+// logging mode, with and without checkpoints.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "recovery/recovery_service.h"
+#include "tests/test_components.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::RegisterTestComponents;
+
+struct Scenario {
+  LoggingMode mode;
+  FailurePoint point;
+  uint64_t fire_on_hit;
+  uint32_t save_state_every;  // 0 = no checkpointing
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  std::string name =
+      s.mode == LoggingMode::kBaseline ? "baseline_" : "optimized_";
+  name += FailurePointName(s.point);
+  name += "_hit" + std::to_string(s.fire_on_hit);
+  name += s.save_state_every > 0 ? "_ckpt" : "_nockpt";
+  return name;
+}
+
+// Workload: an external program calls a persistent "driver" tier whose
+// process never crashes; the driver forwards to a persistent "mid" tier on
+// machine alpha, which forwards to a persistent "leaf" counter on machine
+// beta. A crash is injected into mid's process at the parameterized
+// point/occurrence. Invariant: final driver/mid/leaf states equal the
+// failure-free run's — the crash is fully masked because mid's clients are
+// persistent (the external edge never fails here; its window is tested in
+// window_of_vulnerability_test.cc).
+class ExactlyOnceTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  struct Outcome {
+    int64_t driver = 0;
+    int64_t mid = 0;
+    int64_t leaf = 0;
+    uint64_t crashes = 0;
+  };
+
+  Outcome Run(bool inject) {
+    const Scenario& s = GetParam();
+    RuntimeOptions opts;
+    opts.logging_mode = s.mode;
+    opts.save_context_state_every = s.save_state_every;
+    Simulation sim(opts);
+    RegisterTestComponents(sim.factories());
+    Machine& alpha = sim.AddMachine("alpha");
+    Machine& beta = sim.AddMachine("beta");
+    Process& driver_proc = alpha.CreateProcess();
+    Process& mid_proc = alpha.CreateProcess();
+    Process& leaf_proc = beta.CreateProcess();
+
+    ExternalClient admin(&sim, "alpha");
+    auto leaf = admin.CreateComponent(leaf_proc, "Counter", "leaf",
+                                      ComponentKind::kPersistent, {});
+    EXPECT_TRUE(leaf.ok());
+    auto mid = admin.CreateComponent(mid_proc, "Chain", "mid",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*leaf));
+    EXPECT_TRUE(mid.ok());
+    auto driver = admin.CreateComponent(driver_proc, "Chain", "driver",
+                                        ComponentKind::kPersistent,
+                                        MakeArgs(*mid, "Bump"));
+    EXPECT_TRUE(driver.ok());
+
+    if (inject) {
+      sim.injector().AddTrigger("alpha", mid_proc.pid(), s.point,
+                                s.fire_on_hit);
+    }
+
+    ExternalClient program(&sim, "alpha");
+    for (int i = 1; i <= 6; ++i) {
+      auto r = program.Call(*driver, "Bump", MakeArgs(i));
+      EXPECT_TRUE(r.ok()) << "call " << i << ": " << r.status().ToString();
+    }
+
+    Outcome out;
+    out.crashes = sim.injector().crashes_fired();
+    out.driver = program.Call(*driver, "Get", {})->AsInt();
+    out.mid = program.Call(*mid, "Get", {})->AsInt();
+    out.leaf = program.Call(*leaf, "Get", {})->AsInt();
+    return out;
+  }
+};
+
+TEST_P(ExactlyOnceTest, StateMatchesFailureFreeRun) {
+  Outcome clean = Run(/*inject=*/false);
+  EXPECT_EQ(clean.driver, 21);
+  EXPECT_EQ(clean.mid, 21);
+  EXPECT_EQ(clean.leaf, 21);
+
+  Outcome crashed = Run(/*inject=*/true);
+  EXPECT_EQ(crashed.crashes, 1u) << "the schedule must actually fire";
+  EXPECT_EQ(crashed.driver, clean.driver);
+  EXPECT_EQ(crashed.mid, clean.mid);
+  EXPECT_EQ(crashed.leaf, clean.leaf);
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> scenarios;
+  for (LoggingMode mode : {LoggingMode::kBaseline, LoggingMode::kOptimized}) {
+    for (FailurePoint point :
+         {FailurePoint::kBeforeIncomingLogged,
+          FailurePoint::kAfterIncomingLogged,
+          FailurePoint::kBeforeOutgoingSend, FailurePoint::kAfterOutgoingReply,
+          FailurePoint::kBeforeReplySend, FailurePoint::kAfterReplySend}) {
+      for (uint64_t hit : {uint64_t{1}, uint64_t{3}}) {
+        for (uint32_t every : {uint32_t{0}, uint32_t{2}}) {
+          scenarios.push_back(Scenario{mode, point, hit, every});
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFailurePoints, ExactlyOnceTest,
+                         ::testing::ValuesIn(AllScenarios()), ScenarioName);
+
+// Crashing the *downstream* (leaf) process must also be masked: mid's
+// interceptor retries with the same ID until the leaf answers.
+class DownstreamCrashTest : public ::testing::TestWithParam<FailurePoint> {};
+
+TEST_P(DownstreamCrashTest, LeafCrashMaskedFromDriver) {
+  RuntimeOptions opts;
+  Simulation sim(opts);
+  RegisterTestComponents(sim.factories());
+  Machine& alpha = sim.AddMachine("alpha");
+  Machine& beta = sim.AddMachine("beta");
+  Process& mid_proc = alpha.CreateProcess();
+  Process& leaf_proc = beta.CreateProcess();
+
+  ExternalClient admin(&sim, "alpha");
+  auto leaf = admin.CreateComponent(leaf_proc, "Counter", "leaf",
+                                    ComponentKind::kPersistent, {});
+  auto mid = admin.CreateComponent(mid_proc, "Chain", "mid",
+                                   ComponentKind::kPersistent, MakeArgs(*leaf));
+  ASSERT_TRUE(mid.ok());
+
+  sim.injector().AddTrigger("beta", leaf_proc.pid(), GetParam(), 2);
+
+  ExternalClient driver(&sim, "alpha");
+  for (int i = 1; i <= 4; ++i) {
+    auto r = driver.Call(*mid, "Bump", MakeArgs(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(sim.injector().crashes_fired(), 1u);
+  EXPECT_EQ(driver.Call(*leaf, "Get", {})->AsInt(), 10);
+  EXPECT_EQ(driver.Call(*mid, "Get", {})->AsInt(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LeafPoints, DownstreamCrashTest,
+    ::testing::Values(FailurePoint::kBeforeIncomingLogged,
+                      FailurePoint::kAfterIncomingLogged,
+                      FailurePoint::kBeforeReplySend,
+                      FailurePoint::kAfterReplySend),
+    [](const ::testing::TestParamInfo<FailurePoint>& info) {
+      return FailurePointName(info.param);
+    });
+
+// Both the middle and leaf tiers crash at different times within one run;
+// the never-crashing persistent driver masks everything from the program.
+TEST(ExactlyOnceMultiCrashTest, IndependentCrashesInBothTiers) {
+  RuntimeOptions opts;
+  Simulation sim(opts);
+  RegisterTestComponents(sim.factories());
+  Machine& alpha = sim.AddMachine("alpha");
+  Machine& beta = sim.AddMachine("beta");
+  Process& driver_proc = alpha.CreateProcess();
+  Process& mid_proc = alpha.CreateProcess();
+  Process& leaf_proc = beta.CreateProcess();
+
+  ExternalClient admin(&sim, "alpha");
+  auto leaf = admin.CreateComponent(leaf_proc, "Counter", "leaf",
+                                    ComponentKind::kPersistent, {});
+  auto mid = admin.CreateComponent(mid_proc, "Chain", "mid",
+                                   ComponentKind::kPersistent, MakeArgs(*leaf));
+  auto driver = admin.CreateComponent(driver_proc, "Chain", "driver",
+                                      ComponentKind::kPersistent,
+                                      MakeArgs(*mid, "Bump"));
+  ASSERT_TRUE(driver.ok());
+
+  sim.injector().AddTrigger("alpha", mid_proc.pid(),
+                            FailurePoint::kBeforeOutgoingSend, 2);
+  sim.injector().AddTrigger("beta", leaf_proc.pid(),
+                            FailurePoint::kBeforeReplySend, 4);
+  sim.injector().AddTrigger("alpha", mid_proc.pid(),
+                            FailurePoint::kAfterReplySend, 5);
+
+  ExternalClient program(&sim, "alpha");
+  for (int i = 1; i <= 6; ++i) {
+    auto r = program.Call(*driver, "Bump", MakeArgs(i));
+    ASSERT_TRUE(r.ok()) << "call " << i << ": " << r.status().ToString();
+  }
+  EXPECT_EQ(sim.injector().crashes_fired(), 3u);
+  EXPECT_EQ(program.Call(*driver, "Get", {})->AsInt(), 21);
+  EXPECT_EQ(program.Call(*mid, "Get", {})->AsInt(), 21);
+  EXPECT_EQ(program.Call(*leaf, "Get", {})->AsInt(), 21);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,78 @@
+#include "sim/failure_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(FailureInjectorTest, TriggerFiresOnNthHit) {
+  FailureInjector injector;
+  injector.AddTrigger("m", 1, FailurePoint::kBeforeReplySend, 3);
+  EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend));
+  EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend));
+  EXPECT_TRUE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend));
+  // One-shot: does not fire again.
+  EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend));
+  EXPECT_EQ(injector.crashes_fired(), 1u);
+}
+
+TEST(FailureInjectorTest, TriggersAreKeyedByProcessAndPoint) {
+  FailureInjector injector;
+  injector.AddTrigger("m", 1, FailurePoint::kBeforeOutgoingSend, 1);
+  EXPECT_FALSE(injector.ShouldCrash("m", 2, FailurePoint::kBeforeOutgoingSend));
+  EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kAfterReplySend));
+  EXPECT_FALSE(injector.ShouldCrash("n", 1, FailurePoint::kBeforeOutgoingSend));
+  EXPECT_TRUE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeOutgoingSend));
+}
+
+TEST(FailureInjectorTest, MultipleTriggersSameKey) {
+  FailureInjector injector;
+  injector.AddTrigger("m", 1, FailurePoint::kAfterIncomingLogged, 1);
+  injector.AddTrigger("m", 1, FailurePoint::kAfterIncomingLogged, 3);
+  EXPECT_TRUE(injector.ShouldCrash("m", 1, FailurePoint::kAfterIncomingLogged));
+  EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kAfterIncomingLogged));
+  EXPECT_TRUE(injector.ShouldCrash("m", 1, FailurePoint::kAfterIncomingLogged));
+  EXPECT_EQ(injector.crashes_fired(), 2u);
+}
+
+TEST(FailureInjectorTest, HitCountsPersistAcrossNonFiringHits) {
+  FailureInjector injector;
+  for (int i = 0; i < 5; ++i) {
+    injector.ShouldCrash("m", 7, FailurePoint::kBeforeIncomingLogged);
+  }
+  EXPECT_EQ(injector.HitCount("m", 7, FailurePoint::kBeforeIncomingLogged), 5u);
+  EXPECT_EQ(injector.HitCount("m", 7, FailurePoint::kAfterReplySend), 0u);
+}
+
+TEST(FailureInjectorTest, RandomCrashesAreSeededAndBounded) {
+  FailureInjector a, b;
+  a.EnableRandomCrashes(0.3, 12345);
+  b.EnableRandomCrashes(0.3, 12345);
+  int fired_a = 0, fired_b = 0;
+  for (int i = 0; i < 300; ++i) {
+    fired_a += a.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend) ? 1 : 0;
+    fired_b += b.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend) ? 1 : 0;
+  }
+  EXPECT_EQ(fired_a, fired_b);  // reproducible
+  EXPECT_GT(fired_a, 50);
+  EXPECT_LT(fired_a, 150);
+}
+
+TEST(FailureInjectorTest, ClearResetsEverything) {
+  FailureInjector injector;
+  injector.AddTrigger("m", 1, FailurePoint::kBeforeReplySend, 1);
+  injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend);
+  injector.Clear();
+  EXPECT_EQ(injector.crashes_fired(), 0u);
+  EXPECT_EQ(injector.HitCount("m", 1, FailurePoint::kBeforeReplySend), 0u);
+  EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend));
+}
+
+TEST(FailureInjectorTest, AllPointsHaveNames) {
+  for (int p = 0; p < kNumFailurePoints; ++p) {
+    EXPECT_STRNE(FailurePointName(static_cast<FailurePoint>(p)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

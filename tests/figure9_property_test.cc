@@ -1,0 +1,95 @@
+// Parameterized property sweep over the disk model's Figure 9 behavior:
+// for ANY inserted delay, elapsed time per iteration equals the delay
+// rounded up to the next rotation boundary (plus transfer), and latency is
+// always bounded by one rotation + seek + settle + transfer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "sim/disk_model.h"
+#include "sim/sim_clock.h"
+
+namespace phoenix {
+namespace {
+
+class StaircaseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StaircaseTest, ElapsedRoundsUpToRotationBoundary) {
+  const double delay = GetParam();
+  DiskParams params;
+  params.spindle_tolerance = 0;  // exact nominal period for the math below
+  DiskModel disk(params, 11);
+  SimClock clock;
+
+  const int kIters = 120;
+  double start = clock.NowMs();
+  for (int i = 0; i < kIters; ++i) {
+    clock.AdvanceMs(disk.WriteLatencyMs(clock.NowMs(), 1024));
+    clock.AdvanceMs(delay);
+  }
+  double per_iter = (clock.NowMs() - start) / kIters;
+
+  const double rotation = params.rotation_ms;
+  // Distance from (delay + transfer/settle) to the nearest rotation
+  // boundary: at a step edge the per-write jitter straddles the boundary
+  // and the average legitimately lands mid-step (Figure 9's transitions
+  // are steep, not instantaneous).
+  double phase = std::fmod(delay + 0.2, rotation);
+  double to_edge = std::min(phase, rotation - phase);
+  if (to_edge > 0.6) {
+    // Firmly inside a step: elapsed rounds up to the rotation boundary.
+    double steps = std::ceil((per_iter - 0.75) / rotation);
+    EXPECT_NEAR(per_iter, steps * rotation, 0.75) << "delay " << delay;
+  }
+  // Always: you can't finish faster than you wait, and never a whole extra
+  // rotation beyond the ceiling.
+  EXPECT_GE(per_iter, delay);
+  EXPECT_LE(per_iter, (std::floor(delay / rotation) + 2) * rotation + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, StaircaseTest,
+                         ::testing::Values(0.0, 1.0, 3.0, 5.0, 7.0, 9.0, 12.0,
+                                           15.5, 20.0, 24.9, 30.0, 36.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "delay_" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 10));
+                         });
+
+TEST(DiskBoundsTest, LatencyNeverExceedsOneRotationPlusOverheads) {
+  DiskParams params;
+  DiskModel disk(params, 3);
+  Random gaps(77);
+  double now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double latency = disk.WriteLatencyMs(now, 512);
+    EXPECT_GE(latency, 0.0);
+    EXPECT_LE(latency, params.rotation_ms * 1.02 +
+                           params.track_to_track_seek_ms + 0.3 + 0.1);
+    now += latency + gaps.NextDouble() * 20.0;
+  }
+}
+
+TEST(DiskBoundsTest, SpindleToleranceBoundsThePeriod) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    DiskParams params;
+    DiskModel disk(params, seed);
+    EXPECT_GE(disk.period_ms(),
+              params.rotation_ms * (1 - params.spindle_tolerance));
+    EXPECT_LE(disk.period_ms(),
+              params.rotation_ms * (1 + params.spindle_tolerance));
+  }
+}
+
+TEST(DiskBoundsTest, TwoDisksDriftApart) {
+  // The remote-case mechanism (§5.2.2): distinct spindles have distinct
+  // periods, so their relative phase sweeps the whole circle over time.
+  DiskParams params;
+  DiskModel a(params, 1), b(params, 2);
+  EXPECT_NE(a.period_ms(), b.period_ms());
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,186 @@
+// Specialized kinds under crashes: functional and read-only components are
+// stateless — recovery just re-creates them — while read-only *replies*
+// consumed by persistent components must replay from the log (Algorithm 5's
+// whole point: those replies are unrepeatable).
+
+#include <gtest/gtest.h>
+
+#include "recovery/recovery_service.h"
+#include "tests/test_components.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::ExecutionLog;
+using phoenix::testing::RegisterTestComponents;
+
+// Persistent component whose state change depends on an unrepeatable
+// read-only reply: Mix(n) reads the counter (read-only method), then adds
+// n + (read % 3). Replay MUST feed the logged read back, or the state
+// diverges.
+class Mixer : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Mix", [this](const ArgList& a) -> Result<Value> {
+      PHX_ASSIGN_OR_RETURN(Value read, CallRef(counter_, "Get", {}));
+      int64_t delta = a[0].AsInt() + read.AsInt() % 3;
+      PHX_ASSIGN_OR_RETURN(Value result,
+                           CallRef(counter_, "Add", MakeArgs(delta)));
+      mixed_ += delta;
+      return result;
+    });
+    methods.Register(
+        "Mixed",
+        [this](const ArgList&) -> Result<Value> { return Value(mixed_); },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterComponentRef("counter", &counter_);
+    fields.RegisterInt("mixed", &mixed_);
+  }
+  Status Initialize(const ArgList& args) override {
+    counter_.uri = args[0].AsString();
+    return Status::OK();
+  }
+
+ private:
+  ComponentRefField counter_;
+  int64_t mixed_ = 0;
+};
+
+class KindsFailureTest : public ::testing::Test {
+ protected:
+  void SetUpSim() {
+    RuntimeOptions opts;  // optimized + specialized
+    sim_ = std::make_unique<Simulation>(opts);
+    RegisterTestComponents(sim_->factories());
+    sim_->factories().Register<Mixer>("Mixer");
+    alpha_ = &sim_->AddMachine("alpha");
+    server_ = &alpha_->CreateProcess();
+    ExecutionLog::Reset();
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  Machine* alpha_ = nullptr;
+  Process* server_ = nullptr;
+};
+
+TEST_F(KindsFailureTest, StatelessComponentsRecreatedAfterCrash) {
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto fn = client.CreateComponent(*server_, "Squarer", "sq",
+                                   ComponentKind::kFunctional, {});
+  auto counter = client.CreateComponent(*server_, "Counter", "c",
+                                        ComponentKind::kPersistent, {});
+  auto probe = client.CreateComponent(*server_, "Prober", "probe",
+                                      ComponentKind::kReadOnly, {});
+  ASSERT_TRUE(client.Call(*counter, "Add", MakeArgs(9)).ok());
+
+  server_->Kill();
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+
+  EXPECT_EQ(client.Call(*fn, "Square", MakeArgs(4))->AsInt(), 16);
+  EXPECT_EQ(client.Call(*probe, "Probe", MakeArgs(*counter))->AsInt(), 9);
+  // Kinds survive the recovery.
+  EXPECT_EQ(server_->FindComponent("sq")->instance->kind(),
+            ComponentKind::kFunctional);
+  EXPECT_EQ(server_->FindComponent("probe")->instance->kind(),
+            ComponentKind::kReadOnly);
+}
+
+TEST_F(KindsFailureTest, ReadOnlyReplyFedBackDuringReplay) {
+  SetUpSim();
+  ExternalClient admin(sim_.get(), "alpha");
+  Process& mixer_proc = alpha_->CreateProcess();
+  Process& driver_proc = alpha_->CreateProcess();  // never crashed
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  auto mixer_uri = admin.CreateComponent(mixer_proc, "Mixer", "mixer",
+                                         ComponentKind::kPersistent,
+                                         MakeArgs(*counter));
+  ASSERT_TRUE(mixer_uri.ok());
+  // Drive through a persistent tier so the crash is fully masked (the
+  // external edge's window is tested elsewhere).
+  auto mixer = admin.CreateComponent(driver_proc, "Chain", "driver",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*mixer_uri, "Mix"));
+  ASSERT_TRUE(mixer.ok());
+
+  // Failure-free twin run for the expected values.
+  auto expected_run = [&]() {
+    int64_t counter_value = 0;
+    int64_t mixed = 0;
+    for (int i = 1; i <= 4; ++i) {
+      int64_t delta = i + counter_value % 3;
+      counter_value += delta;
+      mixed += delta;
+    }
+    return std::pair<int64_t, int64_t>(counter_value, mixed);
+  };
+
+  for (int i = 1; i <= 2; ++i) {
+    ASSERT_TRUE(admin.Call(*mixer, "Bump", MakeArgs(i)).ok());
+  }
+  // Crash the mixer's process after the Add of call 3 went out but before
+  // its reply commits: the read-only reply of call 3 is on the unforced
+  // log tail, flushed by the Add's send force — replay must feed it back.
+  sim_->injector().AddTrigger("alpha", mixer_proc.pid(),
+                              FailurePoint::kBeforeReplySend, 1);
+  for (int i = 3; i <= 4; ++i) {
+    auto r = admin.Call(*mixer, "Bump", MakeArgs(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(sim_->injector().crashes_fired(), 1u);
+
+  auto [expected_counter, expected_mixed] = expected_run();
+  EXPECT_EQ(admin.Call(*counter, "Get", {})->AsInt(), expected_counter);
+  EXPECT_EQ(admin.Call(*mixer_uri, "Mixed", {})->AsInt(), expected_mixed);
+}
+
+TEST_F(KindsFailureTest, FunctionalHostCrashMaskedByPureRetry) {
+  SetUpSim();
+  ExternalClient admin(sim_.get(), "alpha");
+  Process& driver_proc = alpha_->CreateProcess();
+  auto fn = admin.CreateComponent(*server_, "Squarer", "sq",
+                                  ComponentKind::kFunctional, {});
+  auto driver = admin.CreateComponent(driver_proc, "Chain", "driver",
+                                      ComponentKind::kPersistent,
+                                      MakeArgs(*fn, "Square"));
+  ASSERT_TRUE(driver.ok());
+  ASSERT_TRUE(admin.Call(*driver, "Bump", MakeArgs(3)).ok());  // learn kind
+
+  // Kill the functional host mid-call; the driver retries and purity makes
+  // the re-execution indistinguishable (no IDs, no dedupe needed).
+  sim_->injector().AddTrigger("alpha", server_->pid(),
+                              FailurePoint::kBeforeReplySend, 1);
+  auto r = admin.Call(*driver, "Bump", MakeArgs(4));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(sim_->injector().crashes_fired(), 1u);
+  EXPECT_EQ(admin.Call(*driver, "Get", {})->AsInt(), 7);
+}
+
+TEST_F(KindsFailureTest, SubordinateStateExactAcrossCrashAndCheckpoint) {
+  RuntimeOptions opts;
+  opts.save_context_state_every = 3;
+  sim_ = std::make_unique<Simulation>(opts);
+  RegisterTestComponents(sim_->factories());
+  alpha_ = &sim_->AddMachine("alpha");
+  server_ = &alpha_->CreateProcess();
+
+  ExternalClient client(sim_.get(), "alpha");
+  auto parent = client.CreateComponent(*server_, "ParentWithSub", "p",
+                                       ComponentKind::kPersistent, {});
+  int64_t expected = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(client.Call(*parent, "BumpSub", MakeArgs(i)).ok());
+      expected += i;
+    }
+    server_->Kill();
+    ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+    EXPECT_EQ(client.Call(*parent, "GetSub", {})->AsInt(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

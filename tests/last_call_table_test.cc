@@ -1,0 +1,78 @@
+#include "runtime/last_call_table.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+ClientKey Key(const std::string& m, uint32_t pid, uint64_t cid) {
+  return ClientKey{m, pid, cid};
+}
+
+LastCallEntry Entry(uint64_t seq, uint64_t context_id,
+                    const Value& reply = Value()) {
+  LastCallEntry e;
+  e.seq = seq;
+  e.context_id = context_id;
+  e.reply_in_memory = true;
+  e.reply = reply;
+  return e;
+}
+
+TEST(LastCallTableTest, LookupMissReturnsNull) {
+  LastCallTable table;
+  EXPECT_EQ(table.Lookup(Key("m", 1, 1), 1), nullptr);
+}
+
+TEST(LastCallTableTest, UpdateReplacesOlderEntry) {
+  LastCallTable table;
+  table.Update(Key("m", 1, 1), Entry(1, 7, Value("first")));
+  table.Update(Key("m", 1, 1), Entry(2, 7, Value("second")));
+
+  const LastCallEntry* found = table.Lookup(Key("m", 1, 1), 7);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->seq, 2u);
+  EXPECT_EQ(found->reply, Value("second"));
+  EXPECT_EQ(table.size(), 1u);  // only the last call is kept (§2.3)
+}
+
+TEST(LastCallTableTest, EntriesPerServingContext) {
+  // One client calling two components in the same process keeps the last
+  // call to EACH serving context — required for the §3.5 multi-call
+  // optimization, where replies to several servers may be unforced at the
+  // client and must all be recoverable from the servers.
+  LastCallTable table;
+  table.Update(Key("m", 1, 9), Entry(5, 1, Value("to ctx1")));
+  table.Update(Key("m", 1, 9), Entry(6, 2, Value("to ctx2")));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Lookup(Key("m", 1, 9), 1)->reply, Value("to ctx1"));
+  EXPECT_EQ(table.Lookup(Key("m", 1, 9), 2)->reply, Value("to ctx2"));
+  EXPECT_EQ(table.Lookup(Key("m", 1, 9), 3), nullptr);
+}
+
+TEST(LastCallTableTest, EntriesForContextFilters) {
+  LastCallTable table;
+  for (uint64_t client = 0; client < 6; ++client) {
+    table.Update(Key("m", 1, client), Entry(1, client % 2));
+  }
+  EXPECT_EQ(table.EntriesForContext(0).size(), 3u);
+  EXPECT_EQ(table.EntriesForContext(1).size(), 3u);
+  EXPECT_EQ(table.EntriesForContext(7).size(), 0u);
+}
+
+TEST(LastCallTableTest, MutableLookupAllowsLsnFill) {
+  LastCallTable table;
+  table.Update(Key("m", 1, 1), Entry(1, 4));
+  table.LookupMutable(Key("m", 1, 1), 4)->reply_lsn = 500;
+  EXPECT_EQ(table.Lookup(Key("m", 1, 1), 4)->reply_lsn, 500u);
+}
+
+TEST(LastCallTableTest, ClearEmpties) {
+  LastCallTable table;
+  table.Update(Key("m", 1, 1), Entry(1, 1));
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,77 @@
+#include "wal/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "wal/log_reader.h"
+
+namespace phoenix {
+namespace {
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  LogManagerTest()
+      : disk_(DiskParams{}, 1),
+        manager_("m/p1.log", &storage_, &disk_, &clock_, &costs_) {}
+
+  StableStorage storage_;
+  DiskModel disk_;
+  SimClock clock_;
+  CostModel costs_;
+  LogManager manager_;
+};
+
+TEST_F(LogManagerTest, AppendChargesCpuNotDisk) {
+  double before = clock_.NowMs();
+  manager_.Append(LogRecord(BeginCheckpointRecord{}));
+  EXPECT_NEAR(clock_.NowMs() - before, costs_.log_append_ms, 1e-9);
+}
+
+TEST_F(LogManagerTest, AppendForceReadBack) {
+  IncomingCallRecord rec;
+  rec.context_id = 3;
+  rec.method = "Go";
+  uint64_t lsn = manager_.Append(LogRecord(rec));
+  EXPECT_FALSE(manager_.IsStable(lsn));
+  manager_.Force();
+  EXPECT_TRUE(manager_.IsStable(lsn));
+
+  LogReader reader(manager_.StableLog(), 0);
+  auto parsed = reader.Next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<IncomingCallRecord>(parsed->record).method, "Go");
+}
+
+TEST_F(LogManagerTest, WellKnownFileRoundTrip) {
+  EXPECT_TRUE(manager_.ReadWellKnownLsn().status().IsNotFound());
+  manager_.WriteWellKnownLsn(4242);
+  ASSERT_TRUE(manager_.ReadWellKnownLsn().ok());
+  EXPECT_EQ(*manager_.ReadWellKnownLsn(), 4242u);
+  manager_.WriteWellKnownLsn(5000);  // atomically replaced
+  EXPECT_EQ(*manager_.ReadWellKnownLsn(), 5000u);
+}
+
+TEST_F(LogManagerTest, WellKnownWriteIsForced) {
+  double before = clock_.NowMs();
+  manager_.WriteWellKnownLsn(1);
+  EXPECT_GT(clock_.NowMs(), before);  // paid a disk write
+}
+
+TEST_F(LogManagerTest, DropBufferOnCrash) {
+  manager_.Append(LogRecord(BeginCheckpointRecord{}));
+  manager_.DropBuffer();
+  manager_.Force();  // nothing left to force
+  EXPECT_EQ(manager_.num_forces(), 0u);
+  EXPECT_TRUE(manager_.StableLog().empty());
+}
+
+TEST_F(LogManagerTest, StatsDelegate) {
+  manager_.Append(LogRecord(BeginCheckpointRecord{}));
+  manager_.Append(LogRecord(EndCheckpointRecord{0}));
+  manager_.Force();
+  EXPECT_EQ(manager_.num_appends(), 2u);
+  EXPECT_EQ(manager_.num_forces(), 1u);
+  EXPECT_GT(manager_.bytes_forced(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,187 @@
+#include "wal/log_record.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& record) {
+  Encoder enc;
+  EncodeLogRecord(LogRecord(record), enc);
+  Result<LogRecord> decoded = DecodeLogRecord(enc.buffer().data(), enc.size());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const T* out = std::get_if<T>(&decoded.value());
+  EXPECT_NE(out, nullptr);
+  return *out;
+}
+
+CallId TestCallId() {
+  return CallId{ClientKey{"machineA", 3, 17}, 42};
+}
+
+TEST(LogRecordTest, IncomingCallRoundTrip) {
+  IncomingCallRecord rec;
+  rec.context_id = 5;
+  rec.call_id = TestCallId();
+  rec.method = "Add";
+  rec.args = MakeArgs(int64_t{7}, "x");
+  rec.client_kind = ComponentKind::kPersistent;
+
+  IncomingCallRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.context_id, 5u);
+  EXPECT_EQ(out.call_id, rec.call_id);
+  EXPECT_EQ(out.method, "Add");
+  EXPECT_EQ(out.args, rec.args);
+  EXPECT_EQ(out.client_kind, ComponentKind::kPersistent);
+}
+
+TEST(LogRecordTest, ReplySentLongAndShort) {
+  ReplySentRecord long_rec;
+  long_rec.context_id = 2;
+  long_rec.call_id = TestCallId();
+  long_rec.long_form = true;
+  long_rec.reply = Value("answer");
+  long_rec.status_code = 0;
+  ReplySentRecord out = RoundTrip(long_rec);
+  EXPECT_TRUE(out.long_form);
+  EXPECT_EQ(out.reply, Value("answer"));
+
+  ReplySentRecord short_rec;
+  short_rec.context_id = 2;
+  short_rec.call_id = TestCallId();
+  short_rec.long_form = false;
+  short_rec.status_code = 4;
+  ReplySentRecord out2 = RoundTrip(short_rec);
+  EXPECT_FALSE(out2.long_form);
+  EXPECT_TRUE(out2.reply.is_null());  // short records carry no content
+  EXPECT_EQ(out2.status_code, 4);
+
+  // A short record is genuinely smaller than a long one.
+  Encoder enc_long, enc_short;
+  EncodeLogRecord(LogRecord(long_rec), enc_long);
+  EncodeLogRecord(LogRecord(short_rec), enc_short);
+  EXPECT_LT(enc_short.size(), enc_long.size());
+}
+
+TEST(LogRecordTest, OutgoingCallRoundTrip) {
+  OutgoingCallRecord rec;
+  rec.context_id = 1;
+  rec.call_id = TestCallId();
+  rec.server_uri = "phx://b/1/counter";
+  rec.method = "Add";
+  rec.args = MakeArgs(int64_t{1});
+  OutgoingCallRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.server_uri, rec.server_uri);
+  EXPECT_EQ(out.call_id.seq, 42u);
+}
+
+TEST(LogRecordTest, ReplyReceivedRoundTrip) {
+  ReplyReceivedRecord rec;
+  rec.context_id = 9;
+  rec.seq = 1234;
+  rec.reply = Value(3.5);
+  rec.status_code = 0;
+  rec.server_kind = ComponentKind::kReadOnly;
+  ReplyReceivedRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.seq, 1234u);
+  EXPECT_EQ(out.server_kind, ComponentKind::kReadOnly);
+  EXPECT_EQ(out.reply, Value(3.5));
+}
+
+TEST(LogRecordTest, CreationRoundTrip) {
+  CreationRecord rec;
+  rec.context_id = 4;
+  rec.type_name = "Bookstore";
+  rec.name = "store1";
+  rec.kind = ComponentKind::kPersistent;
+  rec.ctor_args = MakeArgs("Store-1");
+  CreationRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.type_name, "Bookstore");
+  EXPECT_EQ(out.name, "store1");
+  EXPECT_EQ(out.ctor_args, rec.ctor_args);
+}
+
+TEST(LogRecordTest, ContextStateRoundTrip) {
+  ContextStateRecord rec;
+  rec.context_id = 6;
+  rec.last_outgoing_seq = 77;
+  ComponentSnapshot snap;
+  snap.component_id = 6;
+  snap.type_name = "Counter";
+  snap.name = "c";
+  snap.kind = ComponentKind::kPersistent;
+  snap.fields.push_back(FieldSnapshot{"count", Value(int64_t{10}), false});
+  snap.fields.push_back(
+      FieldSnapshot{"peer", Value("phx://a/1/other"), true});
+  rec.components.push_back(snap);
+  rec.last_call_refs.push_back(LastCallRef{TestCallId(), 9001});
+
+  ContextStateRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.last_outgoing_seq, 77u);
+  ASSERT_EQ(out.components.size(), 1u);
+  EXPECT_EQ(out.components[0].fields.size(), 2u);
+  EXPECT_TRUE(out.components[0].fields[1].is_component_ref);
+  ASSERT_EQ(out.last_call_refs.size(), 1u);
+  EXPECT_EQ(out.last_call_refs[0].reply_lsn, 9001u);
+}
+
+TEST(LogRecordTest, CheckpointRecordsRoundTrip) {
+  EXPECT_EQ(RecordTypeOf(LogRecord(BeginCheckpointRecord{})),
+            LogRecordType::kBeginCheckpoint);
+
+  CheckpointContextEntryRecord ctx_entry;
+  ctx_entry.context_id = 3;
+  ctx_entry.recovery_lsn = 555;
+  ctx_entry.last_outgoing_seq = 12;
+  auto ctx_out = RoundTrip(ctx_entry);
+  EXPECT_EQ(ctx_out.recovery_lsn, 555u);
+
+  CheckpointLastCallRecord lc;
+  lc.context_id = 3;
+  lc.call_id = TestCallId();
+  lc.reply_lsn = kInvalidLsn;
+  auto lc_out = RoundTrip(lc);
+  EXPECT_EQ(lc_out.reply_lsn, kInvalidLsn);
+
+  CheckpointRemoteTypeRecord rt;
+  rt.uri = "phx://b/2/tax";
+  rt.kind = ComponentKind::kFunctional;
+  rt.type_name = "TaxCalculator";
+  auto rt_out = RoundTrip(rt);
+  EXPECT_EQ(rt_out.kind, ComponentKind::kFunctional);
+  EXPECT_EQ(rt_out.type_name, "TaxCalculator");
+
+  EndCheckpointRecord end;
+  end.begin_lsn = 100;
+  EXPECT_EQ(RoundTrip(end).begin_lsn, 100u);
+}
+
+TEST(LogRecordTest, LastCallReplyRoundTrip) {
+  LastCallReplyRecord rec;
+  rec.context_id = 8;
+  rec.call_id = TestCallId();
+  rec.reply = Value(MakeArgs(1, 2, 3));
+  rec.status_code = 0;
+  auto out = RoundTrip(rec);
+  EXPECT_EQ(out.reply, rec.reply);
+}
+
+TEST(LogRecordTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage = {200, 1, 2, 3};
+  EXPECT_TRUE(
+      DecodeLogRecord(garbage.data(), garbage.size()).status().IsCorruption());
+  EXPECT_TRUE(DecodeLogRecord(nullptr, 0).status().IsCorruption());
+}
+
+TEST(LogRecordTest, RecordTypeOfMatchesEncoding) {
+  IncomingCallRecord rec;
+  EXPECT_EQ(RecordTypeOf(LogRecord(rec)), LogRecordType::kIncomingCall);
+  Encoder enc;
+  EncodeLogRecord(LogRecord(rec), enc);
+  EXPECT_EQ(enc.buffer()[0],
+            static_cast<uint8_t>(LogRecordType::kIncomingCall));
+}
+
+}  // namespace
+}  // namespace phoenix

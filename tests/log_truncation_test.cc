@@ -1,0 +1,163 @@
+// Log-head garbage collection: checkpoints bound how much log recovery can
+// ever read, so everything older is reclaimable — and recovery from a
+// truncated log must behave identically.
+
+#include <gtest/gtest.h>
+
+#include "recovery/checkpoint_manager.h"
+#include "recovery/recovery_service.h"
+#include "tests/test_components.h"
+#include "wal/log_reader.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::RegisterTestComponents;
+
+class LogTruncationTest : public ::testing::Test {
+ protected:
+  void SetUpSim(RuntimeOptions opts = {}) {
+    sim_ = std::make_unique<Simulation>(opts);
+    RegisterTestComponents(sim_->factories());
+    alpha_ = &sim_->AddMachine("alpha");
+    proc_ = &alpha_->CreateProcess();
+  }
+
+  // Creates a counter, runs `calls` adds, saves state + checkpoint, runs
+  // two more adds (whose force publishes the checkpoint).
+  Result<std::string> BuildWorkload(int calls) {
+    ExternalClient client(sim_.get(), "alpha");
+    PHX_ASSIGN_OR_RETURN(std::string uri,
+                         client.CreateComponent(*proc_, "Counter", "c",
+                                                ComponentKind::kPersistent,
+                                                {}));
+    for (int i = 0; i < calls; ++i) {
+      PHX_RETURN_IF_ERROR(client.Call(uri, "Add", MakeArgs(1)).status());
+    }
+    Context* ctx = proc_->FindContextOfComponent("c");
+    PHX_RETURN_IF_ERROR(
+        proc_->checkpoints().SaveContextState(*ctx).status());
+    PHX_RETURN_IF_ERROR(
+        proc_->checkpoints().TakeProcessCheckpoint().status());
+    PHX_RETURN_IF_ERROR(client.Call(uri, "Add", MakeArgs(1)).status());
+    PHX_RETURN_IF_ERROR(client.Call(uri, "Add", MakeArgs(1)).status());
+    return uri;
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  Machine* alpha_ = nullptr;
+  Process* proc_ = nullptr;
+};
+
+TEST_F(LogTruncationTest, NothingReclaimableBeforeFirstCheckpoint) {
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  EXPECT_EQ(proc_->checkpoints().GarbageCollect(), 0u);
+  EXPECT_EQ(proc_->log().head_base(), 0u);
+}
+
+TEST_F(LogTruncationTest, GcReclaimsPreCheckpointRecords) {
+  SetUpSim();
+  ASSERT_TRUE(BuildWorkload(20).ok());
+  uint64_t size_before = proc_->log().StableLog().size();
+  uint64_t next_before = proc_->log().next_lsn();
+  uint64_t reclaimed = proc_->checkpoints().GarbageCollect();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(proc_->log().head_base(), reclaimed);
+  EXPECT_LT(proc_->log().StableLog().size(), size_before);
+  // LSNs are logical: truncation does not move them.
+  EXPECT_EQ(proc_->log().next_lsn(), next_before);
+}
+
+TEST_F(LogTruncationTest, RecoveryAfterGcIsExact) {
+  SetUpSim();
+  auto uri = BuildWorkload(15);
+  ASSERT_TRUE(uri.ok());
+  ASSERT_GT(proc_->checkpoints().GarbageCollect(), 0u);
+
+  proc_->Kill();
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  ExternalClient client(sim_.get(), "alpha");
+  EXPECT_EQ(client.Call(*uri, "Get", {})->AsInt(), 17);
+}
+
+TEST_F(LogTruncationTest, GcKeepsLiveLastCallReplies) {
+  // A persistent client's last-call reply record written before the state
+  // save must survive GC: a duplicate may still need it after recovery.
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  CallMessage msg;
+  msg.target_uri = *uri;
+  msg.method = "Add";
+  msg.args = MakeArgs(42);
+  msg.has_call_id = true;
+  msg.call_id = CallId{ClientKey{"ghost", 9, 9}, 7};
+  msg.has_sender_info = true;
+  msg.sender_kind = ComponentKind::kPersistent;
+  ASSERT_TRUE(sim_->RouteCall("alpha", msg).ok());
+
+  Context* ctx = proc_->FindContextOfComponent("c");
+  ASSERT_TRUE(proc_->checkpoints().SaveContextState(*ctx).ok());
+  ASSERT_TRUE(proc_->checkpoints().TakeProcessCheckpoint().ok());
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());  // publish
+
+  uint64_t reply_lsn =
+      proc_->last_calls().Lookup(ClientKey{"ghost", 9, 9}, ctx->id())
+          ->reply_lsn;
+  ASSERT_NE(reply_lsn, kInvalidLsn);
+  proc_->checkpoints().GarbageCollect();
+  EXPECT_LE(proc_->log().head_base(), reply_lsn);  // kept
+
+  proc_->Kill();
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  Result<ReplyMessage> dup = sim_->RouteCall("alpha", msg);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->value.AsInt(), 42);
+}
+
+TEST_F(LogTruncationTest, AutoTruncateOnPublish) {
+  RuntimeOptions opts;
+  opts.auto_truncate_log = true;
+  opts.save_context_state_every = 10;
+  opts.process_checkpoint_every = 20;
+  SetUpSim(opts);
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  }
+  EXPECT_GT(proc_->log().head_base(), 0u);  // GC happened along the way
+
+  proc_->Kill();
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  EXPECT_EQ(client.Call(*uri, "Get", {})->AsInt(), 60);
+}
+
+TEST_F(LogTruncationTest, ReadBelowBaseIsCorruption) {
+  SetUpSim();
+  ASSERT_TRUE(BuildWorkload(10).ok());
+  ASSERT_GT(proc_->checkpoints().GarbageCollect(), 0u);
+  EXPECT_TRUE(
+      ReadRecordAt(proc_->log().StableView(), 0).status().IsCorruption());
+}
+
+TEST_F(LogTruncationTest, TrimIsMonotoneAndIdempotent) {
+  SetUpSim();
+  ASSERT_TRUE(BuildWorkload(10).ok());
+  uint64_t first = proc_->checkpoints().GarbageCollect();
+  ASSERT_GT(first, 0u);
+  // Second run with no new checkpoint reclaims nothing further.
+  EXPECT_EQ(proc_->checkpoints().GarbageCollect(), 0u);
+  // Trimming backwards is a no-op.
+  proc_->log().TrimHead(0);
+  EXPECT_EQ(proc_->log().head_base(), first);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,49 @@
+#include "runtime/method_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(MethodRegistryTest, RegisterAndDispatch) {
+  MethodRegistry reg;
+  reg.Register("Double", [](const ArgList& a) -> Result<Value> {
+    return Value(a[0].AsInt() * 2);
+  });
+  const MethodEntry* entry = reg.Find("Double");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->handler(MakeArgs(21)).value(), Value(int64_t{42}));
+  EXPECT_FALSE(entry->traits.read_only);
+}
+
+TEST(MethodRegistryTest, MissingMethodIsNull) {
+  MethodRegistry reg;
+  EXPECT_EQ(reg.Find("nope"), nullptr);
+}
+
+TEST(MethodRegistryTest, ReadOnlyTrait) {
+  MethodRegistry reg;
+  reg.Register(
+      "Get", [](const ArgList&) -> Result<Value> { return Value(0); },
+      MethodTraits{.read_only = true});
+  EXPECT_TRUE(reg.Find("Get")->traits.read_only);
+}
+
+TEST(MethodRegistryTest, HandlerCanReturnError) {
+  MethodRegistry reg;
+  reg.Register("Boom", [](const ArgList&) -> Result<Value> {
+    return Status::FailedPrecondition("boom");
+  });
+  EXPECT_EQ(reg.Find("Boom")->handler({}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MethodRegistryTest, EntriesEnumerable) {
+  MethodRegistry reg;
+  reg.Register("A", [](const ArgList&) -> Result<Value> { return Value(); });
+  reg.Register("B", [](const ArgList&) -> Result<Value> { return Value(); });
+  EXPECT_EQ(reg.entries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,141 @@
+// Process-level behavior: the activator, component tables, lifecycle, and
+// call-delivery errors.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_components.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::RegisterTestComponents;
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  ProcessTest() {
+    sim_ = std::make_unique<Simulation>();
+    RegisterTestComponents(sim_->factories());
+    alpha_ = &sim_->AddMachine("alpha");
+    proc_ = &alpha_->CreateProcess();
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  Machine* alpha_ = nullptr;
+  Process* proc_ = nullptr;
+};
+
+TEST_F(ProcessTest, IdentityAndNames) {
+  EXPECT_EQ(proc_->pid(), 1u);
+  EXPECT_EQ(proc_->machine_name(), "alpha");
+  EXPECT_EQ(proc_->log_name(), "alpha/proc1.log");
+  EXPECT_EQ(proc_->ActivatorUri(), "phx://alpha/1/_activator");
+  EXPECT_TRUE(proc_->alive());
+}
+
+TEST_F(ProcessTest, PidsAssignedSequentiallyByRecoveryService) {
+  Process& p2 = alpha_->CreateProcess();
+  Process& p3 = alpha_->CreateProcess();
+  EXPECT_EQ(p2.pid(), 2u);
+  EXPECT_EQ(p3.pid(), 3u);
+  EXPECT_EQ(alpha_->GetProcess(2), &p2);
+  EXPECT_EQ(alpha_->GetProcess(42), nullptr);
+}
+
+TEST_F(ProcessTest, ActivatorValidatesArguments) {
+  ExternalClient client(sim_.get(), "alpha");
+  auto bad = client.Call(proc_->ActivatorUri(), "Create", MakeArgs(1, 2));
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProcessTest, CreateRejectsExternalAndSubordinateKinds) {
+  auto ext = proc_->CreateComponent("Counter", "x", ComponentKind::kExternal,
+                                    {});
+  EXPECT_EQ(ext.status().code(), StatusCode::kInvalidArgument);
+  auto sub = proc_->CreateComponent("Counter", "y",
+                                    ComponentKind::kSubordinate, {});
+  EXPECT_EQ(sub.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProcessTest, CreateAssignsSequentialContextIds) {
+  auto a = proc_->CreateComponent("Counter", "a", ComponentKind::kPersistent,
+                                  {});
+  auto b = proc_->CreateComponent("Counter", "b", ComponentKind::kPersistent,
+                                  {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(proc_->FindContextOfComponent("a")->id(), 1u);
+  EXPECT_EQ(proc_->FindContextOfComponent("b")->id(), 2u);
+  EXPECT_EQ(proc_->FindComponent("a")->instance->name(), "a");
+  EXPECT_EQ(proc_->FindComponent("zzz"), nullptr);
+}
+
+TEST_F(ProcessTest, InitializeFailurePropagates) {
+  // Chain's Initialize requires a string downstream when args are given.
+  auto r = proc_->CreateComponent("Bad?", "b", ComponentKind::kPersistent, {});
+  EXPECT_TRUE(r.status().IsNotFound());  // unknown factory
+}
+
+TEST_F(ProcessTest, DeliverToDeadProcessIsUnavailable) {
+  auto uri = proc_->CreateComponent("Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  proc_->Kill();
+  CallMessage msg;
+  msg.target_uri = *uri;
+  msg.method = "Get";
+  EXPECT_TRUE(proc_->DeliverCall(msg).status().IsUnavailable());
+  EXPECT_FALSE(proc_->alive());
+  EXPECT_EQ(proc_->crash_count(), 1u);
+}
+
+TEST_F(ProcessTest, KillIsIdempotent) {
+  proc_->Kill();
+  proc_->Kill();
+  EXPECT_EQ(proc_->crash_count(), 1u);
+}
+
+TEST_F(ProcessTest, StartResetsVolatileState) {
+  auto uri = proc_->CreateComponent("Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  ASSERT_TRUE(uri.ok());
+  proc_->Kill();
+  proc_->Start();  // bare start, no recovery
+  EXPECT_TRUE(proc_->alive());
+  EXPECT_EQ(proc_->FindComponent("c"), nullptr);  // volatile tables empty
+  EXPECT_NE(proc_->FindComponent(kActivatorName), nullptr);
+}
+
+TEST_F(ProcessTest, ActivatorIsCallableComponent) {
+  ExternalClient client(sim_.get(), "alpha");
+  auto created =
+      client.Call(proc_->ActivatorUri(), "Create",
+                  MakeArgs("Counter", "via_activator",
+                           static_cast<int64_t>(ComponentKind::kPersistent),
+                           Value::List{}));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->AsString(), "phx://alpha/1/via_activator");
+  EXPECT_TRUE(client.Call(created->AsString(), "Add", MakeArgs(1)).ok());
+}
+
+TEST_F(ProcessTest, ComponentUriRoundTrips) {
+  auto uri = proc_->CreateComponent("Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  ComponentSlot* slot = proc_->FindComponent("c");
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->instance->uri(), *uri);
+  EXPECT_EQ(slot->instance->kind(), ComponentKind::kPersistent);
+  EXPECT_EQ(slot->instance->type_name(), "Counter");
+}
+
+TEST_F(ProcessTest, ComponentKindNamesAreStable) {
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kExternal), "external");
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kPersistent), "persistent");
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kSubordinate), "subordinate");
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kFunctional), "functional");
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kReadOnly), "read_only");
+  EXPECT_TRUE(IsStatefulKind(ComponentKind::kSubordinate));
+  EXPECT_FALSE(IsStatefulKind(ComponentKind::kFunctional));
+  EXPECT_FALSE(IsPhoenixKind(ComponentKind::kExternal));
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,63 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, UniformWithinBounds) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.Uniform(10), 10u);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(9);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);  // roughly uniform
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(11);
+  EXPECT_FALSE(r.Bernoulli(0.0));
+  EXPECT_TRUE(r.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 1000; ++i) heads += r.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads, 250, 60);
+}
+
+}  // namespace
+}  // namespace phoenix

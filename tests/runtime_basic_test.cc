@@ -1,0 +1,273 @@
+// End-to-end runtime behavior without failures: creation, calls across
+// contexts/processes/machines, force accounting per logging mode, duplicate
+// elimination, and the single-threaded-context guarantee.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_components.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::ExecutionLog;
+using phoenix::testing::RegisterTestComponents;
+
+class RuntimeBasicTest : public ::testing::Test {
+ protected:
+  void SetUpSim(RuntimeOptions opts) {
+    sim_ = std::make_unique<Simulation>(opts);
+    RegisterTestComponents(sim_->factories());
+    alpha_ = &sim_->AddMachine("alpha");
+    beta_ = &sim_->AddMachine("beta");
+    server_ = &alpha_->CreateProcess();
+    ExecutionLog::Reset();
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  Machine* alpha_ = nullptr;
+  Machine* beta_ = nullptr;
+  Process* server_ = nullptr;
+};
+
+TEST_F(RuntimeBasicTest, CreateAndCallCounter) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*server_, "Counter", "c1",
+                                    ComponentKind::kPersistent, {});
+  ASSERT_TRUE(uri.ok()) << uri.status().ToString();
+  EXPECT_EQ(*uri, "phx://alpha/1/c1");
+
+  auto r1 = client.Call(*uri, "Add", MakeArgs(5));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->AsInt(), 5);
+  auto r2 = client.Call(*uri, "Add", MakeArgs(3));
+  EXPECT_EQ(r2->AsInt(), 8);
+  auto got = client.Call(*uri, "Get", {});
+  EXPECT_EQ(got->AsInt(), 8);
+}
+
+TEST_F(RuntimeBasicTest, CreateIsIdempotentPerName) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient client(sim_.get(), "alpha");
+  auto first = client.CreateComponent(*server_, "Counter", "c1",
+                                      ComponentKind::kPersistent, {});
+  auto second = client.CreateComponent(*server_, "Counter", "c1",
+                                       ComponentKind::kPersistent, {});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+TEST_F(RuntimeBasicTest, UnknownTypeFailsCreation) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient client(sim_.get(), "alpha");
+  auto r = client.CreateComponent(*server_, "NoSuchType", "x",
+                                  ComponentKind::kPersistent, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RuntimeBasicTest, UnknownMethodIsAppError) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*server_, "Counter", "c1",
+                                    ComponentKind::kPersistent, {});
+  auto r = client.Call(*uri, "NoSuchMethod", {});
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(RuntimeBasicTest, AppErrorReplyPropagates) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*server_, "Counter", "c1",
+                                    ComponentKind::kPersistent, {});
+  auto r = client.Call(*uri, "Fail", {});
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RuntimeBasicTest, CrossProcessPersistentChain) {
+  SetUpSim(RuntimeOptions{});
+  Process& downstream_proc = beta_->CreateProcess();
+  ExternalClient client(sim_.get(), "alpha");
+  auto counter = client.CreateComponent(downstream_proc, "Counter", "leaf",
+                                        ComponentKind::kPersistent, {});
+  ASSERT_TRUE(counter.ok());
+  auto chain = client.CreateComponent(*server_, "Chain", "mid",
+                                      ComponentKind::kPersistent,
+                                      MakeArgs(*counter));
+  ASSERT_TRUE(chain.ok());
+
+  auto r = client.Call(*chain, "Bump", MakeArgs(4));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->AsInt(), 4);
+  auto leaf = client.Call(*counter, "Get", {});
+  EXPECT_EQ(leaf->AsInt(), 4);
+}
+
+TEST_F(RuntimeBasicTest, BaselineForcesSixAcrossDriverCall) {
+  RuntimeOptions opts;
+  opts.logging_mode = LoggingMode::kBaseline;
+  opts.use_specialized_kinds = false;
+  SetUpSim(opts);
+  Process& client_proc = alpha_->CreateProcess();
+  ExternalClient admin(sim_.get(), "alpha");
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  auto chain = admin.CreateComponent(client_proc, "Chain", "driver",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*counter));
+  ASSERT_TRUE(chain.ok());
+
+  // Each driver.Bump makes exactly one outgoing persistent->persistent
+  // call; Algorithm 1 forces messages 3 and 4 at the client and messages 1
+  // and 2 at the server. The external call into the driver adds 2 more at
+  // the driver's process.
+  uint64_t before = sim_->TotalForces();
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(1)).ok());
+  EXPECT_EQ(sim_->TotalForces() - before, 6u);
+}
+
+TEST_F(RuntimeBasicTest, OptimizedCutsForcesToThreePerDriverCall) {
+  RuntimeOptions opts;  // optimized by default
+  SetUpSim(opts);
+  Process& client_proc = alpha_->CreateProcess();
+  ExternalClient admin(sim_.get(), "alpha");
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  auto chain = admin.CreateComponent(client_proc, "Chain", "driver",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*counter));
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(1)).ok());  // warm types
+
+  // Algorithm 2/3 accounting for external -> driver -> counter:
+  //  driver: forced message-1 long record (Algorithm 3)            -> 1
+  //  driver: message-3 force finds everything already stable       -> 0
+  //  server: message-1 logged unforced; reply force flushes it     -> 1
+  //  driver: message-4 logged unforced; the short message-2 record
+  //          for the external client is forced, flushing it        -> 1
+  uint64_t before = sim_->TotalForces();
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(1)).ok());
+  EXPECT_EQ(sim_->TotalForces() - before, 3u);
+}
+
+TEST_F(RuntimeBasicTest, DuplicateCallAnsweredFromLastCallTable) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient admin(sim_.get(), "alpha");
+  Process& client_proc = alpha_->CreateProcess();
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  auto chain = admin.CreateComponent(client_proc, "Chain", "driver",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*counter));
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(7)).ok());
+  int executions = ExecutionLog::Of("c.Add");
+  EXPECT_EQ(executions, 1);
+
+  // Hand-craft a duplicate of the driver's outgoing call (same ID).
+  Context* driver_ctx = client_proc.FindContextOfComponent("driver");
+  ASSERT_NE(driver_ctx, nullptr);
+  CallMessage dup;
+  dup.target_uri = *counter;
+  dup.method = "Add";
+  dup.args = MakeArgs(7);
+  dup.has_call_id = true;
+  dup.call_id = CallId{ClientKey{"alpha", client_proc.pid(), driver_ctx->id()},
+                       driver_ctx->last_outgoing_seq()};
+  dup.has_sender_info = true;
+  dup.sender_kind = ComponentKind::kPersistent;
+
+  Result<ReplyMessage> reply = sim_->RouteCall("alpha", dup);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->value.AsInt(), 7);  // the stored reply
+  EXPECT_EQ(ExecutionLog::Of("c.Add"), executions);  // NOT re-executed
+}
+
+TEST_F(RuntimeBasicTest, StaleCallIdRejected) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient admin(sim_.get(), "alpha");
+  Process& client_proc = alpha_->CreateProcess();
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  auto chain = admin.CreateComponent(client_proc, "Chain", "driver",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*counter));
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(1)).ok());
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(1)).ok());
+
+  Context* driver_ctx = client_proc.FindContextOfComponent("driver");
+  CallMessage stale;
+  stale.target_uri = *counter;
+  stale.method = "Add";
+  stale.args = MakeArgs(1);
+  stale.has_call_id = true;
+  stale.call_id =
+      CallId{ClientKey{"alpha", client_proc.pid(), driver_ctx->id()}, 1};
+  stale.has_sender_info = true;
+  stale.sender_kind = ComponentKind::kPersistent;
+
+  Result<ReplyMessage> reply = sim_->RouteCall("alpha", stale);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RuntimeBasicTest, SubordinateCallsAreLocalAndUnlogged) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient admin(sim_.get(), "alpha");
+  auto parent = admin.CreateComponent(*server_, "ParentWithSub", "parent",
+                                      ComponentKind::kPersistent, {});
+  ASSERT_TRUE(parent.ok()) << parent.status().ToString();
+
+  uint64_t appends_before = sim_->TotalAppends();
+  uint64_t forces_before = sim_->TotalForces();
+  auto r = admin.Call(*parent, "BumpSub", MakeArgs(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 5);
+  // Only the external->parent leg is logged (message 1 + short message 2);
+  // the parent->subordinate call adds nothing.
+  EXPECT_EQ(sim_->TotalAppends() - appends_before, 2u);
+  EXPECT_EQ(sim_->TotalForces() - forces_before, 2u);
+}
+
+TEST_F(RuntimeBasicTest, SubordinateRejectsRemoteCallers) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient admin(sim_.get(), "alpha");
+  auto parent = admin.CreateComponent(*server_, "ParentWithSub", "parent",
+                                      ComponentKind::kPersistent, {});
+  ASSERT_TRUE(parent.ok());
+  auto direct = admin.Call("phx://alpha/1/parent_sub", "Add", MakeArgs(1));
+  EXPECT_EQ(direct.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RuntimeBasicTest, RemoteTypeLearnedFromFirstReply) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient admin(sim_.get(), "alpha");
+  Process& client_proc = alpha_->CreateProcess();
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  auto chain = admin.CreateComponent(client_proc, "Chain", "driver",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(*counter));
+  EXPECT_EQ(client_proc.remote_types().Lookup(*counter), nullptr);
+  ASSERT_TRUE(admin.Call(*chain, "Bump", MakeArgs(1)).ok());
+  const RemoteTypeInfo* info = client_proc.remote_types().Lookup(*counter);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->kind, ComponentKind::kPersistent);
+  EXPECT_EQ(info->type_name, "Counter");
+}
+
+TEST_F(RuntimeBasicTest, SimulatedTimeAdvancesWithWork) {
+  SetUpSim(RuntimeOptions{});
+  ExternalClient admin(sim_.get(), "alpha");
+  auto counter = admin.CreateComponent(*server_, "Counter", "c",
+                                       ComponentKind::kPersistent, {});
+  double before = sim_->clock().NowMs();
+  ASSERT_TRUE(admin.Call(*counter, "Add", MakeArgs(1)).ok());
+  double elapsed = sim_->clock().NowMs() - before;
+  // External -> persistent costs about two forced writes (~17 ms in the
+  // paper's Table 4).
+  EXPECT_GT(elapsed, 5.0);
+  EXPECT_LT(elapsed, 40.0);
+}
+
+}  // namespace
+}  // namespace phoenix

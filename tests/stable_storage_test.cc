@@ -1,0 +1,69 @@
+#include "sim/stable_storage.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(StableStorageTest, AppendReturnsOffsets) {
+  StableStorage storage;
+  EXPECT_EQ(storage.AppendLog("log", {1, 2, 3}), 0u);
+  EXPECT_EQ(storage.AppendLog("log", {4, 5}), 3u);
+  EXPECT_EQ(storage.LogSize("log"), 5u);
+  EXPECT_EQ(storage.ReadLog("log")[3], 4);
+}
+
+TEST(StableStorageTest, MissingLogIsEmpty) {
+  StableStorage storage;
+  EXPECT_EQ(storage.LogSize("nope"), 0u);
+  EXPECT_TRUE(storage.ReadLog("nope").empty());
+}
+
+TEST(StableStorageTest, LogsAreIndependent) {
+  StableStorage storage;
+  storage.AppendLog("a", {1});
+  storage.AppendLog("b", {2, 3});
+  EXPECT_EQ(storage.LogSize("a"), 1u);
+  EXPECT_EQ(storage.LogSize("b"), 2u);
+}
+
+TEST(StableStorageTest, DeleteLog) {
+  StableStorage storage;
+  storage.AppendLog("a", {1});
+  storage.DeleteLog("a");
+  EXPECT_EQ(storage.LogSize("a"), 0u);
+}
+
+TEST(StableStorageTest, TruncateSimulatesTornTail) {
+  StableStorage storage;
+  storage.AppendLog("log", {1, 2, 3, 4, 5});
+  storage.TruncateLog("log", 2);
+  EXPECT_EQ(storage.LogSize("log"), 2u);
+  storage.TruncateLog("log", 10);  // growing is a no-op
+  EXPECT_EQ(storage.LogSize("log"), 2u);
+}
+
+TEST(StableStorageTest, CorruptFlipsBits) {
+  StableStorage storage;
+  storage.AppendLog("log", std::vector<uint8_t>(64, 0));
+  storage.CorruptLog("log", 8, 2);
+  EXPECT_EQ(storage.ReadLog("log")[8], 0x55);
+  EXPECT_EQ(storage.ReadLog("log")[15], 0x55);
+  EXPECT_EQ(storage.ReadLog("log")[9], 0);
+}
+
+TEST(StableStorageTest, FilesAtomicReplace) {
+  StableStorage storage;
+  EXPECT_FALSE(storage.FileExists("wkf"));
+  EXPECT_TRUE(storage.ReadFile("wkf").status().IsNotFound());
+  storage.WriteFile("wkf", {9});
+  ASSERT_TRUE(storage.FileExists("wkf"));
+  EXPECT_EQ(storage.ReadFile("wkf").value()[0], 9);
+  storage.WriteFile("wkf", {1, 2});
+  EXPECT_EQ(storage.ReadFile("wkf").value().size(), 2u);
+  storage.DeleteFile("wkf");
+  EXPECT_FALSE(storage.FileExists("wkf"));
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace phoenix {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Crashed("x").code(), StatusCode::kCrashed);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+  EXPECT_TRUE(Status::Crashed("").IsCrashed());
+  EXPECT_TRUE(Status::Corruption("").IsCorruption());
+  EXPECT_FALSE(Status().IsNotFound());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Unavailable("server down").ToString(),
+            "unavailable: server down");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = []() -> Result<int> { return Status::Unavailable("nope"); };
+  auto outer = [&]() -> Status {
+    PHX_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsUnavailable());
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto fn = [](Status in) -> Status {
+    PHX_RETURN_IF_ERROR(in);
+    return Status::Internal("reached end");
+  };
+  EXPECT_TRUE(fn(Status::NotFound("x")).IsNotFound());
+  EXPECT_EQ(fn(Status::OK()).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace phoenix

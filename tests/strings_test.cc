@@ -1,0 +1,40 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("solo"), "solo");
+}
+
+TEST(StringsTest, StrSplit) {
+  auto parts = StrSplit("a/b/c", '/');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+
+  EXPECT_EQ(StrSplit("", '/').size(), 1u);
+  auto empties = StrSplit("//", '/');
+  ASSERT_EQ(empties.size(), 3u);
+  EXPECT_EQ(empties[1], "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("phx://x", "phx://"));
+  EXPECT_FALSE(StartsWith("http://x", "phx://"));
+  EXPECT_FALSE(StartsWith("ph", "phx"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,148 @@
+// Long randomized end-to-end run: a persistent shopping agent drives many
+// buyer sessions against the bookstore while the server process is crashed
+// over and over at varied protocol points. Inventory accounting must come
+// out exact — every reservation, sale and basket operation exactly once.
+
+#include <gtest/gtest.h>
+
+#include "bookstore/setup.h"
+#include "common/random.h"
+#include "tests/test_components.h"
+
+namespace phoenix {
+namespace {
+
+// Persistent workflow tier: one Session call = add a book to the buyer's
+// basket and check out. Being persistent, its retries carry stable call
+// IDs, so server crashes anywhere inside the session are fully masked.
+class ShoppingAgent : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Session", [this](const ArgList& a) -> Result<Value> {
+      const std::string& buyer = a[0].AsString();
+      const std::string& store = a[1].AsString();
+      int64_t book = a[2].AsInt();
+      PHX_RETURN_IF_ERROR(
+          CallRef(seller_, "AddToBasket", MakeArgs(buyer, store, book))
+              .status());
+      PHX_ASSIGN_OR_RETURN(
+          Value total,
+          CallRef(seller_, "Checkout", MakeArgs(buyer, std::string("WA"))));
+      ++sessions_done_;
+      return total;
+    });
+    methods.Register(
+        "SessionsDone",
+        [this](const ArgList&) -> Result<Value> {
+          return Value(sessions_done_);
+        },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterComponentRef("seller", &seller_);
+    fields.RegisterInt("sessions_done", &sessions_done_);
+  }
+  Status Initialize(const ArgList& args) override {
+    seller_.uri = args[0].AsString();
+    return Status::OK();
+  }
+
+ private:
+  ComponentRefField seller_;
+  int64_t sessions_done_ = 0;
+};
+
+struct TortureConfig {
+  uint64_t seed;
+  bookstore::OptLevel level;
+  uint32_t save_state_every;
+};
+
+class BookstoreTortureTest : public ::testing::TestWithParam<TortureConfig> {
+};
+
+TEST_P(BookstoreTortureTest, InventoryExactUnderCrashStorm) {
+  const TortureConfig& cfg = GetParam();
+  RuntimeOptions opts = bookstore::OptionsForLevel(cfg.level);
+  opts.save_context_state_every = cfg.save_state_every;
+  opts.process_checkpoint_every =
+      cfg.save_state_every > 0 ? cfg.save_state_every * 2 : 0;
+  Simulation sim(opts);
+  bookstore::RegisterBookstoreComponents(sim.factories());
+  sim.factories().Register<ShoppingAgent>("ShoppingAgent");
+  Machine& server_machine = sim.AddMachine("server");
+  Machine& agent_machine = sim.AddMachine("agent");
+  auto deployment =
+      bookstore::Deploy(sim, server_machine, 2, cfg.level).value();
+  Process& agent_proc = agent_machine.CreateProcess();
+
+  ExternalClient admin(&sim, "agent");
+  auto agent = admin.CreateComponent(agent_proc, "ShoppingAgent", "agent",
+                                     ComponentKind::kPersistent,
+                                     MakeArgs(deployment.seller_uri));
+  ASSERT_TRUE(agent.ok());
+
+  // A random storm of crashes at the server, spread over the run.
+  Random schedule(cfg.seed);
+  int crashes = 6;
+  for (int i = 0; i < crashes; ++i) {
+    auto point = static_cast<FailurePoint>(schedule.Uniform(6));
+    uint64_t hit = 1 + schedule.Uniform(120);
+    sim.injector().AddTrigger("server", deployment.server_process->pid(),
+                              point, hit);
+  }
+
+  const int kSessions = 40;
+  int per_store[2] = {0, 0};
+  int per_book[2][11] = {};
+  Random workload(cfg.seed * 31);
+  for (int i = 0; i < kSessions; ++i) {
+    int store = static_cast<int>(workload.Uniform(2));
+    int book = static_cast<int>(workload.Uniform(10)) + 1;
+    auto r = admin.Call(*agent, "Session",
+                        MakeArgs("buyer" + std::to_string(i),
+                                 deployment.store_uris[store],
+                                 int64_t{book}));
+    ASSERT_TRUE(r.ok()) << "session " << i << ": " << r.status().ToString();
+    ++per_store[store];
+    ++per_book[store][book];
+  }
+
+  ExternalClient probe(&sim, "server");
+  EXPECT_EQ(admin.Call(*agent, "SessionsDone", {})->AsInt(), kSessions);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(
+        probe.Call(deployment.store_uris[s], "TotalSold", {})->AsInt(),
+        per_store[s])
+        << "store " << s;
+    for (int book = 1; book <= 10; ++book) {
+      auto entry = probe.Call(deployment.store_uris[s], "GetBook",
+                              MakeArgs(int64_t{book}));
+      ASSERT_TRUE(entry.ok());
+      EXPECT_EQ(entry->AsList()[3].AsInt(), 25 - per_book[s][book])
+          << "store " << s << " book " << book;
+    }
+  }
+}
+
+std::vector<TortureConfig> TortureConfigs() {
+  std::vector<TortureConfig> configs;
+  for (uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    configs.push_back({seed, bookstore::OptLevel::kSpecialized, 0});
+    configs.push_back({seed, bookstore::OptLevel::kSpecialized, 7});
+    configs.push_back({seed, bookstore::OptLevel::kOptimizedLogging, 0});
+    configs.push_back({seed, bookstore::OptLevel::kBaseline, 0});
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, BookstoreTortureTest, ::testing::ValuesIn(TortureConfigs()),
+    [](const ::testing::TestParamInfo<TortureConfig>& info) {
+      return std::string(bookstore::OptLevelName(info.param.level)) + "_seed" +
+             std::to_string(info.param.seed) + "_ckpt" +
+             std::to_string(info.param.save_state_every);
+    });
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,81 @@
+#include "serde/value.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).kind(), Value::Kind::kBool);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(int64_t{9}).AsInt(), 9);
+  EXPECT_EQ(Value(5).AsInt(), 5);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::string("abc")).AsString(), "abc");
+}
+
+TEST(ValueTest, IntPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).AsDouble(), 4.0);
+}
+
+TEST(ValueTest, ListAccess) {
+  Value::List list;
+  list.push_back(Value(1));
+  list.push_back(Value("x"));
+  Value v(std::move(list));
+  ASSERT_EQ(v.AsList().size(), 2u);
+  v.MutableList().push_back(Value(2.0));
+  EXPECT_EQ(v.AsList().size(), 3u);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value(1.0));  // int and double differ in kind
+  EXPECT_EQ(Value(), Value());
+  Value::List a;
+  a.push_back(Value("k"));
+  Value::List b;
+  b.push_back(Value("k"));
+  EXPECT_EQ(Value(std::move(a)), Value(std::move(b)));
+}
+
+TEST(ValueTest, ToStringRendersAllKinds) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  Value::List list;
+  list.push_back(Value(1));
+  list.push_back(Value(2));
+  EXPECT_EQ(Value(std::move(list)).ToString(), "[1, 2]");
+}
+
+TEST(ValueTest, EncodedSizeHintGrowsWithContent) {
+  EXPECT_LT(Value(1).EncodedSizeHint(), Value("a longer string").EncodedSizeHint());
+  Value::List list;
+  for (int i = 0; i < 100; ++i) list.push_back(Value(i));
+  EXPECT_GT(Value(std::move(list)).EncodedSizeHint(), 100u);
+}
+
+TEST(ValueTest, MakeArgsBuildsHeterogeneousList) {
+  ArgList args = MakeArgs(1, "two", 3.5, false);
+  ASSERT_EQ(args.size(), 4u);
+  EXPECT_EQ(args[0].AsInt(), 1);
+  EXPECT_EQ(args[1].AsString(), "two");
+  EXPECT_DOUBLE_EQ(args[2].AsDouble(), 3.5);
+  EXPECT_FALSE(args[3].AsBool());
+}
+
+TEST(ValueTest, BytesRoundtrip) {
+  Value::Bytes b;
+  b.data = {0, 1, 2};
+  Value v(b);
+  EXPECT_EQ(v.kind(), Value::Kind::kBytes);
+  EXPECT_EQ(v.AsBytes().data.size(), 3u);
+}
+
+}  // namespace
+}  // namespace phoenix

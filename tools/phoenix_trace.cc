@@ -1,0 +1,244 @@
+// phoenix_trace — scenario runner and log inspector.
+//
+// Runs the Figure 10 bookstore under a chosen optimization level, optionally
+// injecting crashes, then prints run statistics and (on request) the
+// recovery log and the runtime tables of Table 1. A debugging/teaching tool:
+// every record the interceptors write is visible here.
+//
+// Usage:
+//   phoenix_trace [--level=baseline|optimized|specialized]
+//                 [--sessions=N] [--stores=N]
+//                 [--crash=<point>:<hit>]...    (point: see --list-points)
+//                 [--save-every=N] [--checkpoint-every=N] [--gc]
+//                 [--multicall] [--dump-log] [--dump-tables]
+//                 [--list-points]
+//
+// Examples:
+//   phoenix_trace --level=specialized --sessions=2 --dump-log
+//   phoenix_trace --crash=before_reply_send:3 --dump-tables
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bookstore/setup.h"
+#include "common/strings.h"
+#include "recovery/checkpoint_manager.h"
+#include "wal/log_dump.h"
+
+namespace phoenix::tools {
+namespace {
+
+struct Options {
+  bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
+  int sessions = 1;
+  int stores = 2;
+  std::vector<std::pair<FailurePoint, uint64_t>> crashes;
+  uint32_t save_every = 0;
+  uint32_t checkpoint_every = 0;
+  bool gc = false;
+  bool multicall = false;
+  bool dump_log = false;
+  bool dump_tables = false;
+};
+
+bool ParsePoint(const std::string& name, FailurePoint* out) {
+  for (int p = 0; p < kNumFailurePoints; ++p) {
+    auto point = static_cast<FailurePoint>(p);
+    if (name == FailurePointName(point)) {
+      *out = point;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ListPoints() {
+  std::printf("failure points:\n");
+  for (int p = 0; p < kNumFailurePoints; ++p) {
+    std::printf("  %s\n", FailurePointName(static_cast<FailurePoint>(p)));
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--level=...] [--sessions=N] [--stores=N] "
+               "[--crash=point:hit] [--save-every=N] [--checkpoint-every=N] "
+               "[--gc] [--multicall] [--dump-log] [--dump-tables] "
+               "[--list-points]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void DumpTables(Process& proc) {
+  std::printf("\ncontext table of %s:\n", proc.log_name().c_str());
+  for (const auto& [context_id, ctx] : proc.contexts()) {
+    Component* parent = ctx->parent();
+    std::printf(
+        "  ctx %llu  parent %s (%s %s)  out-seq %llu  state-lsn %s  "
+        "creation-lsn %s\n",
+        static_cast<unsigned long long>(context_id),
+        parent != nullptr ? parent->name().c_str() : "?",
+        parent != nullptr ? ComponentKindName(parent->kind()) : "?",
+        parent != nullptr ? parent->type_name().c_str() : "?",
+        static_cast<unsigned long long>(ctx->last_outgoing_seq()),
+        ctx->state_record_lsn() == kInvalidLsn
+            ? "-"
+            : StrCat(ctx->state_record_lsn()).c_str(),
+        ctx->creation_lsn() == kInvalidLsn
+            ? "-"
+            : StrCat(ctx->creation_lsn()).c_str());
+  }
+
+  std::printf("last call table (%zu entries):\n", proc.last_calls().size());
+  for (const auto& [key, entry] : proc.last_calls().entries()) {
+    std::printf("  client %s -> ctx %llu  seq %llu  reply %s  lsn %s\n",
+                key.first.ToString().c_str(),
+                static_cast<unsigned long long>(entry.context_id),
+                static_cast<unsigned long long>(entry.seq),
+                entry.reply_in_memory ? "in-memory" : "on-log",
+                entry.reply_lsn == kInvalidLsn
+                    ? "-"
+                    : StrCat(entry.reply_lsn).c_str());
+  }
+
+  std::printf("remote component table (%zu entries):\n",
+              proc.remote_types().entries().size());
+  for (const auto& [uri, info] : proc.remote_types().entries()) {
+    std::printf("  %s is %s %s\n", uri.c_str(), ComponentKindName(info.kind),
+                info.type_name.c_str());
+  }
+}
+
+int Run(const Options& opts) {
+  RuntimeOptions runtime = bookstore::OptionsForLevel(opts.level);
+  runtime.save_context_state_every = opts.save_every;
+  runtime.process_checkpoint_every = opts.checkpoint_every;
+  runtime.auto_truncate_log = opts.gc;
+  runtime.multi_call_optimization = opts.multicall;
+
+  Simulation sim(runtime);
+  bookstore::RegisterBookstoreComponents(sim.factories());
+  sim.AddMachine("client");
+  Machine& server = sim.AddMachine("server");
+  auto deployment = bookstore::Deploy(sim, server, opts.stores, opts.level);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  Process& proc = *deployment->server_process;
+
+  for (const auto& [point, hit] : opts.crashes) {
+    sim.injector().AddTrigger("server", proc.pid(), point, hit);
+  }
+
+  ExternalClient buyer(&sim, "client");
+  double t0 = sim.clock().NowMs();
+  for (int i = 0; i < opts.sessions; ++i) {
+    auto session = bookstore::RunBuyerSession(
+        sim, *deployment, buyer, "buyer" + std::to_string(i), "WA");
+    if (!session.ok()) {
+      std::printf("session %d FAILED: %s\n", i,
+                  session.status().ToString().c_str());
+    } else {
+      std::printf("session %d: %lld hits, %lld in basket, total $%s, "
+                  "%lld removed\n",
+                  i, static_cast<long long>(session->search_hits),
+                  static_cast<long long>(session->items_in_basket),
+                  FormatDouble(session->total_with_tax, 2).c_str(),
+                  static_cast<long long>(session->items_removed));
+    }
+  }
+
+  std::printf(
+      "\n%s, %d session(s): %.1f simulated ms, %llu forces, %llu appends, "
+      "%llu crash(es), %llu recover(ies), log %llu bytes (head at %llu)\n",
+      bookstore::OptLevelName(opts.level), opts.sessions,
+      sim.clock().NowMs() - t0,
+      static_cast<unsigned long long>(sim.TotalForces()),
+      static_cast<unsigned long long>(sim.TotalAppends()),
+      static_cast<unsigned long long>(sim.injector().crashes_fired()),
+      static_cast<unsigned long long>(
+          server.recovery_service().recoveries_performed()),
+      static_cast<unsigned long long>(proc.log().StableLog().size()),
+      static_cast<unsigned long long>(proc.log().head_base()));
+
+  if (opts.dump_log) {
+    std::printf("\nrecovery log of %s:\n%s", proc.log_name().c_str(),
+                phoenix::DumpLog(proc.log().StableView()).c_str());
+  }
+  if (opts.dump_tables) DumpTables(proc);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--list-points") {
+      ListPoints();
+      return 0;
+    } else if (ParseFlag(arg, "level", &value)) {
+      if (value == "baseline") {
+        opts.level = bookstore::OptLevel::kBaseline;
+      } else if (value == "optimized") {
+        opts.level = bookstore::OptLevel::kOptimizedLogging;
+      } else if (value == "specialized") {
+        opts.level = bookstore::OptLevel::kSpecialized;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (ParseFlag(arg, "sessions", &value)) {
+      opts.sessions = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "stores", &value)) {
+      opts.stores = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "save-every", &value)) {
+      opts.save_every = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      opts.checkpoint_every = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (arg == "--gc") {
+      opts.gc = true;
+    } else if (arg == "--multicall") {
+      opts.multicall = true;
+    } else if (arg == "--dump-log") {
+      opts.dump_log = true;
+    } else if (arg == "--dump-tables") {
+      opts.dump_tables = true;
+    } else if (ParseFlag(arg, "crash", &value)) {
+      size_t colon = value.find(':');
+      std::string point_name =
+          colon == std::string::npos ? value : value.substr(0, colon);
+      uint64_t hit = colon == std::string::npos
+                         ? 1
+                         : std::strtoull(value.c_str() + colon + 1, nullptr,
+                                         10);
+      FailurePoint point;
+      if (!ParsePoint(point_name, &point)) {
+        std::fprintf(stderr, "unknown failure point '%s'\n",
+                     point_name.c_str());
+        ListPoints();
+        return 2;
+      }
+      opts.crashes.emplace_back(point, hit);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  return Run(opts);
+}
+
+}  // namespace
+}  // namespace phoenix::tools
+
+int main(int argc, char** argv) { return phoenix::tools::Main(argc, argv); }
