@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint_interval.dir/ablation_checkpoint_interval.cc.o"
+  "CMakeFiles/ablation_checkpoint_interval.dir/ablation_checkpoint_interval.cc.o.d"
+  "ablation_checkpoint_interval"
+  "ablation_checkpoint_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

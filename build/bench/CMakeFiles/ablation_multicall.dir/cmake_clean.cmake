@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multicall.dir/ablation_multicall.cc.o"
+  "CMakeFiles/ablation_multicall.dir/ablation_multicall.cc.o.d"
+  "ablation_multicall"
+  "ablation_multicall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multicall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_short_records.dir/ablation_short_records.cc.o"
+  "CMakeFiles/ablation_short_records.dir/ablation_short_records.cc.o.d"
+  "ablation_short_records"
+  "ablation_short_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_short_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

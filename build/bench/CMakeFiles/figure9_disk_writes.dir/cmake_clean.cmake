@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_disk_writes.dir/figure9_disk_writes.cc.o"
+  "CMakeFiles/figure9_disk_writes.dir/figure9_disk_writes.cc.o.d"
+  "figure9_disk_writes"
+  "figure9_disk_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_disk_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

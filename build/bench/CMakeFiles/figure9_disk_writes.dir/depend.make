@@ -1,0 +1,2 @@
+# Empty dependencies file for figure9_disk_writes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_log_optimizations.dir/table4_log_optimizations.cc.o"
+  "CMakeFiles/table4_log_optimizations.dir/table4_log_optimizations.cc.o.d"
+  "table4_log_optimizations"
+  "table4_log_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_log_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_component_types.dir/table5_component_types.cc.o"
+  "CMakeFiles/table5_component_types.dir/table5_component_types.cc.o.d"
+  "table5_component_types"
+  "table5_component_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_component_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

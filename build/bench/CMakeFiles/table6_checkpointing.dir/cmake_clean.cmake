@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_checkpointing.dir/table6_checkpointing.cc.o"
+  "CMakeFiles/table6_checkpointing.dir/table6_checkpointing.cc.o.d"
+  "table6_checkpointing"
+  "table6_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

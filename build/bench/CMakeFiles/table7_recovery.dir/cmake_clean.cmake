@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_recovery.dir/table7_recovery.cc.o"
+  "CMakeFiles/table7_recovery.dir/table7_recovery.cc.o.d"
+  "table7_recovery"
+  "table7_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_bookstore.dir/table8_bookstore.cc.o"
+  "CMakeFiles/table8_bookstore.dir/table8_bookstore.cc.o.d"
+  "table8_bookstore"
+  "table8_bookstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_bookstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_demo.dir/bookstore_demo.cpp.o"
+  "CMakeFiles/bookstore_demo.dir/bookstore_demo.cpp.o.d"
+  "bookstore_demo"
+  "bookstore_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_recovery_tour.dir/crash_recovery_tour.cpp.o"
+  "CMakeFiles/crash_recovery_tour.dir/crash_recovery_tour.cpp.o.d"
+  "crash_recovery_tour"
+  "crash_recovery_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_recovery_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_search.dir/meta_search.cpp.o"
+  "CMakeFiles/meta_search.dir/meta_search.cpp.o.d"
+  "meta_search"
+  "meta_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_pipeline.dir/order_pipeline.cpp.o"
+  "CMakeFiles/order_pipeline.dir/order_pipeline.cpp.o.d"
+  "order_pipeline"
+  "order_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

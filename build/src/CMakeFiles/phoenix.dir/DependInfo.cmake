@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/phoenix.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/phoenix.dir/common/random.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/phoenix.dir/common/status.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/phoenix.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/CMakeFiles/phoenix.dir/core/options.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/core/options.cc.o.d"
+  "/root/repo/src/core/phoenix.cc" "src/CMakeFiles/phoenix.dir/core/phoenix.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/core/phoenix.cc.o.d"
+  "/root/repo/src/recovery/checkpoint_manager.cc" "src/CMakeFiles/phoenix.dir/recovery/checkpoint_manager.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/recovery/checkpoint_manager.cc.o.d"
+  "/root/repo/src/recovery/recovery_manager.cc" "src/CMakeFiles/phoenix.dir/recovery/recovery_manager.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/recovery/recovery_manager.cc.o.d"
+  "/root/repo/src/recovery/recovery_service.cc" "src/CMakeFiles/phoenix.dir/recovery/recovery_service.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/recovery/recovery_service.cc.o.d"
+  "/root/repo/src/recovery/replay.cc" "src/CMakeFiles/phoenix.dir/recovery/replay.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/recovery/replay.cc.o.d"
+  "/root/repo/src/runtime/call_id.cc" "src/CMakeFiles/phoenix.dir/runtime/call_id.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/call_id.cc.o.d"
+  "/root/repo/src/runtime/component.cc" "src/CMakeFiles/phoenix.dir/runtime/component.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/component.cc.o.d"
+  "/root/repo/src/runtime/context.cc" "src/CMakeFiles/phoenix.dir/runtime/context.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/context.cc.o.d"
+  "/root/repo/src/runtime/field_registry.cc" "src/CMakeFiles/phoenix.dir/runtime/field_registry.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/field_registry.cc.o.d"
+  "/root/repo/src/runtime/interceptor.cc" "src/CMakeFiles/phoenix.dir/runtime/interceptor.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/interceptor.cc.o.d"
+  "/root/repo/src/runtime/last_call_table.cc" "src/CMakeFiles/phoenix.dir/runtime/last_call_table.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/last_call_table.cc.o.d"
+  "/root/repo/src/runtime/logging_policy.cc" "src/CMakeFiles/phoenix.dir/runtime/logging_policy.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/logging_policy.cc.o.d"
+  "/root/repo/src/runtime/machine.cc" "src/CMakeFiles/phoenix.dir/runtime/machine.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/machine.cc.o.d"
+  "/root/repo/src/runtime/message.cc" "src/CMakeFiles/phoenix.dir/runtime/message.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/message.cc.o.d"
+  "/root/repo/src/runtime/method_registry.cc" "src/CMakeFiles/phoenix.dir/runtime/method_registry.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/method_registry.cc.o.d"
+  "/root/repo/src/runtime/process.cc" "src/CMakeFiles/phoenix.dir/runtime/process.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/process.cc.o.d"
+  "/root/repo/src/runtime/remote_type_table.cc" "src/CMakeFiles/phoenix.dir/runtime/remote_type_table.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/remote_type_table.cc.o.d"
+  "/root/repo/src/runtime/simulation.cc" "src/CMakeFiles/phoenix.dir/runtime/simulation.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/runtime/simulation.cc.o.d"
+  "/root/repo/src/serde/codec.cc" "src/CMakeFiles/phoenix.dir/serde/codec.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/serde/codec.cc.o.d"
+  "/root/repo/src/serde/value.cc" "src/CMakeFiles/phoenix.dir/serde/value.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/serde/value.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/phoenix.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/disk_model.cc" "src/CMakeFiles/phoenix.dir/sim/disk_model.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/disk_model.cc.o.d"
+  "/root/repo/src/sim/failure_injector.cc" "src/CMakeFiles/phoenix.dir/sim/failure_injector.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/failure_injector.cc.o.d"
+  "/root/repo/src/sim/network_model.cc" "src/CMakeFiles/phoenix.dir/sim/network_model.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/network_model.cc.o.d"
+  "/root/repo/src/sim/sim_clock.cc" "src/CMakeFiles/phoenix.dir/sim/sim_clock.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/sim_clock.cc.o.d"
+  "/root/repo/src/sim/stable_storage.cc" "src/CMakeFiles/phoenix.dir/sim/stable_storage.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/stable_storage.cc.o.d"
+  "/root/repo/src/wal/log_dump.cc" "src/CMakeFiles/phoenix.dir/wal/log_dump.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/wal/log_dump.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/phoenix.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/phoenix.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/phoenix.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/phoenix.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/phoenix.dir/wal/log_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/phoenix.dir/sim/cost_model.cc.o: \
+ /root/repo/src/sim/cost_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sim/cost_model.h

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bookstore/basket_manager.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/basket_manager.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/basket_manager.cc.o.d"
+  "/root/repo/src/bookstore/book_buyer.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/book_buyer.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/book_buyer.cc.o.d"
+  "/root/repo/src/bookstore/book_seller.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/book_seller.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/book_seller.cc.o.d"
+  "/root/repo/src/bookstore/bookstore.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/bookstore.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/bookstore.cc.o.d"
+  "/root/repo/src/bookstore/price_grabber.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/price_grabber.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/price_grabber.cc.o.d"
+  "/root/repo/src/bookstore/setup.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/setup.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/setup.cc.o.d"
+  "/root/repo/src/bookstore/tax_calculator.cc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/tax_calculator.cc.o" "gcc" "src/CMakeFiles/phoenix_bookstore.dir/bookstore/tax_calculator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phoenix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/basket_manager.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/basket_manager.cc.o.d"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/book_buyer.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/book_buyer.cc.o.d"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/book_seller.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/book_seller.cc.o.d"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/bookstore.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/bookstore.cc.o.d"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/price_grabber.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/price_grabber.cc.o.d"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/setup.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/setup.cc.o.d"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/tax_calculator.cc.o"
+  "CMakeFiles/phoenix_bookstore.dir/bookstore/tax_calculator.cc.o.d"
+  "libphoenix_bookstore.a"
+  "libphoenix_bookstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_bookstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

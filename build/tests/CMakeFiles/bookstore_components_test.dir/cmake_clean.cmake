@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_components_test.dir/bookstore_components_test.cc.o"
+  "CMakeFiles/bookstore_components_test.dir/bookstore_components_test.cc.o.d"
+  "bookstore_components_test"
+  "bookstore_components_test.pdb"
+  "bookstore_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

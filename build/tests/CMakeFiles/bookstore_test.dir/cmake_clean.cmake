@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_test.dir/bookstore_test.cc.o"
+  "CMakeFiles/bookstore_test.dir/bookstore_test.cc.o.d"
+  "bookstore_test"
+  "bookstore_test.pdb"
+  "bookstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

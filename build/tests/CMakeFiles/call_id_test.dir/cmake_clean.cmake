@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_id_test.dir/call_id_test.cc.o"
+  "CMakeFiles/call_id_test.dir/call_id_test.cc.o.d"
+  "call_id_test"
+  "call_id_test.pdb"
+  "call_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

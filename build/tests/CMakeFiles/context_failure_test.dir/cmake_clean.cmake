@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_failure_test.dir/context_failure_test.cc.o"
+  "CMakeFiles/context_failure_test.dir/context_failure_test.cc.o.d"
+  "context_failure_test"
+  "context_failure_test.pdb"
+  "context_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_injector_test.dir/failure_injector_test.cc.o"
+  "CMakeFiles/failure_injector_test.dir/failure_injector_test.cc.o.d"
+  "failure_injector_test"
+  "failure_injector_test.pdb"
+  "failure_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_registry_test.dir/field_registry_test.cc.o"
+  "CMakeFiles/field_registry_test.dir/field_registry_test.cc.o.d"
+  "field_registry_test"
+  "field_registry_test.pdb"
+  "field_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

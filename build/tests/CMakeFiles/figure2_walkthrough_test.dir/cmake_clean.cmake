@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_walkthrough_test.dir/figure2_walkthrough_test.cc.o"
+  "CMakeFiles/figure2_walkthrough_test.dir/figure2_walkthrough_test.cc.o.d"
+  "figure2_walkthrough_test"
+  "figure2_walkthrough_test.pdb"
+  "figure2_walkthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_property_test.dir/figure9_property_test.cc.o"
+  "CMakeFiles/figure9_property_test.dir/figure9_property_test.cc.o.d"
+  "figure9_property_test"
+  "figure9_property_test.pdb"
+  "figure9_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

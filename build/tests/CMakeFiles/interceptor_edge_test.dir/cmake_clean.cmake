@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interceptor_edge_test.dir/interceptor_edge_test.cc.o"
+  "CMakeFiles/interceptor_edge_test.dir/interceptor_edge_test.cc.o.d"
+  "interceptor_edge_test"
+  "interceptor_edge_test.pdb"
+  "interceptor_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interceptor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

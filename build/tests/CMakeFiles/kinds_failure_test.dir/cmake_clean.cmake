@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinds_failure_test.dir/kinds_failure_test.cc.o"
+  "CMakeFiles/kinds_failure_test.dir/kinds_failure_test.cc.o.d"
+  "kinds_failure_test"
+  "kinds_failure_test.pdb"
+  "kinds_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinds_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

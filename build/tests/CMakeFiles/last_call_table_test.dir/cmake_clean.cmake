@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/last_call_table_test.dir/last_call_table_test.cc.o"
+  "CMakeFiles/last_call_table_test.dir/last_call_table_test.cc.o.d"
+  "last_call_table_test"
+  "last_call_table_test.pdb"
+  "last_call_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/last_call_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_manager_test.dir/log_manager_test.cc.o"
+  "CMakeFiles/log_manager_test.dir/log_manager_test.cc.o.d"
+  "log_manager_test"
+  "log_manager_test.pdb"
+  "log_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

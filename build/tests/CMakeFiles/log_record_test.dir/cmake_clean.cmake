@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_record_test.dir/log_record_test.cc.o"
+  "CMakeFiles/log_record_test.dir/log_record_test.cc.o.d"
+  "log_record_test"
+  "log_record_test.pdb"
+  "log_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

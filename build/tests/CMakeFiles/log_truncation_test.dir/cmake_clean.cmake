@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_truncation_test.dir/log_truncation_test.cc.o"
+  "CMakeFiles/log_truncation_test.dir/log_truncation_test.cc.o.d"
+  "log_truncation_test"
+  "log_truncation_test.pdb"
+  "log_truncation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_truncation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

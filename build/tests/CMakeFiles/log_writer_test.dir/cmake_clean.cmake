@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_writer_test.dir/log_writer_test.cc.o"
+  "CMakeFiles/log_writer_test.dir/log_writer_test.cc.o.d"
+  "log_writer_test"
+  "log_writer_test.pdb"
+  "log_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

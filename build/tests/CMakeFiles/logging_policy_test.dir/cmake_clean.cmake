@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_policy_test.dir/logging_policy_test.cc.o"
+  "CMakeFiles/logging_policy_test.dir/logging_policy_test.cc.o.d"
+  "logging_policy_test"
+  "logging_policy_test.pdb"
+  "logging_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

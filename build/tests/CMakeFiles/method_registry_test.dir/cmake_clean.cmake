@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_registry_test.dir/method_registry_test.cc.o"
+  "CMakeFiles/method_registry_test.dir/method_registry_test.cc.o.d"
+  "method_registry_test"
+  "method_registry_test.pdb"
+  "method_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

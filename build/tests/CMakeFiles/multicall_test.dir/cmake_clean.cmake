@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicall_test.dir/multicall_test.cc.o"
+  "CMakeFiles/multicall_test.dir/multicall_test.cc.o.d"
+  "multicall_test"
+  "multicall_test.pdb"
+  "multicall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

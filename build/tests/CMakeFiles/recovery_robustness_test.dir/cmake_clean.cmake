@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_robustness_test.dir/recovery_robustness_test.cc.o"
+  "CMakeFiles/recovery_robustness_test.dir/recovery_robustness_test.cc.o.d"
+  "recovery_robustness_test"
+  "recovery_robustness_test.pdb"
+  "recovery_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_basic_test.dir/runtime_basic_test.cc.o"
+  "CMakeFiles/runtime_basic_test.dir/runtime_basic_test.cc.o.d"
+  "runtime_basic_test"
+  "runtime_basic_test.pdb"
+  "runtime_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

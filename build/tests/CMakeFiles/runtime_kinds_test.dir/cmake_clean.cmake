@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_kinds_test.dir/runtime_kinds_test.cc.o"
+  "CMakeFiles/runtime_kinds_test.dir/runtime_kinds_test.cc.o.d"
+  "runtime_kinds_test"
+  "runtime_kinds_test.pdb"
+  "runtime_kinds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_storage_test.dir/stable_storage_test.cc.o"
+  "CMakeFiles/stable_storage_test.dir/stable_storage_test.cc.o.d"
+  "stable_storage_test"
+  "stable_storage_test.pdb"
+  "stable_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

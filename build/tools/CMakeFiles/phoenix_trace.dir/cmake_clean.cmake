@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_trace.dir/phoenix_trace.cc.o"
+  "CMakeFiles/phoenix_trace.dir/phoenix_trace.cc.o.d"
+  "phoenix_trace"
+  "phoenix_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
