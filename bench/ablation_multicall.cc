@@ -2,6 +2,7 @@
 // querying N bookstores forces the log at every store reply without the
 // optimization, and exactly once with it — regardless of N.
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "bookstore/setup.h"
 #include "common/strings.h"
@@ -18,7 +19,8 @@ struct SearchCost {
   double elapsed_ms = 0;
 };
 
-SearchCost MeasureSearch(int num_stores, bool multicall) {
+SearchCost MeasureSearch(obs::BenchVariant& variant, int num_stores,
+                         bool multicall) {
   // Table 8's "optimized logging" level: the PriceGrabber is persistent, so
   // each Bookstore call is a state-committing send.
   RuntimeOptions opts = OptionsForLevel(OptLevel::kOptimizedLogging);
@@ -47,18 +49,26 @@ SearchCost MeasureSearch(int num_stores, bool multicall) {
   uint64_t f0 = grabber_proc.log().num_forces();
   double t0 = sim.clock().NowMs();
   admin.Call(*grabber, "Search", MakeArgs(std::string("recovery"))).value();
-  return SearchCost{grabber_proc.log().num_forces() - f0,
-                    sim.clock().NowMs() - t0};
+  SearchCost cost{grabber_proc.log().num_forces() - f0,
+                  sim.clock().NowMs() - t0};
+  CaptureSimulation(variant, sim);
+  variant.SetMetric("grabber_forces", cost.grabber_forces);
+  variant.SetMetric("search_ms", cost.elapsed_ms);
+  variant.SetMetric("stores", static_cast<uint64_t>(num_stores));
+  return cost;
 }
 
 void Run() {
+  obs::BenchReporter reporter("ablation_multicall");
   std::printf(
       "Multi-call optimization ablation (PriceGrabber searching N stores)\n");
   std::printf("%8s %22s %22s %14s %14s\n", "stores", "forces (no opt)",
               "forces (multi-call)", "ms (no opt)", "ms (multi)");
   for (int n : {1, 2, 3, 4, 6, 8}) {
-    SearchCost off = MeasureSearch(n, false);
-    SearchCost on = MeasureSearch(n, true);
+    SearchCost off = MeasureSearch(
+        reporter.AddVariant(StrCat("stores", n, "_no_multicall")), n, false);
+    SearchCost on = MeasureSearch(
+        reporter.AddVariant(StrCat("stores", n, "_multicall")), n, true);
     std::printf("%8d %22llu %22llu %14.1f %14.1f\n", n,
                 static_cast<unsigned long long>(off.grabber_forces),
                 static_cast<unsigned long long>(on.grabber_forces),
@@ -68,6 +78,8 @@ void Run() {
       "\nShape check (§5.5.2): without the optimization the grabber's "
       "forces\ngrow with the number of stores; with it the grabber forces "
       "once\n(plus the message-1 and reply forces), independent of N.\n");
+
+  WriteReport(reporter);
 }
 
 }  // namespace

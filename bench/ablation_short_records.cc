@@ -4,6 +4,7 @@
 // regenerate the content. With large replies the byte difference is big;
 // the force count is identical.
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "core/phoenix.h"
@@ -33,7 +34,8 @@ struct Cost {
   double elapsed_ms = 0;
 };
 
-Cost Measure(LoggingMode mode, int64_t reply_bytes) {
+Cost Measure(obs::BenchVariant& variant, LoggingMode mode,
+             int64_t reply_bytes) {
   RuntimeOptions opts;
   opts.logging_mode = mode;
   Simulation sim(opts);
@@ -50,8 +52,13 @@ Cost Measure(LoggingMode mode, int64_t reply_bytes) {
   for (int i = 0; i < kCalls; ++i) {
     client.Call(*uri, "Fetch", MakeArgs(reply_bytes)).value();
   }
-  return Cost{(proc.log().bytes_forced() - b0) / kCalls,
-              (sim.clock().NowMs() - t0) / kCalls};
+  Cost cost{(proc.log().bytes_forced() - b0) / kCalls,
+            (sim.clock().NowMs() - t0) / kCalls};
+  CaptureSimulation(variant, sim);
+  variant.SetMetric("reply_bytes", reply_bytes);
+  variant.SetMetric("forced_bytes_per_call", cost.bytes_forced);
+  variant.SetMetric("per_call_ms", cost.elapsed_ms);
+  return cost;
 }
 
 void Run() {
@@ -59,10 +66,15 @@ void Run() {
               "(per call, 50-call average)\n");
   std::printf("%14s %22s %22s %12s\n", "reply bytes", "forced B (long/base)",
               "forced B (short/opt)", "saved");
+  obs::BenchReporter reporter("ablation_short_records");
   for (int64_t size : {int64_t{64}, int64_t{512}, int64_t{4096},
                        int64_t{32768}}) {
-    Cost baseline = Measure(LoggingMode::kBaseline, size);
-    Cost optimized = Measure(LoggingMode::kOptimized, size);
+    Cost baseline =
+        Measure(reporter.AddVariant(StrCat("reply", size, "_baseline")),
+                LoggingMode::kBaseline, size);
+    Cost optimized =
+        Measure(reporter.AddVariant(StrCat("reply", size, "_optimized")),
+                LoggingMode::kOptimized, size);
     std::printf("%14lld %22llu %22llu %11.1f%%\n",
                 static_cast<long long>(size),
                 static_cast<unsigned long long>(baseline.bytes_forced),
@@ -75,6 +87,8 @@ void Run() {
       "\nShape check (§3.1.2): the short message-2 record carries only the\n"
       "identity of the send; the forced bytes no longer scale with the\n"
       "reply size, because replay can regenerate the content.\n");
+
+  WriteReport(reporter);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "bench/bench_report.h"
 #include "core/phoenix.h"
 
 namespace phoenix::bench {
@@ -120,7 +121,11 @@ struct MicroBenchConfig {
   int batch = 400;
 };
 
-inline double RunMicroBench(const MicroBenchConfig& cfg) {
+// When `variant` is non-null, the run's aggregate counters and latency
+// distribution are captured into it (bench_report.h) before the simulation
+// is torn down; the per-call result is also stored as "per_call_ms".
+inline double RunMicroBench(const MicroBenchConfig& cfg,
+                            obs::BenchVariant* variant = nullptr) {
   Simulation sim(cfg.options);
   RegisterBenchComponents(sim.factories());
   Machine& ma = sim.AddMachine("ma");
@@ -144,41 +149,50 @@ inline double RunMicroBench(const MicroBenchConfig& cfg) {
     return ((t2 - t1) - (t1 - t0)) / cfg.batch;
   };
 
-  if (cfg.subordinate_server) {
+  auto run = [&]() -> double {
+    if (cfg.subordinate_server) {
+      Process& client_proc = client_machine.CreateProcess();
+      auto caller = admin.CreateComponent(client_proc,
+                                          "SubordinateBatchCaller", "caller",
+                                          ComponentKind::kPersistent, {});
+      if (!caller.ok()) return -1;
+      return measure_inside(*caller);
+    }
+
+    std::string server_type =
+        cfg.server_kind == ComponentKind::kPersistent ? "CounterServer"
+                                                      : "EchoServer";
+    auto server = admin.CreateComponent(server_proc, server_type, "server",
+                                        cfg.server_kind, {});
+    if (!server.ok()) return -1;
+
+    if (cfg.client_kind == ComponentKind::kExternal) {
+      ExternalClient client(&sim, client_machine.name());
+      for (int i = 0; i < 32; ++i) {  // warm-up
+        client.Call(*server, cfg.server_method, MakeArgs(int64_t{1}));
+      }
+      double t0 = sim.clock().NowMs();
+      for (int i = 0; i < cfg.batch; ++i) {
+        client.Call(*server, cfg.server_method, MakeArgs(int64_t{1}));
+      }
+      return (sim.clock().NowMs() - t0) / cfg.batch;
+    }
+
     Process& client_proc = client_machine.CreateProcess();
     auto caller =
-        admin.CreateComponent(client_proc, "SubordinateBatchCaller", "caller",
-                              ComponentKind::kPersistent, {});
+        admin.CreateComponent(client_proc, "BatchCaller", "caller",
+                              cfg.client_kind,
+                              MakeArgs(*server, cfg.server_method));
     if (!caller.ok()) return -1;
     return measure_inside(*caller);
+  };
+
+  double per_call = run();
+  if (variant != nullptr) {
+    CaptureSimulation(*variant, sim);
+    variant->SetMetric("per_call_ms", per_call);
   }
-
-  std::string server_type =
-      cfg.server_kind == ComponentKind::kPersistent ? "CounterServer"
-                                                    : "EchoServer";
-  auto server = admin.CreateComponent(server_proc, server_type, "server",
-                                      cfg.server_kind, {});
-  if (!server.ok()) return -1;
-
-  if (cfg.client_kind == ComponentKind::kExternal) {
-    ExternalClient client(&sim, client_machine.name());
-    for (int i = 0; i < 32; ++i) {  // warm-up
-      client.Call(*server, cfg.server_method, MakeArgs(int64_t{1}));
-    }
-    double t0 = sim.clock().NowMs();
-    for (int i = 0; i < cfg.batch; ++i) {
-      client.Call(*server, cfg.server_method, MakeArgs(int64_t{1}));
-    }
-    return (sim.clock().NowMs() - t0) / cfg.batch;
-  }
-
-  Process& client_proc = client_machine.CreateProcess();
-  auto caller =
-      admin.CreateComponent(client_proc, "BatchCaller", "caller",
-                            cfg.client_kind,
-                            MakeArgs(*server, cfg.server_method));
-  if (!caller.ok()) return -1;
-  return measure_inside(*caller);
+  return per_call;
 }
 
 }  // namespace phoenix::bench

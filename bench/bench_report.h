@@ -1,0 +1,43 @@
+#ifndef PHOENIX_BENCH_BENCH_REPORT_H_
+#define PHOENIX_BENCH_BENCH_REPORT_H_
+
+// Glue between a finished Simulation and the machine-readable bench report
+// (obs::BenchReporter). Lives on the bench side so src/obs stays independent
+// of the runtime.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
+
+namespace phoenix::bench {
+
+// Copies the run's aggregate log counters and per-call latency distribution
+// out of `sim` into `variant`. Call after the workload, before the
+// Simulation dies.
+inline void CaptureSimulation(obs::BenchVariant& variant, Simulation& sim) {
+  variant.SetMetric("forces", sim.TotalForces());
+  variant.SetMetric("appends", sim.TotalAppends());
+  variant.SetMetric("bytes_forced", sim.TotalBytesForced());
+  variant.SetMetric("sim_time_ms", sim.clock().NowMs());
+  variant.SetMetric("calls_routed",
+                    sim.metrics().CounterTotal("phoenix.call.routed"));
+  variant.SetLatency(sim.metrics().MergedHistogram("phoenix.call.latency_ms"));
+}
+
+// Writes the report next to the binary and names the artifact on stdout so
+// the human table and the JSON stay associated.
+inline void WriteReport(const obs::BenchReporter& reporter) {
+  Result<std::string> path = reporter.WriteFile();
+  if (path.ok()) {
+    std::printf("\nbench report: %s\n", path->c_str());
+  } else {
+    std::printf("\nbench report FAILED: %s\n",
+                path.status().ToString().c_str());
+  }
+}
+
+}  // namespace phoenix::bench
+
+#endif  // PHOENIX_BENCH_BENCH_REPORT_H_

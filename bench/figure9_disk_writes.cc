@@ -3,23 +3,39 @@
 // discrete full-rotation (8.33 ms) steps — unbuffered appends miss a whole
 // rotation.
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
+#include "common/strings.h"
 #include "sim/disk_model.h"
 #include "sim/sim_clock.h"
 
 namespace phoenix::bench {
 namespace {
 
-double ElapsedPerIteration(double delay_ms) {
+double ElapsedPerIteration(obs::BenchVariant& variant, double delay_ms) {
   DiskModel disk(DiskParams{}, /*seed=*/7);
   SimClock clock;
+  obs::Histogram write_latency;
   const int kIterations = 300;
   double start = clock.NowMs();
   for (int i = 0; i < kIterations; ++i) {
-    clock.AdvanceMs(disk.WriteLatencyMs(clock.NowMs(), 1024));
+    double latency = disk.WriteLatencyMs(clock.NowMs(), 1024);
+    write_latency.Record(latency);
+    clock.AdvanceMs(latency);
     clock.AdvanceMs(delay_ms);
   }
-  return (clock.NowMs() - start) / kIterations;
+  double per_iteration = (clock.NowMs() - start) / kIterations;
+  // This bench drives the DiskModel directly — there is no Simulation, so
+  // the log counters are the write loop itself.
+  variant.SetMetric("forces", static_cast<uint64_t>(kIterations));
+  variant.SetMetric("appends", static_cast<uint64_t>(kIterations));
+  variant.SetMetric("bytes_forced", static_cast<uint64_t>(kIterations) * 1024);
+  variant.SetMetric("delay_ms", delay_ms);
+  variant.SetMetric("per_iteration_ms", per_iteration);
+  variant.SetMetric("rotational_wait_ms",
+                    disk.total_breakdown().rotational_wait_ms);
+  variant.SetLatency(write_latency);
+  return per_iteration;
 }
 
 // Figure 9's curve, read off the plot: steps of one rotation.
@@ -31,10 +47,13 @@ double PaperFigure9(double delay_ms) {
 }
 
 void Run() {
+  obs::BenchReporter reporter("figure9_disk_writes");
   std::vector<SeriesPoint> points;
   for (double delay = 0; delay <= 36.0; delay += 2.0) {
-    points.push_back(
-        SeriesPoint{delay, PaperFigure9(delay), ElapsedPerIteration(delay)});
+    obs::BenchVariant& variant =
+        reporter.AddVariant(StrCat("delay_", static_cast<int>(delay), "ms"));
+    points.push_back(SeriesPoint{delay, PaperFigure9(delay),
+                                 ElapsedPerIteration(variant, delay)});
   }
   PrintSeries(
       "Figure 9: unbuffered 1KB disk write performance "
@@ -45,6 +64,8 @@ void Run() {
       "\nShape checks: writes with no delay take a bit more than one full\n"
       "rotation (8.33 ms); elapsed time jumps in discrete rotation-sized\n"
       "steps as the delay grows.\n");
+
+  WriteReport(reporter);
 }
 
 }  // namespace

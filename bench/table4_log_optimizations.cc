@@ -4,6 +4,7 @@
 // system (Algorithm 2/3), local and remote.
 
 #include "bench/bench_components.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "sim/cost_model.h"
 #include "sim/network_model.h"
@@ -25,17 +26,19 @@ RuntimeOptions Optimized() {
   return o;
 }
 
-double Measure(RuntimeOptions opts, ComponentKind client_kind, bool remote) {
+double Measure(obs::BenchReporter& reporter, const std::string& variant_name,
+               RuntimeOptions opts, ComponentKind client_kind, bool remote) {
   MicroBenchConfig cfg;
   cfg.options = opts;
   cfg.client_kind = client_kind;
   cfg.server_kind = ComponentKind::kPersistent;
   cfg.server_method = "Add";
   cfg.remote = remote;
-  return RunMicroBench(cfg);
+  return RunMicroBench(cfg, &reporter.AddVariant(variant_name));
 }
 
 void Run() {
+  obs::BenchReporter reporter("table4_log_optimizations");
   CostModel costs;
   NetworkModel net{NetworkParams{}};
   // The first four rows measure bare .NET remoting (no Phoenix logging);
@@ -59,18 +62,30 @@ void Run() {
                   0.870, intercepted_remote});
 
   rows.push_back({"External -> Persistent, baseline (local)", 17.0,
-                  Measure(Baseline(), ComponentKind::kExternal, false)});
+                  Measure(reporter, "external_persistent_baseline_local",
+                          Baseline(), ComponentKind::kExternal, false)});
   rows.push_back({"External -> Persistent, baseline (remote)", 17.3,
-                  Measure(Baseline(), ComponentKind::kExternal, true)});
+                  Measure(reporter, "external_persistent_baseline_remote",
+                          Baseline(), ComponentKind::kExternal, true)});
   rows.push_back({"External -> Persistent, optimized (local)", 17.1,
-                  Measure(Optimized(), ComponentKind::kExternal, false)});
+                  Measure(reporter, "external_persistent_optimized_local",
+                          Optimized(), ComponentKind::kExternal, false)});
   rows.push_back({"External -> Persistent, optimized (remote)", 17.0,
-                  Measure(Optimized(), ComponentKind::kExternal, true)});
+                  Measure(reporter, "external_persistent_optimized_remote",
+                          Optimized(), ComponentKind::kExternal, true)});
 
-  double base_pp_local = Measure(Baseline(), ComponentKind::kPersistent, false);
-  double base_pp_remote = Measure(Baseline(), ComponentKind::kPersistent, true);
-  double opt_pp_local = Measure(Optimized(), ComponentKind::kPersistent, false);
-  double opt_pp_remote = Measure(Optimized(), ComponentKind::kPersistent, true);
+  double base_pp_local =
+      Measure(reporter, "persistent_persistent_baseline_local", Baseline(),
+              ComponentKind::kPersistent, false);
+  double base_pp_remote =
+      Measure(reporter, "persistent_persistent_baseline_remote", Baseline(),
+              ComponentKind::kPersistent, true);
+  double opt_pp_local =
+      Measure(reporter, "persistent_persistent_optimized_local", Optimized(),
+              ComponentKind::kPersistent, false);
+  double opt_pp_remote =
+      Measure(reporter, "persistent_persistent_optimized_remote", Optimized(),
+              ComponentKind::kPersistent, true);
   rows.push_back(
       {"Persistent -> Persistent, baseline (local)", 34.7, base_pp_local});
   rows.push_back(
@@ -93,6 +108,8 @@ void Run() {
       "  == baseline force discipline for externals).\n",
       base_pp_local, opt_pp_local, base_pp_remote, base_pp_local,
       opt_pp_remote, opt_pp_local);
+
+  WriteReport(reporter);
 }
 
 }  // namespace

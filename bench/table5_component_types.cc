@@ -3,6 +3,7 @@
 // a subordinate are plain local calls.
 
 #include "bench/bench_components.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 
 namespace phoenix::bench {
@@ -15,9 +16,14 @@ RuntimeOptions Specialized() {
   return o;
 }
 
-double Measure(ComponentKind client_kind, ComponentKind server_kind,
-               const std::string& method, bool remote,
-               bool subordinate = false) {
+obs::BenchReporter& Reporter() {
+  static obs::BenchReporter reporter("table5_component_types");
+  return reporter;
+}
+
+double Measure(const std::string& variant, ComponentKind client_kind,
+               ComponentKind server_kind, const std::string& method,
+               bool remote, bool subordinate = false) {
   MicroBenchConfig cfg;
   cfg.options = Specialized();
   cfg.client_kind = client_kind;
@@ -28,7 +34,7 @@ double Measure(ComponentKind client_kind, ComponentKind server_kind,
   // Subordinate calls cost tens of nanoseconds; a huge batch lifts the
   // signal above the rotational jitter of the driving call's forces.
   if (subordinate) cfg.batch = 400000;
-  return RunMicroBench(cfg);
+  return RunMicroBench(cfg, &Reporter().AddVariant(variant));
 }
 
 void Run() {
@@ -38,32 +44,41 @@ void Run() {
   constexpr auto kRO = ComponentKind::kReadOnly;
 
   std::vector<PaperRow> rows;
-  rows.push_back(
-      {"External -> Read-only (local)", 0.689, Measure(kE, kRO, "Echo", false)});
+  rows.push_back({"External -> Read-only (local)", 0.689,
+                  Measure("external_readonly_local", kE, kRO, "Echo", false)});
   rows.push_back({"External -> Read-only (remote)", 0.887,
-                  Measure(kE, kRO, "Echo", true)});
-  rows.push_back({"External -> Functional (local)", 0.672,
-                  Measure(kE, kF, "Echo", false)});
-  rows.push_back({"External -> Functional (remote)", 0.875,
-                  Measure(kE, kF, "Echo", true)});
-  rows.push_back({"Persistent -> Read-only (local)", 1.351,
-                  Measure(kP, kRO, "Echo", false)});
-  rows.push_back({"Persistent -> Read-only (remote)", 1.495,
-                  Measure(kP, kRO, "Echo", true)});
-  rows.push_back({"Persistent -> Functional (local)", 1.194,
-                  Measure(kP, kF, "Echo", false)});
-  rows.push_back({"Persistent -> Functional (remote)", 1.414,
-                  Measure(kP, kF, "Echo", true)});
+                  Measure("external_readonly_remote", kE, kRO, "Echo", true)});
+  rows.push_back(
+      {"External -> Functional (local)", 0.672,
+       Measure("external_functional_local", kE, kF, "Echo", false)});
+  rows.push_back(
+      {"External -> Functional (remote)", 0.875,
+       Measure("external_functional_remote", kE, kF, "Echo", true)});
+  rows.push_back(
+      {"Persistent -> Read-only (local)", 1.351,
+       Measure("persistent_readonly_local", kP, kRO, "Echo", false)});
+  rows.push_back(
+      {"Persistent -> Read-only (remote)", 1.495,
+       Measure("persistent_readonly_remote", kP, kRO, "Echo", true)});
+  rows.push_back(
+      {"Persistent -> Functional (local)", 1.194,
+       Measure("persistent_functional_local", kP, kF, "Echo", false)});
+  rows.push_back(
+      {"Persistent -> Functional (remote)", 1.414,
+       Measure("persistent_functional_remote", kP, kF, "Echo", true)});
   rows.push_back({"Persistent -> Subordinate (local call)", 3.44e-5,
-                  Measure(kP, kP, "Add", false, /*subordinate=*/true)});
-  rows.push_back({"Persistent -> Persistent, read-only method (local)", 1.407,
-                  Measure(kP, kP, "Get", false)});
-  rows.push_back({"Persistent -> Persistent, read-only method (remote)",
-                  1.547, Measure(kP, kP, "Get", true)});
+                  Measure("persistent_subordinate_local", kP, kP, "Add", false,
+                          /*subordinate=*/true)});
+  rows.push_back(
+      {"Persistent -> Persistent, read-only method (local)", 1.407,
+       Measure("persistent_persistent_romethod_local", kP, kP, "Get", false)});
+  rows.push_back(
+      {"Persistent -> Persistent, read-only method (remote)", 1.547,
+       Measure("persistent_persistent_romethod_remote", kP, kP, "Get", true)});
   rows.push_back({"Read-only -> Persistent (local)", 1.218,
-                  Measure(kRO, kP, "Add", false)});
+                  Measure("readonly_persistent_local", kRO, kP, "Add", false)});
   rows.push_back({"Read-only -> Persistent (remote)", 1.404,
-                  Measure(kRO, kP, "Add", true)});
+                  Measure("readonly_persistent_remote", kRO, kP, "Add", true)});
 
   PrintTable(
       "Table 5: new component types and read-only methods (ms per round trip)",
@@ -77,6 +92,8 @@ void Run() {
       "  Persistent -> Functional (the reply is logged, unforced);\n"
       "  External rows are cheaper than Persistent rows (externals attach\n"
       "  no sender-kind information).\n");
+
+  WriteReport(Reporter());
 }
 
 }  // namespace

@@ -3,12 +3,14 @@
 // acks). Saving state adds ~1 ms of software cost per call either way.
 
 #include "bench/bench_components.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 
 namespace phoenix::bench {
 namespace {
 
-double Measure(bool save_state_on_call, bool write_cache) {
+double Measure(obs::BenchVariant& variant, bool save_state_on_call,
+               bool write_cache) {
   RuntimeOptions opts;
   opts.logging_mode = LoggingMode::kOptimized;
   opts.use_specialized_kinds = false;
@@ -34,24 +36,32 @@ double Measure(bool save_state_on_call, bool write_cache) {
   const int kBatch = 400;
   double t0 = sim.clock().NowMs();
   admin.Call(*caller, "RunBatch", MakeArgs(int64_t{kBatch}));
-  return (sim.clock().NowMs() - t0) / kBatch;
+  double per_call = (sim.clock().NowMs() - t0) / kBatch;
+  CaptureSimulation(variant, sim);
+  variant.SetMetric("per_call_ms", per_call);
+  return per_call;
 }
 
 void Run() {
+  obs::BenchReporter reporter("table6_checkpointing");
   std::vector<PaperRow> disabled;
   disabled.push_back({"Persistent -> Persistent (remote)", 10.8,
-                      Measure(/*save=*/false, /*cache=*/false)});
+                      Measure(reporter.AddVariant("no_save_cache_disabled"),
+                              /*save=*/false, /*cache=*/false)});
   disabled.push_back({"Persistent -> Persistent, save state on call", 11.8,
-                      Measure(/*save=*/true, /*cache=*/false)});
+                      Measure(reporter.AddVariant("save_state_cache_disabled"),
+                              /*save=*/true, /*cache=*/false)});
   PrintTable("Table 6a: checkpointing overhead, write cache DISABLED "
              "(ms per call)",
              "(ms)", disabled);
 
   std::vector<PaperRow> enabled;
   enabled.push_back({"Persistent -> Persistent (remote)", 2.62,
-                     Measure(/*save=*/false, /*cache=*/true)});
+                     Measure(reporter.AddVariant("no_save_cache_enabled"),
+                             /*save=*/false, /*cache=*/true)});
   enabled.push_back({"Persistent -> Persistent, save state on call", 3.82,
-                     Measure(/*save=*/true, /*cache=*/true)});
+                     Measure(reporter.AddVariant("save_state_cache_enabled"),
+                             /*save=*/true, /*cache=*/true)});
   PrintTable("Table 6b: checkpointing overhead, write cache ENABLED "
              "(ms per call)",
              "(ms)", enabled);
@@ -60,6 +70,8 @@ void Run() {
       "\nShape checks: saving the (small) context state after every call\n"
       "adds ~1 ms regardless of the cache setting — modest next to the\n"
       "disk media cost, visible next to the cached-write cost.\n");
+
+  WriteReport(reporter);
 }
 
 }  // namespace

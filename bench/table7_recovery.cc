@@ -4,16 +4,33 @@
 // the ~60 ms cost of restoring a state record (~400+ calls).
 
 #include "bench/bench_components.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
+#include "common/strings.h"
 #include "recovery/checkpoint_manager.h"
 #include "recovery/recovery_service.h"
 
 namespace phoenix::bench {
 namespace {
 
+// Adds the recovery-phase counters this bench is about on top of the
+// standard capture.
+void CaptureRecovery(obs::BenchVariant& variant, Simulation& sim,
+                     double recovery_ms) {
+  CaptureSimulation(variant, sim);
+  variant.SetMetric("recovery_ms", recovery_ms);
+  variant.SetMetric(
+      "records_scanned",
+      sim.metrics().CounterTotal("phoenix.recovery.records_scanned"));
+  variant.SetMetric(
+      "calls_replayed",
+      sim.metrics().CounterTotal("phoenix.recovery.calls_replayed"));
+}
+
 // Recovery time (simulated ms) after `calls` calls issued *after* the
 // recovery origin (creation, or a state record + published checkpoint).
-double MeasureRecovery(int calls, bool from_state) {
+double MeasureRecovery(obs::BenchVariant& variant, int calls,
+                       bool from_state) {
   Simulation sim;
   RegisterBenchComponents(sim.factories());
   Machine& ma = sim.AddMachine("ma");
@@ -40,10 +57,12 @@ double MeasureRecovery(int calls, bool from_state) {
   double t0 = sim.clock().NowMs();
   Status s = ma.recovery_service().EnsureProcessAlive(proc.pid());
   if (!s.ok()) return -1;
-  return sim.clock().NowMs() - t0;
+  double recovery_ms = sim.clock().NowMs() - t0;
+  CaptureRecovery(variant, sim, recovery_ms);
+  return recovery_ms;
 }
 
-double MeasureEmptyLog() {
+double MeasureEmptyLog(obs::BenchVariant& variant) {
   Simulation sim;
   RegisterBenchComponents(sim.factories());
   Machine& ma = sim.AddMachine("ma");
@@ -51,12 +70,16 @@ double MeasureEmptyLog() {
   proc.Kill();
   double t0 = sim.clock().NowMs();
   ma.recovery_service().EnsureProcessAlive(proc.pid());
-  return sim.clock().NowMs() - t0;
+  double recovery_ms = sim.clock().NowMs() - t0;
+  CaptureRecovery(variant, sim, recovery_ms);
+  return recovery_ms;
 }
 
 void Run() {
+  obs::BenchReporter reporter("table7_recovery");
   std::vector<PaperRow> rows;
-  rows.push_back({"Empty log", 492, MeasureEmptyLog()});
+  rows.push_back(
+      {"Empty log", 492, MeasureEmptyLog(reporter.AddVariant("empty_log"))});
   PrintTable("Table 7 (part 1): base recovery cost (ms)", "(ms)", rows);
 
   const double paper_creation[] = {575, 728, 868, 1007, 1100, 1199};
@@ -64,12 +87,17 @@ void Run() {
   std::vector<SeriesPoint> creation_series, state_series;
   for (int i = 0; i <= 5; ++i) {
     int calls = i * 1000;
-    creation_series.push_back(SeriesPoint{
-        static_cast<double>(calls), paper_creation[i],
-        MeasureRecovery(calls, /*from_state=*/false)});
-    state_series.push_back(SeriesPoint{static_cast<double>(calls),
-                                       paper_state[i],
-                                       MeasureRecovery(calls, true)});
+    creation_series.push_back(
+        SeriesPoint{static_cast<double>(calls), paper_creation[i],
+                    MeasureRecovery(
+                        reporter.AddVariant(StrCat("creation_", calls,
+                                                   "_calls")),
+                        calls, /*from_state=*/false)});
+    state_series.push_back(
+        SeriesPoint{static_cast<double>(calls), paper_state[i],
+                    MeasureRecovery(
+                        reporter.AddVariant(StrCat("state_", calls, "_calls")),
+                        calls, true)});
   }
   PrintSeries("Table 7 (part 2): recovery from creation, vs #calls replayed",
               "#calls", "(ms)", creation_series);
@@ -89,6 +117,8 @@ void Run() {
       "call costs %.3f ms; so context states should be saved every ~%.0f\n"
       "calls or more (the paper concludes ~400).\n",
       restore_extra, per_call, restore_extra / per_call);
+
+  WriteReport(reporter);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // optimization levels — elapsed time and number of log forces for the
 // paper's scripted BookBuyer session.
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "bookstore/setup.h"
 
@@ -19,7 +20,7 @@ struct LevelResult {
   uint64_t forces = 0;
 };
 
-LevelResult Run(OptLevel level) {
+LevelResult Run(obs::BenchVariant& variant, OptLevel level) {
   Simulation sim(OptionsForLevel(level));
   RegisterBookstoreComponents(sim.factories());
   sim.AddMachine("client");
@@ -35,13 +36,21 @@ LevelResult Run(OptLevel level) {
   double t0 = sim.clock().NowMs();
   uint64_t f0 = sim.TotalForces();
   RunBuyerSession(sim, *deployment, buyer, "alice", "WA").value();
-  return LevelResult{sim.clock().NowMs() - t0, sim.TotalForces() - f0};
+  LevelResult result{sim.clock().NowMs() - t0, sim.TotalForces() - f0};
+  CaptureSimulation(variant, sim);
+  variant.SetMetric("session_ms", result.elapsed_ms);
+  variant.SetMetric("session_forces", result.forces);
+  return result;
 }
 
 void Main() {
-  LevelResult baseline = Run(OptLevel::kBaseline);
-  LevelResult optimized = Run(OptLevel::kOptimizedLogging);
-  LevelResult specialized = Run(OptLevel::kSpecialized);
+  obs::BenchReporter reporter("table8_bookstore");
+  LevelResult baseline =
+      Run(reporter.AddVariant("baseline"), OptLevel::kBaseline);
+  LevelResult optimized =
+      Run(reporter.AddVariant("optimized_logging"), OptLevel::kOptimizedLogging);
+  LevelResult specialized =
+      Run(reporter.AddVariant("specialized"), OptLevel::kSpecialized);
 
   std::vector<PaperRow> time_rows = {
       {"Baseline", 589, baseline.elapsed_ms},
@@ -73,6 +82,8 @@ void Main() {
       optimized.elapsed_ms, static_cast<unsigned long long>(optimized.forces),
       specialized.elapsed_ms,
       static_cast<unsigned long long>(specialized.forces));
+
+  WriteReport(reporter);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#include "obs/bench_reporter.h"
+
+#include <cstdio>
+
+namespace phoenix::obs {
+
+BenchVariant& BenchVariant::SetMetric(const std::string& metric,
+                                      double value) {
+  metrics_[metric] = JsonNumber(value);
+  return *this;
+}
+
+BenchVariant& BenchVariant::SetMetric(const std::string& metric,
+                                      uint64_t value) {
+  metrics_[metric] = JsonNumber(value);
+  return *this;
+}
+
+BenchVariant& BenchVariant::SetMetric(const std::string& metric,
+                                      int64_t value) {
+  metrics_[metric] = JsonNumber(value);
+  return *this;
+}
+
+BenchVariant& BenchVariant::SetLatency(const Histogram& histogram) {
+  return SetLatency(Summarize(histogram));
+}
+
+BenchVariant& BenchVariant::SetLatency(const LatencySummary& summary) {
+  has_latency_ = true;
+  latency_ = summary;
+  return *this;
+}
+
+void BenchVariant::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("name").String(name_);
+  w.Key("metrics").BeginObject();
+  for (const auto& [metric, value] : metrics_) {
+    w.Key(metric).Raw(value);
+  }
+  w.EndObject();
+  if (has_latency_) {
+    w.Key("latency_ms").BeginObject();
+    WriteLatencySummaryJson(w, latency_);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+BenchVariant& BenchReporter::AddVariant(const std::string& name) {
+  variants_.emplace_back(name);
+  return variants_.back();
+}
+
+std::string BenchReporter::ToJson() const {
+  JsonWriter w(/*indent=*/2);
+  w.BeginObject();
+  w.Key("schema").String(kBenchSchema);
+  w.Key("bench").String(bench_name_);
+  w.Key("variants").BeginArray();
+  for (const BenchVariant& variant : variants_) {
+    variant.WriteJson(w);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Result<std::string> BenchReporter::WriteFile(const std::string& path) const {
+  std::string target = path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+  std::FILE* f = std::fopen(target.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + target + " for writing");
+  }
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to " + target);
+  }
+  return target;
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,86 @@
+#ifndef PHOENIX_OBS_BENCH_REPORTER_H_
+#define PHOENIX_OBS_BENCH_REPORTER_H_
+
+// Machine-readable benchmark reporting. Every bench binary serializes its
+// run into BENCH_<name>.json with a stable schema ("phoenix.bench.v1"):
+//
+//   {
+//     "schema": "phoenix.bench.v1",
+//     "bench": "table4_log_optimizations",
+//     "variants": [
+//       {
+//         "name": "persistent_persistent_optimized_remote",
+//         "metrics": {"forces": 928, "appends": 1392, "bytes_forced": ...},
+//         "latency_ms": {"count":..., "mean":..., "p50":..., "p95":...,
+//                        "p99":..., "min":..., "max":...}
+//       }, ...
+//     ]
+//   }
+//
+// Variants appear in insertion order; metrics are sorted by name; all
+// numbers are deterministic sim-time values, so a same-seed rerun emits a
+// byte-identical file.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace phoenix::obs {
+
+inline constexpr char kBenchSchema[] = "phoenix.bench.v1";
+
+// One measured configuration of a bench (an "algorithm variant").
+class BenchVariant {
+ public:
+  explicit BenchVariant(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  BenchVariant& SetMetric(const std::string& metric, double value);
+  BenchVariant& SetMetric(const std::string& metric, uint64_t value);
+  BenchVariant& SetMetric(const std::string& metric, int64_t value);
+
+  // Per-call latency distribution for this variant.
+  BenchVariant& SetLatency(const Histogram& histogram);
+  BenchVariant& SetLatency(const LatencySummary& summary);
+
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> metrics_;  // name -> formatted number
+  bool has_latency_ = false;
+  LatencySummary latency_;
+};
+
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  const std::string& bench_name() const { return bench_name_; }
+
+  BenchVariant& AddVariant(const std::string& name);
+  const std::vector<BenchVariant>& variants() const { return variants_; }
+
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; empty path means "BENCH_<bench_name>.json"
+  // in the current directory. Returns the path written.
+  Result<std::string> WriteFile(const std::string& path = "") const;
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchVariant> variants_;
+};
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_BENCH_REPORTER_H_

@@ -1,0 +1,116 @@
+#ifndef PHOENIX_OBS_JSON_H_
+#define PHOENIX_OBS_JSON_H_
+
+// Minimal JSON support for the observability subsystem: a streaming writer
+// with deterministic number formatting (metrics snapshots and traces must be
+// byte-identical across same-seed runs) and a small recursive-descent parser
+// used by schema round-trip tests and the phoenix_trace dump mode.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace phoenix::obs {
+
+// Escapes `s` into a JSON string literal (including the quotes).
+std::string JsonEscape(std::string_view s);
+
+// Deterministic textual form of a double: integers up to 2^53 print without
+// a decimal point, everything else through "%.12g". NaN/inf (never produced
+// by the simulator, but defensively) print as null.
+std::string JsonNumber(double value);
+std::string JsonNumber(uint64_t value);
+std::string JsonNumber(int64_t value);
+
+// Streaming JSON writer. Handles commas and (optional) indentation; callers
+// are responsible for well-formed nesting, which the writer checks.
+class JsonWriter {
+ public:
+  // `indent` > 0 pretty-prints with that many spaces per level; 0 emits the
+  // compact single-line form.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Number(int64_t value);
+  JsonWriter& Number(int value) { return Number(static_cast<int64_t>(value)); }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Pre-formatted value (e.g. a JsonNumber result) inserted verbatim.
+  JsonWriter& Raw(std::string_view raw);
+
+  // Finished document. Checks that every container was closed.
+  const std::string& str() const;
+
+ private:
+  void BeforeValue();
+  void NewlineAndIndent();
+
+  std::string out_;
+  int indent_;
+  // One entry per open container: 'o' / 'a', plus whether a value has been
+  // emitted at this level (comma handling) and whether a key is pending.
+  struct Level {
+    char kind;
+    bool has_value = false;
+  };
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+// Parsed JSON value. Object member order is preserved as written.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double n);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_JSON_H_

@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace phoenix::obs {
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double>* kBounds = [] {
+    auto* bounds = new std::vector<double>();
+    // 8 log-spaced buckets per decade, 1e-3 us .. 1e7 ms.
+    const double kStep = std::pow(10.0, 1.0 / 8.0);
+    double b = 1e-6;
+    while (b < 1e7) {
+      bounds->push_back(b);
+      b *= kStep;
+    }
+    return bounds;
+  }();
+  return *kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  PHX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Record(double value) {
+  size_t i = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Index (1-based rank) of the target sample.
+  double rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      // Linear interpolation across this bucket's value range, clamped to
+      // the observed extremes (exact for the underflow/overflow buckets).
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo) return lo;
+      double inside =
+          (rank - static_cast<double>(cumulative)) / buckets_[i];
+      return lo + (hi - lo) * std::clamp(inside, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  PHX_CHECK(bounds_ == other.bounds_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LatencySummary Summarize(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.Percentile(50);
+  s.p95 = h.Percentile(95);
+  s.p99 = h.Percentile(99);
+  s.min = h.min();
+  s.max = h.max();
+  return s;
+}
+
+std::string MetricsRegistry::MakeKey(const std::string& name,
+                                     const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\0');
+    key += k;
+    key.push_back('\0');
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  auto [it, inserted] = counters_.try_emplace(MakeKey(name, labels));
+  if (inserted) it->second.entry = Entry{name, labels};
+  return it->second.metric;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  auto [it, inserted] = gauges_.try_emplace(MakeKey(name, labels));
+  if (inserted) it->second.entry = Entry{name, labels};
+  return it->second.metric;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         const std::vector<double>& bounds) {
+  auto key = MakeKey(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::move(key), Slot<Histogram>{Entry{name, labels},
+                                                      Histogram(bounds)})
+             .first;
+  }
+  return it->second.metric;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const LabelSet& labels) const {
+  auto it = counters_.find(MakeKey(name, labels));
+  return it == counters_.end() ? nullptr : &it->second.metric;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const LabelSet& labels) const {
+  auto it = histograms_.find(MakeKey(name, labels));
+  return it == histograms_.end() ? nullptr : &it->second.metric;
+}
+
+uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (const auto& [key, slot] : counters_) {
+    if (slot.entry.name == name) total += slot.metric.value();
+  }
+  return total;
+}
+
+Histogram MetricsRegistry::MergedHistogram(const std::string& name) const {
+  Histogram merged;
+  bool first = true;
+  for (const auto& [key, slot] : histograms_) {
+    if (slot.entry.name != name) continue;
+    if (first) {
+      merged = Histogram(slot.metric.bounds());
+      first = false;
+    }
+    merged.Merge(slot.metric);
+  }
+  return merged;
+}
+
+namespace {
+
+void WriteLabels(JsonWriter& w, const LabelSet& labels) {
+  w.Key("labels").BeginObject();
+  for (const auto& [k, v] : labels) {
+    w.Key(k).String(v);
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteLatencySummaryJson(JsonWriter& w, const LatencySummary& s) {
+  w.Key("count").Number(s.count);
+  w.Key("mean").Number(s.mean);
+  w.Key("p50").Number(s.p50);
+  w.Key("p95").Number(s.p95);
+  w.Key("p99").Number(s.p99);
+  w.Key("min").Number(s.min);
+  w.Key("max").Number(s.max);
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("counters").BeginArray();
+  for (const auto& [key, slot] : counters_) {
+    w.BeginObject();
+    w.Key("name").String(slot.entry.name);
+    WriteLabels(w, slot.entry.labels);
+    w.Key("value").Number(slot.metric.value());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("gauges").BeginArray();
+  for (const auto& [key, slot] : gauges_) {
+    w.BeginObject();
+    w.Key("name").String(slot.entry.name);
+    WriteLabels(w, slot.entry.labels);
+    w.Key("value").Number(slot.metric.value());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("histograms").BeginArray();
+  for (const auto& [key, slot] : histograms_) {
+    w.BeginObject();
+    w.Key("name").String(slot.entry.name);
+    WriteLabels(w, slot.entry.labels);
+    WriteLatencySummaryJson(w, Summarize(slot.metric));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,156 @@
+#ifndef PHOENIX_OBS_METRICS_H_
+#define PHOENIX_OBS_METRICS_H_
+
+// Sim-time metrics: named counters, gauges and fixed-bucket histograms keyed
+// by (name, labels). Everything is deterministic — values are driven by the
+// simulated clock and workload, iteration order is lexicographic — so a
+// metrics snapshot of a seeded run is byte-identical across executions.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace phoenix::obs {
+
+// Sorted (key, value) label pairs, e.g. {{"process", "ma/1"}}.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing integer.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-write-wins double, with an accumulate helper for attribution sums
+// (e.g. total rotational wait milliseconds).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Fixed-bucket histogram with percentile extraction. Bucket i counts samples
+// in [bounds[i-1], bounds[i]); an implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  // Log-spaced latency bounds: 8 buckets per decade from 1 microsecond to
+  // 10^7 ms, which covers everything the simulator produces.
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+
+  explicit Histogram(std::vector<double> bounds = DefaultLatencyBoundsMs());
+
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Percentile in [0, 100], linearly interpolated inside the bucket and
+  // clamped to the observed [min, max]. Returns 0 with no samples.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bucket_counts().size() == bounds().size() + 1 (overflow last).
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+  // Adds another histogram with identical bounds into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// The p50/p95/p99 summary the bench reports embed.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+LatencySummary Summarize(const Histogram& h);
+
+// Emits the summary's fields (count/mean/p50/p95/p99/min/max) into the
+// currently open JSON object.
+void WriteLatencySummaryJson(JsonWriter& w, const LatencySummary& s);
+
+// The process-wide registry. Owned by the Simulation; components reach it
+// through their process. Lookups create on first use.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const LabelSet& labels = {});
+  Gauge& GetGauge(const std::string& name, const LabelSet& labels = {});
+  Histogram& GetHistogram(const std::string& name, const LabelSet& labels = {},
+                          const std::vector<double>& bounds =
+                              Histogram::DefaultLatencyBoundsMs());
+
+  // Read-only lookups; nullptr when the metric does not exist.
+  const Counter* FindCounter(const std::string& name,
+                             const LabelSet& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const LabelSet& labels = {}) const;
+
+  // Sum of a counter across all label sets sharing `name`.
+  uint64_t CounterTotal(const std::string& name) const;
+
+  // Merge of every histogram registered under `name` (all label sets).
+  // Returns an empty histogram when none exist.
+  Histogram MergedHistogram(const std::string& name) const;
+
+  // Serializes every metric, sorted by (name, labels), into `w` as one JSON
+  // object: {"counters": [...], "gauges": [...], "histograms": [...]}.
+  // Histograms are emitted as their summary (count/mean/percentiles), not
+  // raw buckets.
+  void WriteJson(JsonWriter& w) const;
+
+  void Clear();
+
+ private:
+  // Full key: name + '\0'-joined labels; lexicographic == deterministic.
+  static std::string MakeKey(const std::string& name, const LabelSet& labels);
+
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+  };
+  template <typename T>
+  struct Slot {
+    Entry entry;
+    T metric;
+  };
+
+  std::map<std::string, Slot<Counter>> counters_;
+  std::map<std::string, Slot<Gauge>> gauges_;
+  std::map<std::string, Slot<Histogram>> histograms_;
+};
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_METRICS_H_

@@ -1,0 +1,269 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "obs/json.h"
+
+namespace phoenix::obs {
+
+TraceArg Arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), false};
+}
+TraceArg Arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), value, false};
+}
+TraceArg Arg(std::string key, double value) {
+  return TraceArg{std::move(key), JsonNumber(value), true};
+}
+TraceArg Arg(std::string key, uint64_t value) {
+  return TraceArg{std::move(key), JsonNumber(value), true};
+}
+TraceArg Arg(std::string key, int64_t value) {
+  return TraceArg{std::move(key), JsonNumber(value), true};
+}
+TraceArg Arg(std::string key, int value) {
+  return TraceArg{std::move(key), JsonNumber(static_cast<int64_t>(value)),
+                  true};
+}
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kBegin:
+      return "B";
+    case TracePhase::kEnd:
+      return "E";
+    case TracePhase::kInstant:
+      return "I";
+  }
+  return "?";
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Instant(std::string_view category, std::string_view name,
+                     std::string_view component, std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.ts_ms = clock_->NowMs();
+  event.phase = TracePhase::kInstant;
+  event.category = category;
+  event.name = name;
+  event.component = component;
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string category, std::string name,
+                   std::string component)
+    : tracer_(tracer),
+      category_(std::move(category)),
+      name_(std::move(name)),
+      component_(std::move(component)) {}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    category_ = std::move(other.category_);
+    name_ = std::move(other.name_);
+    component_ = std::move(other.component_);
+    end_args_ = std::move(other.end_args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Tracer::Span::AddArg(TraceArg arg) {
+  if (tracer_ == nullptr) return;
+  end_args_.push_back(std::move(arg));
+}
+
+void Tracer::Span::End() {
+  if (tracer_ == nullptr) return;
+  TraceEvent event;
+  event.ts_ms = tracer_->clock_->NowMs();
+  event.phase = TracePhase::kEnd;
+  event.category = std::move(category_);
+  event.name = std::move(name_);
+  event.component = std::move(component_);
+  event.args = std::move(end_args_);
+  tracer_->Record(std::move(event));
+  tracer_ = nullptr;
+}
+
+Tracer::Span Tracer::StartSpan(std::string_view category,
+                               std::string_view name,
+                               std::string_view component,
+                               std::vector<TraceArg> args) {
+  if (!enabled_) return Span();
+  TraceEvent event;
+  event.ts_ms = clock_->NowMs();
+  event.phase = TracePhase::kBegin;
+  event.category = category;
+  event.name = name;
+  event.component = component;
+  event.args = std::move(args);
+  Record(std::move(event));
+  return Span(this, std::string(category), std::string(name),
+              std::string(component));
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  dropped_events_ = 0;
+}
+
+namespace {
+
+void WriteArgsObject(JsonWriter& w, const std::vector<TraceArg>& args) {
+  w.Key("args").BeginObject();
+  for (const TraceArg& arg : args) {
+    w.Key(arg.key);
+    if (arg.numeric) {
+      w.Raw(arg.value);
+    } else {
+      w.String(arg.value);
+    }
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string Tracer::ExportJsonl() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("ts_ms").Number(event.ts_ms);
+    w.Key("ph").String(TracePhaseName(event.phase));
+    w.Key("cat").String(event.category);
+    w.Key("name").String(event.name);
+    w.Key("comp").String(event.component);
+    WriteArgsObject(w, event.args);
+    w.EndObject();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  // Stable component -> pid mapping in first-appearance order.
+  std::map<std::string, int> pids;
+  std::vector<std::string> order;
+  for (const TraceEvent& event : events_) {
+    if (pids.emplace(event.component, 0).second) {
+      order.push_back(event.component);
+    }
+  }
+  int next = 1;
+  std::map<std::string, int> assigned;
+  for (const std::string& comp : order) assigned[comp] = next++;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const std::string& comp : order) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("process_name");
+    w.Key("pid").Number(static_cast<int64_t>(assigned[comp]));
+    w.Key("tid").Number(0);
+    w.Key("args").BeginObject().Key("name").String(comp).EndObject();
+    w.EndObject();
+  }
+  for (const TraceEvent& event : events_) {
+    w.BeginObject();
+    // Chrome wants "i" for instants; B/E pass through.
+    w.Key("ph").String(event.phase == TracePhase::kInstant
+                           ? "i"
+                           : TracePhaseName(event.phase));
+    w.Key("ts").Number(event.ts_ms * 1000.0);  // microseconds
+    w.Key("pid").Number(static_cast<int64_t>(assigned[event.component]));
+    w.Key("tid").Number(0);
+    w.Key("cat").String(event.category);
+    w.Key("name").String(event.name);
+    if (event.phase == TracePhase::kInstant) w.Key("s").String("p");
+    WriteArgsObject(w, event.args);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::vector<TraceEvent>> ParseTraceJsonl(std::string_view text) {
+  std::vector<TraceEvent> events;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": " + parsed.status().message());
+    }
+    const JsonValue& v = *parsed;
+    TraceEvent event;
+    if (const JsonValue* ts = v.Find("ts_ms")) event.ts_ms = ts->AsNumber();
+    if (const JsonValue* ph = v.Find("ph")) {
+      const std::string& p = ph->AsString();
+      event.phase = p == "B"   ? TracePhase::kBegin
+                    : p == "E" ? TracePhase::kEnd
+                               : TracePhase::kInstant;
+    }
+    if (const JsonValue* cat = v.Find("cat")) event.category = cat->AsString();
+    if (const JsonValue* name = v.Find("name")) event.name = name->AsString();
+    if (const JsonValue* comp = v.Find("comp")) {
+      event.component = comp->AsString();
+    }
+    if (const JsonValue* args = v.Find("args");
+        args != nullptr && args->kind() == JsonValue::Kind::kObject) {
+      for (const auto& [key, value] : args->AsObject()) {
+        TraceArg arg;
+        arg.key = key;
+        if (value.kind() == JsonValue::Kind::kNumber) {
+          arg.numeric = true;
+          arg.value = JsonNumber(value.AsNumber());
+        } else if (value.kind() == JsonValue::Kind::kString) {
+          arg.value = value.AsString();
+        }
+        event.args.push_back(std::move(arg));
+      }
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
+                                    std::string_view component,
+                                    double from_ms, double to_ms) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events) {
+    if (!component.empty() &&
+        event.component.find(component) == std::string::npos) {
+      continue;
+    }
+    if (event.ts_ms < from_ms || event.ts_ms >= to_ms) continue;
+    out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,141 @@
+#ifndef PHOENIX_OBS_TRACER_H_
+#define PHOENIX_OBS_TRACER_H_
+
+// Structured event tracing on simulated time. The Tracer records
+// begin/end/instant events (message interception, log appends, forces with
+// rotational-wait breakdown, checkpoints, recovery phases) and exports two
+// formats: our JSONL schema (one event per line, easy to grep and diff) and
+// the Chrome trace_event JSON that chrome://tracing / Perfetto load.
+//
+// Timestamps come exclusively from the SimClock, so two runs with the same
+// seed produce byte-identical traces.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/sim_clock.h"
+
+namespace phoenix::obs {
+
+// One argument on an event. Values are pre-formatted at record time;
+// `numeric` controls whether the JSON export quotes them.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+TraceArg Arg(std::string key, std::string value);
+TraceArg Arg(std::string key, const char* value);
+TraceArg Arg(std::string key, double value);
+TraceArg Arg(std::string key, uint64_t value);
+TraceArg Arg(std::string key, int64_t value);
+TraceArg Arg(std::string key, int value);
+
+enum class TracePhase : uint8_t { kBegin, kEnd, kInstant };
+
+// "B" / "E" / "I".
+const char* TracePhaseName(TracePhase phase);
+
+struct TraceEvent {
+  double ts_ms = 0;
+  TracePhase phase = TracePhase::kInstant;
+  std::string category;  // "call", "log", "disk", "checkpoint", "recovery"...
+  std::string name;
+  std::string component;  // the acting process/component, e.g. "ma/1"
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const SimClock* clock) : clock_(clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Disabled by default: recording is a no-op so the hot paths stay cheap
+  // and long test workloads do not accumulate memory.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void Instant(std::string_view category, std::string_view name,
+               std::string_view component, std::vector<TraceArg> args = {});
+
+  // RAII span: records a begin event now and the matching end event when the
+  // handle dies (including on early error returns). End-time arguments can
+  // be attached along the way.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    ~Span() { End(); }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    // Attaches an argument to the end event.
+    void AddArg(TraceArg arg);
+    // Ends the span now (idempotent).
+    void End();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string category, std::string name,
+         std::string component);
+
+    Tracer* tracer_ = nullptr;
+    std::string category_;
+    std::string name_;
+    std::string component_;
+    std::vector<TraceArg> end_args_;
+  };
+
+  // Starts a span; `args` go on the begin event. On a disabled tracer the
+  // returned handle is inert.
+  Span StartSpan(std::string_view category, std::string_view name,
+                 std::string_view component, std::vector<TraceArg> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  // Events discarded after the in-memory cap was reached.
+  uint64_t dropped_events() const { return dropped_events_; }
+  void Clear();
+
+  // One JSON object per line:
+  //   {"ts_ms":3.25,"ph":"B","cat":"log","name":"force","comp":"ma/1",
+  //    "args":{"bytes":512}}
+  std::string ExportJsonl() const;
+
+  // Chrome trace_event format ({"traceEvents":[...]}), loadable in
+  // chrome://tracing and Perfetto. Components map to pids via metadata
+  // events; timestamps are microseconds.
+  std::string ExportChromeTrace() const;
+
+ private:
+  void Record(TraceEvent event);
+
+  const SimClock* clock_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_events_ = 0;
+  // Keeps a runaway workload from exhausting memory; generous for every
+  // bench/tool run we ship.
+  static constexpr size_t kMaxEvents = 4u << 20;  // ~4M events
+};
+
+// Parses a JSONL trace produced by ExportJsonl (phoenix_trace dump mode).
+Result<std::vector<TraceEvent>> ParseTraceJsonl(std::string_view text);
+
+// Dump-mode filter: keeps events whose component contains `component`
+// (empty matches all) with from_ms <= ts < to_ms.
+std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
+                                    std::string_view component,
+                                    double from_ms, double to_ms);
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_TRACER_H_

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
 #include "runtime/context.h"
 #include "runtime/process.h"
 #include "runtime/simulation.h"
 
 namespace phoenix {
+namespace {
+
+std::string ProcLabel(Process* proc) {
+  return StrCat(proc->machine_name(), "/", proc->pid());
+}
+
+}  // namespace
 
 CheckpointManager::CheckpointManager(Process* process) : process_(process) {}
 
@@ -52,6 +60,14 @@ Result<uint64_t> CheckpointManager::SaveContextState(Context& ctx) {
   uint64_t lsn = proc.log().Append(record);
   ctx.set_state_record_lsn(lsn);
   ++state_saves_;
+  std::string label = ProcLabel(&proc);
+  sim->metrics()
+      .GetCounter("phoenix.checkpoint.state_saves",
+                  obs::LabelSet{{"process", label}})
+      .Increment();
+  sim->tracer().Instant("checkpoint", "state_save", label,
+                        {obs::Arg("context", static_cast<uint64_t>(ctx.id())),
+                         obs::Arg("lsn", lsn)});
   return lsn;
 }
 
@@ -79,6 +95,10 @@ void CheckpointManager::OnIncomingCallFinished(Context& ctx) {
 
 Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
   Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  std::string label = ProcLabel(&proc);
+  obs::Tracer::Span span =
+      sim->tracer().StartSpan("checkpoint", "process_checkpoint", label);
 
   // Begin/end records bracket the table dump so readers can tell a complete
   // checkpoint from one cut short by a crash (§4.3).
@@ -119,6 +139,11 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
   pending_begin_lsn_ = begin_lsn;
   pending_end_lsn_ = end_lsn;
   ++checkpoints_taken_;
+  sim->metrics()
+      .GetCounter("phoenix.checkpoint.taken", obs::LabelSet{{"process", label}})
+      .Increment();
+  span.AddArg(obs::Arg("begin_lsn", begin_lsn));
+  span.AddArg(obs::Arg("end_lsn", end_lsn));
   // The buffer may already have spilled (capacity force); publish if so.
   MaybePublishCheckpoint();
   return begin_lsn;
@@ -129,10 +154,19 @@ void CheckpointManager::MaybePublishCheckpoint() {
   if (!process_->log().IsStable(pending_end_lsn_)) return;
   // §4.3: once the checkpoint is flushed, force the begin LSN into the
   // well-known file; recovery starts its first pass there.
-  process_->log().WriteWellKnownLsn(pending_begin_lsn_);
+  uint64_t published_lsn = pending_begin_lsn_;
+  process_->log().WriteWellKnownLsn(published_lsn);
   pending_begin_lsn_ = kInvalidLsn;
   pending_end_lsn_ = kInvalidLsn;
   ++checkpoints_published_;
+  Simulation* sim = process_->simulation();
+  std::string label = ProcLabel(process_);
+  sim->metrics()
+      .GetCounter("phoenix.checkpoint.published",
+                  obs::LabelSet{{"process", label}})
+      .Increment();
+  sim->tracer().Instant("checkpoint", "publish", label,
+                        {obs::Arg("begin_lsn", published_lsn)});
   if (process_->simulation()->options().auto_truncate_log) {
     GarbageCollect();
   }
@@ -163,7 +197,16 @@ uint64_t CheckpointManager::GarbageCollect() {
   uint64_t point = ComputeTruncationPoint();
   if (point <= before) return 0;
   process_->log().TrimHead(point);
-  return point - before;
+  uint64_t reclaimed = point - before;
+  Simulation* sim = process_->simulation();
+  std::string label = ProcLabel(process_);
+  sim->metrics()
+      .GetCounter("phoenix.checkpoint.bytes_reclaimed",
+                  obs::LabelSet{{"process", label}})
+      .Increment(reclaimed);
+  sim->tracer().Instant("checkpoint", "trim", label,
+                        {obs::Arg("head", point), obs::Arg("bytes", reclaimed)});
+  return reclaimed;
 }
 
 }  // namespace phoenix

@@ -28,6 +28,11 @@ void MergeLastCall(std::map<LastCallTable::Key, LastCallEntry>& table,
   }
 }
 
+// Metric/trace label of the recovering process, e.g. "ma/1".
+std::string ProcLabel(Process* proc) {
+  return StrCat(proc->machine_name(), "/", proc->pid());
+}
+
 }  // namespace
 
 RecoveryManager::RecoveryManager(Process* process) : process_(process) {}
@@ -48,6 +53,15 @@ Status RecoverContextFailure(Process* process, uint64_t context_id) {
   // buffer, so the scan covers the unforced tail too.
   std::vector<uint8_t> log_bytes = proc.log().FullLog();
   LogView log{&log_bytes, proc.log().head_base()};
+
+  std::string obs_label = ProcLabel(process);
+  sim->metrics()
+      .GetCounter("phoenix.recovery.context_recoveries",
+                  obs::LabelSet{{"process", obs_label}})
+      .Increment();
+  obs::Tracer::Span obs_span = sim->tracer().StartSpan(
+      "recovery", "context_failure", obs_label,
+      {obs::Arg("context", context_id), obs::Arg("origin", origin)});
 
   proc.set_recovering(true);
   ctx->ClearMembers();
@@ -136,20 +150,43 @@ Status RecoveryManager::Recover() {
   Simulation* sim = proc.simulation();
   sim->clock().AdvanceMs(sim->costs().recovery_init_ms);
 
+  std::string label = ProcLabel(&proc);
+  obs::LabelSet labels{{"process", label}};
+  double t0 = sim->clock().NowMs();
+  sim->metrics().GetCounter("phoenix.recovery.recoveries", labels).Increment();
+  obs::Tracer::Span recover_span =
+      sim->tracer().StartSpan("recovery", "recover", label);
+
   // Start point: the published checkpoint, or the whole log.
   uint64_t start_lsn = 0;
   Result<uint64_t> well_known = proc.log().ReadWellKnownLsn();
   if (well_known.ok()) start_lsn = *well_known;
 
-  PHX_RETURN_IF_ERROR(PassOne(start_lsn));
+  // Analysis phase: one forward scan rebuilding the recovery map and the
+  // global tables (§4.4's first pass).
+  {
+    obs::Tracer::Span span = sim->tracer().StartSpan(
+        "recovery", "analysis", label, {obs::Arg("start_lsn", start_lsn)});
+    PHX_RETURN_IF_ERROR(PassOne(start_lsn));
+    span.AddArg(obs::Arg("records_scanned", stats_.records_scanned));
+    span.AddArg(
+        obs::Arg("contexts_found", static_cast<uint64_t>(infos_.size())));
+  }
 
   // The activator context always recovers by replay from the scan start.
   if (infos_[0].recovery_lsn == kInvalidLsn) {
     infos_[0].recovery_lsn = start_lsn;
   }
 
-  PHX_RETURN_IF_ERROR(RestoreContextStates());
-  InstallTables();
+  // Redo phase: reinstall saved context states and the rebuilt tables.
+  {
+    obs::Tracer::Span span =
+        sim->tracer().StartSpan("recovery", "redo", label);
+    PHX_RETURN_IF_ERROR(RestoreContextStates());
+    InstallTables();
+    span.AddArg(obs::Arg("contexts_restored_from_state",
+                         stats_.contexts_restored_from_state));
+  }
 
   // New components created while recovering (replayed activator calls whose
   // creation records were lost) must reuse the original sequential ids.
@@ -161,7 +198,27 @@ Status RecoveryManager::Recover() {
   }
   proc.set_next_parent_id(max_parent_id + 1);
 
-  PHX_RETURN_IF_ERROR(PassTwo());
+  // Replay phase: re-execute each context forward from its origin (§4.4's
+  // second pass).
+  {
+    obs::Tracer::Span span =
+        sim->tracer().StartSpan("recovery", "replay", label);
+    PHX_RETURN_IF_ERROR(PassTwo());
+    span.AddArg(obs::Arg("calls_replayed", stats_.calls_replayed));
+    span.AddArg(obs::Arg("creations_replayed", stats_.creations_replayed));
+  }
+
+  double elapsed = sim->clock().NowMs() - t0;
+  sim->metrics()
+      .GetCounter("phoenix.recovery.records_scanned", labels)
+      .Increment(stats_.records_scanned);
+  sim->metrics()
+      .GetCounter("phoenix.recovery.calls_replayed", labels)
+      .Increment(stats_.calls_replayed);
+  sim->metrics()
+      .GetHistogram("phoenix.recovery.duration_ms", labels)
+      .Record(elapsed);
+  recover_span.AddArg(obs::Arg("elapsed_ms", elapsed));
   return Status::OK();
 }
 

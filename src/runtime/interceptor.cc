@@ -22,6 +22,11 @@ bool CrashHook(Process* proc, FailurePoint point) {
   return proc->MaybeCrash(point);
 }
 
+// Metric/trace label of the hosting process, e.g. "ma/1".
+std::string ProcLabel(Process* proc) {
+  return StrCat(proc->machine_name(), "/", proc->pid());
+}
+
 ComponentKind EffectiveClientKind(const CallMessage& msg) {
   if (msg.has_sender_info) return msg.sender_kind;
   // No attachment: a call with an ID is from a persistent component (the
@@ -51,6 +56,16 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
   ComponentKind server_kind = parent_kind();
   ComponentKind client_kind = EffectiveClientKind(msg);
 
+  std::string obs_label = ProcLabel(proc);
+  sim->metrics()
+      .GetCounter("phoenix.intercept.incoming",
+                  obs::LabelSet{{"process", obs_label}})
+      .Increment();
+  obs::Tracer::Span obs_span = sim->tracer().StartSpan(
+      "intercept", StrCat("in:", msg.method), obs_label,
+      {obs::Arg("target", msg.target_uri),
+       obs::Arg("context", static_cast<uint64_t>(id_))});
+
   ComponentSlot* slot = parent_slot();
   const MethodEntry* method_entry = slot->methods.Find(msg.method);
   if (method_entry == nullptr) {
@@ -72,7 +87,16 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
     const LastCallEntry* last =
         proc->last_calls().Lookup(msg.call_id.caller, id_);
     if (last != nullptr) {
-      if (last->seq == msg.call_id.seq) return AnswerDuplicate(msg);
+      if (last->seq == msg.call_id.seq) {
+        // Condition 3 hit: the retried call is answered from the last-call
+        // table without re-executing the method.
+        sim->metrics()
+            .GetCounter("phoenix.intercept.dedupe_hits",
+                        obs::LabelSet{{"process", obs_label}})
+            .Increment();
+        obs_span.AddArg(obs::Arg("dedupe", "hit"));
+        return AnswerDuplicate(msg);
+      }
       if (last->seq > msg.call_id.seq) {
         // By condition 1 the client recovered past this call already; a
         // smaller seq can only be a protocol violation.
@@ -275,6 +299,16 @@ Result<Value> Context::OutgoingCall(Component* from,
                                   ? parent_kind()
                                   : from->kind();
 
+  std::string obs_label = ProcLabel(proc);
+  sim->metrics()
+      .GetCounter("phoenix.intercept.outgoing",
+                  obs::LabelSet{{"process", obs_label}})
+      .Increment();
+  obs::Tracer::Span obs_span = sim->tracer().StartSpan(
+      "intercept", StrCat("out:", method), obs_label,
+      {obs::Arg("server", server_uri),
+       obs::Arg("context", static_cast<uint64_t>(id_))});
+
   const RemoteTypeInfo* info = proc->remote_types().Lookup(server_uri);
   bool server_known = info != nullptr;
   ComponentKind server_kind =
@@ -303,6 +337,12 @@ Result<Value> Context::OutgoingCall(Component* from,
     auto it = replay_feed_->replies.find(seq);
     if (it != replay_feed_->replies.end()) {
       const ReplyReceivedRecord& rec = it->second;
+      // Condition 5: the send is suppressed, the logged reply is returned.
+      sim->metrics()
+          .GetCounter("phoenix.intercept.replay_suppressed",
+                      obs::LabelSet{{"process", obs_label}})
+          .Increment();
+      obs_span.AddArg(obs::Arg("replay", "suppressed"));
       if (rec.status_code != 0) {
         return Status(static_cast<StatusCode>(rec.status_code),
                       "replayed failure reply");
@@ -397,6 +437,12 @@ Result<ReplyMessage> Context::SendWithRetry(CallMessage msg) {
     if (result.ok()) return result;
     if (!result.status().IsUnavailable()) return result;
     if (!proc->alive()) return Status::Crashed("caller died while sending");
+
+    // Condition 4 retry: same call ID, after backoff and a server restart.
+    sim->metrics()
+        .GetCounter("phoenix.intercept.retries",
+                    obs::LabelSet{{"process", ProcLabel(proc)}})
+        .Increment();
 
     // Condition 4: wait a while, make sure the server is restarted, retry
     // with the same call ID (§2.5).

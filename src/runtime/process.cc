@@ -91,6 +91,13 @@ void Process::Kill() {
   last_calls_.Clear();
   remote_types_.Clear();
   next_parent_id_ = 1;
+  Simulation* sim = simulation();
+  std::string label = StrCat(machine_name(), "/", pid_);
+  sim->metrics()
+      .GetCounter("phoenix.process.crashes", obs::LabelSet{{"process", label}})
+      .Increment();
+  sim->tracer().Instant("process", "crash", label,
+                        {obs::Arg("crash_count", crash_count_)});
   machine_->recovery_service().NotifyCrashed(pid_);
 }
 
@@ -99,6 +106,10 @@ void Process::Start() {
   log_ = std::make_unique<LogManager>(log_name(), &sim->storage(),
                                       &machine_->disk(), &sim->clock(),
                                       &sim->costs());
+  // The registry-backed log series survive this restart (the LogManager's
+  // own per-instance stats do not).
+  log_->BindObs(&sim->metrics(), &sim->tracer(),
+                StrCat(machine_name(), "/", pid_));
   checkpoints_ = std::make_unique<CheckpointManager>(this);
   contexts_.clear();
   component_to_context_.clear();

@@ -1,6 +1,7 @@
 #include "runtime/simulation.h"
 
 #include "common/macros.h"
+#include "common/strings.h"
 #include "runtime/context.h"
 #include "runtime/process.h"
 
@@ -11,6 +12,7 @@ Simulation::Simulation(RuntimeOptions options, SimulationParams params)
       params_(params),
       injector_(),
       network_(params_.network) {
+  tracer_.set_enabled(params_.trace_enabled);
   if (!params_.persistence_dir.empty()) {
     PHX_CHECK_OK(storage_.EnablePersistence(params_.persistence_dir));
   }
@@ -42,6 +44,36 @@ Process* Simulation::ResolveProcess(const std::string& uri) {
 
 Result<ReplyMessage> Simulation::RouteCall(const std::string& source_machine,
                                            const CallMessage& msg) {
+  // Message interception point: every cross-context call passes through
+  // here, so this is where per-call latency is attributed.
+  Process* target = ResolveProcess(msg.target_uri);
+  std::string label =
+      target != nullptr
+          ? StrCat(target->machine_name(), "/", target->pid())
+          : "unroutable";
+
+  double t0 = clock_.NowMs();
+  obs::Tracer::Span span = tracer_.StartSpan(
+      "call", msg.method, label,
+      {obs::Arg("target", msg.target_uri),
+       obs::Arg("source", source_machine.empty() ? "external"
+                                                 : source_machine)});
+  Result<ReplyMessage> result = RouteCallInner(source_machine, msg);
+  double elapsed = clock_.NowMs() - t0;
+
+  obs::LabelSet labels{{"process", label}};
+  metrics_.GetCounter("phoenix.call.routed", labels).Increment();
+  if (!result.ok()) {
+    metrics_.GetCounter("phoenix.call.errors", labels).Increment();
+  }
+  metrics_.GetHistogram("phoenix.call.latency_ms", labels).Record(elapsed);
+  span.AddArg(obs::Arg("elapsed_ms", elapsed));
+  span.AddArg(obs::Arg("ok", result.ok() ? "true" : "false"));
+  return result;
+}
+
+Result<ReplyMessage> Simulation::RouteCallInner(
+    const std::string& source_machine, const CallMessage& msg) {
   Process* target = ResolveProcess(msg.target_uri);
   if (target == nullptr) {
     return Status::NotFound("unroutable target: " + msg.target_uri);
@@ -99,6 +131,16 @@ uint64_t Simulation::TotalAppends() const {
   for (const auto& [name, machine] : machines_) {
     for (const auto& [pid, process] : machine->processes()) {
       total += process->log().num_appends();
+    }
+  }
+  return total;
+}
+
+uint64_t Simulation::TotalBytesForced() const {
+  uint64_t total = 0;
+  for (const auto& [name, machine] : machines_) {
+    for (const auto& [pid, process] : machine->processes()) {
+      total += process->log().bytes_forced();
     }
   }
   return total;

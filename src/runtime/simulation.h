@@ -8,6 +8,8 @@
 
 #include "common/result.h"
 #include "core/options.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "runtime/component.h"
 #include "runtime/machine.h"
 #include "runtime/message.h"
@@ -29,6 +31,9 @@ struct SimulationParams {
   // what a previous run left there), so Phoenix state survives restarts of
   // the hosting OS process. See StableStorage::EnablePersistence.
   std::string persistence_dir;
+  // Record structured trace events (src/obs/tracer.h). Metrics are always
+  // collected; tracing is opt-in because events accumulate in memory.
+  bool trace_enabled = false;
 };
 
 // The root object: the whole distributed system under test. Owns the clock,
@@ -50,6 +55,11 @@ class Simulation {
 
   // --- shared services ---
   SimClock& clock() { return clock_; }
+  // Observability (src/obs/): the sim-time metrics registry and the
+  // structured event tracer every subsystem reports into.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
   StableStorage& storage() { return storage_; }
   FailureInjector& injector() { return injector_; }
   NetworkModel& network() { return network_; }
@@ -83,11 +93,19 @@ class Simulation {
   // --- aggregate statistics (benchmarks read deltas) ---
   uint64_t TotalForces() const;
   uint64_t TotalAppends() const;
+  uint64_t TotalBytesForced() const;
 
  private:
+  // The un-instrumented transport path; RouteCall wraps it with metrics and
+  // trace spans.
+  Result<ReplyMessage> RouteCallInner(const std::string& source_machine,
+                                      const CallMessage& msg);
+
   RuntimeOptions options_;
   SimulationParams params_;
   SimClock clock_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_{&clock_};
   StableStorage storage_;
   FailureInjector injector_;
   NetworkModel network_;

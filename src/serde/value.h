@@ -88,7 +88,7 @@ template <typename... Args>
 ArgList MakeArgs(Args&&... args) {
   ArgList out;
   out.reserve(sizeof...(args));
-  (out.emplace_back(Value(std::forward<Args>(args))), ...);
+  (out.emplace_back(std::forward<Args>(args)), ...);
   return out;
 }
 

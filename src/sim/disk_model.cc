@@ -11,6 +11,20 @@ DiskModel::DiskModel(const DiskParams& params, uint64_t seed)
   period_ms_ = params_.rotation_ms * (1.0 + params_.spindle_tolerance * u);
 }
 
+namespace {
+
+void Accumulate(DiskModel::WriteBreakdown& total,
+                const DiskModel::WriteBreakdown& one) {
+  total.seek_ms += one.seek_ms;
+  total.settle_ms += one.settle_ms;
+  total.rotational_wait_ms += one.rotational_wait_ms;
+  total.transfer_ms += one.transfer_ms;
+  total.cached_ms += one.cached_ms;
+  total.total_ms += one.total_ms;
+}
+
+}  // namespace
+
 double DiskModel::WriteLatencyMs(double now_ms, size_t bytes) {
   ++total_writes_;
   total_bytes_ += bytes;
@@ -21,6 +35,10 @@ double DiskModel::WriteLatencyMs(double now_ms, size_t bytes) {
     double latency =
         params_.cached_write_ms + static_cast<double>(bytes) / 133000.0;
     total_media_time_ms_ += latency;
+    last_breakdown_ = WriteBreakdown{};
+    last_breakdown_.cached_ms = latency;
+    last_breakdown_.total_ms = latency;
+    Accumulate(total_breakdown_, last_breakdown_);
     return latency;
   }
 
@@ -46,6 +64,13 @@ double DiskModel::WriteLatencyMs(double now_ms, size_t bytes) {
   double latency = seek + settle + wait + transfer;
   next_sector_phase_ms_ = std::fmod(now_ms + latency, rotation);
   total_media_time_ms_ += latency;
+  last_breakdown_ = WriteBreakdown{};
+  last_breakdown_.seek_ms = seek;
+  last_breakdown_.settle_ms = settle;
+  last_breakdown_.rotational_wait_ms = wait;
+  last_breakdown_.transfer_ms = transfer;
+  last_breakdown_.total_ms = latency;
+  Accumulate(total_breakdown_, last_breakdown_);
   return latency;
 }
 

@@ -43,6 +43,19 @@ struct DiskParams {
 // experiments, and the ~5-6 ms per force of the remote ones.
 class DiskModel {
  public:
+  // Where the milliseconds of one write went (observability: the tracer
+  // attaches this to every force event, and the metrics registry accumulates
+  // the totals). cached_ms is the whole latency when the write cache
+  // answers; the mechanical fields are then zero.
+  struct WriteBreakdown {
+    double seek_ms = 0;
+    double settle_ms = 0;
+    double rotational_wait_ms = 0;
+    double transfer_ms = 0;
+    double cached_ms = 0;
+    double total_ms = 0;
+  };
+
   // `seed` drives small per-write seek jitter (head settling), which keeps
   // interleaved workloads from phase-locking artificially.
   explicit DiskModel(const DiskParams& params, uint64_t seed);
@@ -58,6 +71,10 @@ class DiskModel {
   uint64_t total_writes() const { return total_writes_; }
   uint64_t total_bytes() const { return total_bytes_; }
   double total_media_time_ms() const { return total_media_time_ms_; }
+
+  // Attribution of the most recent write and the accumulated totals.
+  const WriteBreakdown& last_breakdown() const { return last_breakdown_; }
+  const WriteBreakdown& total_breakdown() const { return total_breakdown_; }
 
   const DiskParams& params() const { return params_; }
   void set_write_cache_enabled(bool enabled) {
@@ -78,6 +95,8 @@ class DiskModel {
   uint64_t total_writes_ = 0;
   uint64_t total_bytes_ = 0;
   double total_media_time_ms_ = 0.0;
+  WriteBreakdown last_breakdown_;
+  WriteBreakdown total_breakdown_;
 };
 
 }  // namespace phoenix

@@ -53,6 +53,23 @@ void LogManager::WriteWellKnownLsn(uint64_t lsn) {
   enc.PutU64(lsn);
   storage_->WriteFile(well_known_name_, enc.buffer());
   clock_->AdvanceMs(disk_->WriteLatencyMs(clock_->NowMs(), enc.size()));
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("phoenix.log.wkf_writes",
+                     obs::LabelSet{{"process", component_}})
+        .Increment();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("log", "wkf_write", component_, {obs::Arg("lsn", lsn)});
+  }
+}
+
+void LogManager::BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                         std::string component) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  component_ = component;
+  writer_.BindObs(metrics, tracer, std::move(component));
 }
 
 Result<uint64_t> LogManager::ReadWellKnownLsn() const {

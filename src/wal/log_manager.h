@@ -71,6 +71,11 @@ class LogManager {
   // kNotFound if no checkpoint has ever completed.
   Result<uint64_t> ReadWellKnownLsn() const;
 
+  // Connects the log (and its writer) to the simulation-wide metrics
+  // registry and tracer; `component` labels everything (e.g. "ma/1").
+  void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+               std::string component);
+
   // --- statistics ---
   uint64_t num_appends() const { return writer_.num_appends(); }
   uint64_t num_forces() const { return writer_.num_forces(); }
@@ -85,6 +90,11 @@ class LogManager {
   const CostModel* costs_;
   LogWriter writer_;
   std::string well_known_name_;
+
+  // Observability sinks (unowned; null until BindObs).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::string component_;
 };
 
 }  // namespace phoenix

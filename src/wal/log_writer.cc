@@ -13,6 +13,14 @@ LogWriter::LogWriter(std::string log_name, StableStorage* storage,
       buffer_capacity_(buffer_capacity),
       stable_bytes_(storage->LogSize(log_name_)) {}
 
+void LogWriter::BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                        std::string component) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  component_ = std::move(component);
+  labels_ = obs::LabelSet{{"process", component_}};
+}
+
 uint64_t LogWriter::AppendPayload(const std::vector<uint8_t>& payload) {
   if (buffer_.size() + payload.size() + 8 > buffer_capacity_ &&
       !buffer_.empty()) {
@@ -29,18 +37,49 @@ uint64_t LogWriter::AppendPayload(const std::vector<uint8_t>& payload) {
   }
   buffer_.insert(buffer_.end(), payload.begin(), payload.end());
   ++num_appends_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("phoenix.log.appends", labels_).Increment();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("log", "append", component_,
+                     {obs::Arg("lsn", lsn),
+                      obs::Arg("bytes", static_cast<uint64_t>(payload.size()))});
+  }
   return lsn;
 }
 
 size_t LogWriter::Force() {
   if (buffer_.empty()) return 0;
   size_t bytes = buffer_.size();
+  obs::Tracer::Span span;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    span = tracer_->StartSpan("log", "force", component_,
+                              {obs::Arg("bytes", static_cast<uint64_t>(bytes))});
+  }
   storage_->AppendLog(log_name_, buffer_);
   stable_bytes_ += bytes;
   buffer_.clear();
-  clock_->AdvanceMs(disk_->WriteLatencyMs(clock_->NowMs(), bytes));
+  double latency = disk_->WriteLatencyMs(clock_->NowMs(), bytes);
+  clock_->AdvanceMs(latency);
   ++num_forces_;
   bytes_forced_ += bytes;
+  const DiskModel::WriteBreakdown& bd = disk_->last_breakdown();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("phoenix.log.forces", labels_).Increment();
+    metrics_->GetCounter("phoenix.log.bytes_forced", labels_)
+        .Increment(static_cast<uint64_t>(bytes));
+    metrics_->GetHistogram("phoenix.log.force_latency_ms", labels_)
+        .Record(latency);
+    // Where the force's milliseconds went (§5.2.2's rotational analysis).
+    metrics_->GetGauge("phoenix.disk.seek_ms", labels_).Add(bd.seek_ms +
+                                                            bd.settle_ms);
+    metrics_->GetGauge("phoenix.disk.rotational_wait_ms", labels_)
+        .Add(bd.rotational_wait_ms);
+    metrics_->GetGauge("phoenix.disk.transfer_ms", labels_).Add(bd.transfer_ms);
+  }
+  span.AddArg(obs::Arg("latency_ms", latency));
+  span.AddArg(obs::Arg("rotational_wait_ms", bd.rotational_wait_ms));
+  span.AddArg(obs::Arg("transfer_ms", bd.transfer_ms));
   return bytes;
 }
 

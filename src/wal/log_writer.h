@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/disk_model.h"
 #include "sim/sim_clock.h"
 #include "sim/stable_storage.h"
@@ -52,6 +54,13 @@ class LogWriter {
 
   const std::string& log_name() const { return log_name_; }
 
+  // Connects this writer to the simulation-wide observability sinks.
+  // `component` labels every metric/event (e.g. "ma/1"). Stats below keep
+  // working unbound; the registry-backed series additionally survive the
+  // process restarts that recreate this writer.
+  void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+               std::string component);
+
   // --- statistics (benchmarks read deltas of these) ---
   uint64_t num_appends() const { return num_appends_; }
   uint64_t num_forces() const { return num_forces_; }
@@ -69,6 +78,12 @@ class LogWriter {
   uint64_t num_appends_ = 0;
   uint64_t num_forces_ = 0;
   uint64_t bytes_forced_ = 0;
+
+  // Observability sinks (unowned; null until BindObs).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::string component_;
+  obs::LabelSet labels_;
 };
 
 }  // namespace phoenix

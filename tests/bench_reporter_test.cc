@@ -1,0 +1,133 @@
+// BenchReporter: the phoenix.bench.v1 schema round-trips through the JSON
+// parser, variants keep insertion order, and WriteFile emits exactly ToJson.
+
+#include "obs/bench_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace phoenix::obs {
+namespace {
+
+void Populate(BenchReporter& reporter) {
+  BenchVariant& baseline = reporter.AddVariant("baseline");
+  baseline.SetMetric("forces", uint64_t{928});
+  baseline.SetMetric("appends", uint64_t{1392});
+  baseline.SetMetric("bytes_forced", uint64_t{123456});
+  baseline.SetMetric("per_call_ms", 36.5);
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(2.0);
+  baseline.SetLatency(h);
+
+  BenchVariant& optimized = reporter.AddVariant("optimized");
+  optimized.SetMetric("forces", uint64_t{464});
+  optimized.SetLatency(LatencySummary{
+      .count = 50, .mean = 1, .p50 = 1, .p95 = 1, .p99 = 1, .min = 1,
+      .max = 1});
+}
+
+TEST(BenchReporterTest, SchemaRoundTrip) {
+  BenchReporter reporter("unit_test_bench");
+  Populate(reporter);
+  auto parsed = ParseJson(reporter.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const JsonValue* schema = parsed->Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->AsString(), kBenchSchema);
+  const JsonValue* bench = parsed->Find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->AsString(), "unit_test_bench");
+
+  const JsonValue* variants = parsed->Find("variants");
+  ASSERT_NE(variants, nullptr);
+  ASSERT_EQ(variants->AsArray().size(), 2u);
+
+  // Insertion order is preserved.
+  const JsonValue& v0 = variants->AsArray()[0];
+  EXPECT_EQ(v0.Find("name")->AsString(), "baseline");
+  const JsonValue* metrics = v0.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->Find("forces")->AsNumber(), 928);
+  EXPECT_DOUBLE_EQ(metrics->Find("appends")->AsNumber(), 1392);
+  EXPECT_DOUBLE_EQ(metrics->Find("bytes_forced")->AsNumber(), 123456);
+  EXPECT_DOUBLE_EQ(metrics->Find("per_call_ms")->AsNumber(), 36.5);
+
+  const JsonValue* latency = v0.Find("latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->Find("count")->AsNumber(), 50);
+  EXPECT_DOUBLE_EQ(latency->Find("mean")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(latency->Find("p50")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(latency->Find("p95")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(latency->Find("p99")->AsNumber(), 2.0);
+
+  const JsonValue& v1 = variants->AsArray()[1];
+  EXPECT_EQ(v1.Find("name")->AsString(), "optimized");
+  EXPECT_DOUBLE_EQ(v1.Find("metrics")->Find("forces")->AsNumber(), 464);
+}
+
+TEST(BenchReporterTest, ToJsonIsDeterministic) {
+  BenchReporter a("unit_test_bench");
+  Populate(a);
+  BenchReporter b("unit_test_bench");
+  Populate(b);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(BenchReporterTest, WriteFileMatchesToJson) {
+  BenchReporter reporter("unit_test_bench");
+  Populate(reporter);
+  std::string path =
+      ::testing::TempDir() + "/BENCH_bench_reporter_test_roundtrip.json";
+  auto written = reporter.WriteFile(path);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(*written, path);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), reporter.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReporterTest, DefaultPathUsesBenchName) {
+  BenchReporter reporter("naming_check");
+  // Point the default at a writable spot by passing the path explicitly;
+  // here we only check the naming contract of the empty-path overload by
+  // writing into the current directory.
+  auto written = reporter.WriteFile();
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(*written, "BENCH_naming_check.json");
+  std::ifstream in(*written, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  auto parsed = ParseJson(content.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("bench")->AsString(), "naming_check");
+  std::remove(written->c_str());
+}
+
+TEST(BenchVariantTest, MetricsSortedByName) {
+  BenchReporter reporter("order");
+  BenchVariant& v = reporter.AddVariant("v");
+  v.SetMetric("zeta", uint64_t{1});
+  v.SetMetric("alpha", uint64_t{2});
+  auto parsed = ParseJson(reporter.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* metrics =
+      parsed->Find("variants")->AsArray()[0].Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->AsObject().size(), 2u);
+  EXPECT_EQ(metrics->AsObject()[0].first, "alpha");
+  EXPECT_EQ(metrics->AsObject()[1].first, "zeta");
+}
+
+}  // namespace
+}  // namespace phoenix::obs

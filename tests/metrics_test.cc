@@ -1,0 +1,190 @@
+// MetricsRegistry: counter/gauge identity, histogram bucket and percentile
+// math, cross-label aggregation, and deterministic JSON snapshots.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  // Bucket i counts samples in [bounds[i-1], bounds[i]); overflow is last.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Record(0.5);   // bucket 0: (-inf, 1)
+  h.Record(1.0);   // bucket 1 (lower bound is inclusive)
+  h.Record(1.5);   // bucket 1: [1, 2)
+  h.Record(3.0);   // bucket 2: [2, 4)
+  h.Record(100.0); // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleCollapsesPercentiles) {
+  Histogram h;
+  h.Record(3.25);
+  // Clamping to the observed [min, max] makes every percentile exact here.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 3.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 3.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 3.25);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 0.01);  // 0.01 .. 10.0
+  double prev = h.Percentile(0);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  // The median of a uniform 0.01..10 sweep lands near 5 (bucket resolution
+  // limits precision; the default bounds have 8 buckets per decade).
+  EXPECT_NEAR(h.Percentile(50), 5.0, 2.0);
+}
+
+TEST(HistogramTest, MergeAddsCountsAndExtremes) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a.Record(0.5);
+  a.Record(5.0);
+  b.Record(20.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // b's overflow sample arrived
+}
+
+TEST(SummarizeTest, FieldsMatchHistogram) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1.0);
+  LatencySummary s = Summarize(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  EXPECT_DOUBLE_EQ(s.p95, 1.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+TEST(MetricsRegistryTest, LookupCreatesOnceAndIsStable) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("phoenix.log.forces", {{"process", "ma/1"}});
+  a.Increment(3);
+  Counter& b = reg.GetCounter("phoenix.log.forces", {{"process", "ma/1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // A different label set is a different series.
+  Counter& c = reg.GetCounter("phoenix.log.forces", {{"process", "ma/2"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistryTest, CounterTotalSumsAcrossLabels) {
+  MetricsRegistry reg;
+  reg.GetCounter("phoenix.log.forces", {{"process", "ma/1"}}).Increment(3);
+  reg.GetCounter("phoenix.log.forces", {{"process", "mb/1"}}).Increment(4);
+  reg.GetCounter("phoenix.log.appends", {{"process", "ma/1"}}).Increment(9);
+  EXPECT_EQ(reg.CounterTotal("phoenix.log.forces"), 7u);
+  EXPECT_EQ(reg.CounterTotal("phoenix.log.appends"), 9u);
+  EXPECT_EQ(reg.CounterTotal("phoenix.absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, MergedHistogramSpansLabels) {
+  MetricsRegistry reg;
+  reg.GetHistogram("phoenix.call.latency_ms", {{"process", "ma/1"}})
+      .Record(1.0);
+  reg.GetHistogram("phoenix.call.latency_ms", {{"process", "mb/1"}})
+      .Record(3.0);
+  Histogram merged = reg.MergedHistogram("phoenix.call.latency_ms");
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 3.0);
+  EXPECT_EQ(reg.MergedHistogram("phoenix.absent").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("x"), nullptr);
+  reg.GetCounter("x").Increment();
+  ASSERT_NE(reg.FindCounter("x"), nullptr);
+  EXPECT_EQ(reg.FindCounter("x")->value(), 1u);
+  EXPECT_EQ(reg.FindHistogram("y"), nullptr);
+}
+
+// Two registries populated identically — in different insertion orders —
+// must serialize byte-identically: snapshots are part of the deterministic
+// surface.
+TEST(MetricsRegistryTest, JsonSnapshotIsDeterministic) {
+  MetricsRegistry a;
+  a.GetCounter("phoenix.log.forces", {{"process", "ma/1"}}).Increment(2);
+  a.GetGauge("phoenix.disk.seek_ms", {{"process", "ma/1"}}).Add(1.25);
+  a.GetHistogram("phoenix.call.latency_ms").Record(0.5);
+
+  MetricsRegistry b;
+  b.GetHistogram("phoenix.call.latency_ms").Record(0.5);
+  b.GetGauge("phoenix.disk.seek_ms", {{"process", "ma/1"}}).Add(1.25);
+  b.GetCounter("phoenix.log.forces", {{"process", "ma/1"}}).Increment(2);
+
+  JsonWriter wa;
+  a.WriteJson(wa);
+  JsonWriter wb;
+  b.WriteJson(wb);
+  EXPECT_EQ(wa.str(), wb.str());
+
+  // And the snapshot is valid JSON with the three sections.
+  auto parsed = ParseJson(wa.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("counters"), nullptr);
+  EXPECT_NE(parsed->Find("gauges"), nullptr);
+  EXPECT_NE(parsed->Find("histograms"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesEverything) {
+  MetricsRegistry reg;
+  reg.GetCounter("x").Increment();
+  reg.Clear();
+  EXPECT_EQ(reg.FindCounter("x"), nullptr);
+  EXPECT_EQ(reg.CounterTotal("x"), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix::obs

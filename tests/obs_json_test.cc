@@ -1,0 +1,91 @@
+// The observability JSON layer: deterministic number formatting, escaping,
+// the streaming writer, and the parser it round-trips through.
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix::obs {
+namespace {
+
+TEST(JsonEscapeTest, PlainAndSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("abc"), "\"abc\"");
+  EXPECT_EQ(JsonEscape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "\"a\\u0001z\"");
+}
+
+TEST(JsonNumberTest, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(uint64_t{123456789}), "123456789");
+  EXPECT_EQ(JsonNumber(int64_t{-7}), "-7");
+}
+
+TEST(JsonNumberTest, FractionsAndNonFinite) {
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, CompactObject) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("a")
+      .Number(1)
+      .Key("b")
+      .String("x")
+      .Key("c")
+      .BeginArray()
+      .Number(1.5)
+      .Bool(true)
+      .Null()
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":[1.5,true,null]}");
+}
+
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .String("fo\"rce")
+      .Key("values")
+      .BeginArray()
+      .Number(1)
+      .Number(2.25)
+      .EndArray()
+      .EndObject();
+
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* name = parsed->Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->AsString(), "fo\"rce");
+  const JsonValue* values = parsed->Find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(values->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(values->AsArray()[1].AsNumber(), 2.25);
+}
+
+TEST(JsonParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonParserTest, ObjectOrderPreserved) {
+  auto parsed = ParseJson("{\"z\":1,\"a\":2}");
+  ASSERT_TRUE(parsed.ok());
+  const auto& members = parsed->AsObject();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+}
+
+}  // namespace
+}  // namespace phoenix::obs

@@ -143,7 +143,7 @@ TEST(LogPropertyTest, LsnsMonotoneAndStablePrefixGrows) {
       rec.context_id = rng.Uniform(5);
       rec.method = "m" + std::to_string(rng.Uniform(3));
       for (uint64_t k = 0; k < rng.Uniform(4); ++k) {
-        rec.args.push_back(Value(static_cast<int64_t>(rng.Next() % 1000)));
+        rec.args.emplace_back(static_cast<int64_t>(rng.Next() % 1000));
       }
       uint64_t lsn = log.Append(rec);
       EXPECT_TRUE(first || lsn > last_lsn);

@@ -1,0 +1,228 @@
+// Tracer: event ordering and span RAII on a bare SimClock, JSONL/Chrome
+// export round-trips, dump-mode filtering, and whole-simulation determinism
+// (two same-seed runs emit byte-identical traces and metrics snapshots).
+
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "runtime/simulation.h"
+#include "tests/test_components.h"
+
+namespace phoenix::obs {
+namespace {
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  ASSERT_FALSE(tracer.enabled());
+  tracer.Instant("log", "append", "ma/1", {Arg("lsn", uint64_t{1})});
+  {
+    Tracer::Span span = tracer.StartSpan("log", "force", "ma/1");
+    span.AddArg(Arg("bytes", uint64_t{512}));
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.ExportJsonl(), "");
+}
+
+TEST(TracerTest, EventsCarryClockTimeInOrder) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+
+  tracer.Instant("call", "route", "ma/1");
+  clock.AdvanceMs(2.5);
+  {
+    Tracer::Span span = tracer.StartSpan("log", "force", "ma/1",
+                                         {Arg("bytes", uint64_t{512})});
+    clock.AdvanceMs(7.5);
+    span.AddArg(Arg("latency_ms", 7.5));
+  }
+
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, TracePhase::kInstant);
+  EXPECT_DOUBLE_EQ(events[0].ts_ms, 0.0);
+  EXPECT_EQ(events[1].phase, TracePhase::kBegin);
+  EXPECT_DOUBLE_EQ(events[1].ts_ms, 2.5);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].key, "bytes");
+  EXPECT_EQ(events[2].phase, TracePhase::kEnd);
+  EXPECT_DOUBLE_EQ(events[2].ts_ms, 10.0);
+  ASSERT_EQ(events[2].args.size(), 1u);
+  EXPECT_EQ(events[2].args[0].key, "latency_ms");
+  // Sim time never goes backwards within a trace.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ms, events[i - 1].ts_ms);
+  }
+}
+
+TEST(TracerTest, SpanEndIsIdempotentAndMoveSafe) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+  Tracer::Span a = tracer.StartSpan("t", "x", "c");
+  Tracer::Span b = std::move(a);
+  b.End();
+  b.End();  // no double end event
+  a.End();  // moved-from handle is inert
+  EXPECT_EQ(tracer.events().size(), 2u);
+}
+
+TEST(TracerTest, JsonlRoundTripsThroughParser) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+  tracer.Instant("log", "append", "ma/1",
+                 {Arg("lsn", uint64_t{7}), Arg("note", "first")});
+  clock.AdvanceMs(1.0);
+  { Tracer::Span span = tracer.StartSpan("recovery", "redo", "mb/2"); }
+
+  std::string jsonl = tracer.ExportJsonl();
+  auto parsed = ParseTraceJsonl(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), tracer.events().size());
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const TraceEvent& in = tracer.events()[i];
+    const TraceEvent& out = (*parsed)[i];
+    EXPECT_DOUBLE_EQ(out.ts_ms, in.ts_ms);
+    EXPECT_EQ(out.phase, in.phase);
+    EXPECT_EQ(out.category, in.category);
+    EXPECT_EQ(out.name, in.name);
+    EXPECT_EQ(out.component, in.component);
+    ASSERT_EQ(out.args.size(), in.args.size());
+    for (size_t k = 0; k < out.args.size(); ++k) {
+      EXPECT_EQ(out.args[k].key, in.args[k].key);
+      EXPECT_EQ(out.args[k].value, in.args[k].value);
+    }
+  }
+}
+
+TEST(TracerTest, FilterTraceByComponentAndTime) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+  tracer.Instant("a", "e0", "ma/1");
+  clock.AdvanceMs(10);
+  tracer.Instant("a", "e1", "mb/1");
+  clock.AdvanceMs(10);
+  tracer.Instant("a", "e2", "ma/1");
+
+  auto by_component = FilterTrace(tracer.events(), "ma/", 0,
+                                  std::numeric_limits<double>::infinity());
+  ASSERT_EQ(by_component.size(), 2u);
+  EXPECT_EQ(by_component[0].name, "e0");
+  EXPECT_EQ(by_component[1].name, "e2");
+
+  auto by_time = FilterTrace(tracer.events(), "", 5.0, 15.0);
+  ASSERT_EQ(by_time.size(), 1u);
+  EXPECT_EQ(by_time[0].name, "e1");
+}
+
+TEST(TracerTest, ChromeTraceIsValidJson) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+  tracer.Instant("log", "append", "ma/1", {Arg("lsn", uint64_t{1})});
+  { Tracer::Span span = tracer.StartSpan("log", "force", "ma/1"); }
+
+  auto parsed = ParseJson(tracer.ExportChromeTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // At least our three events (metadata rows are allowed on top).
+  EXPECT_GE(events->AsArray().size(), 3u);
+}
+
+// Runs a small workload — calls, a crash, a recovery — on a traced
+// Simulation and returns its observability surface.
+struct TracedRun {
+  std::string jsonl;
+  std::string chrome;
+  std::string metrics;
+};
+
+TracedRun RunTracedWorkload() {
+  SimulationParams params;
+  params.trace_enabled = true;
+  Simulation sim({}, params);
+  phoenix::testing::RegisterTestComponents(sim.factories());
+  Machine& ma = sim.AddMachine("ma");
+  Process& proc = ma.CreateProcess();
+  ExternalClient client(&sim, "ma");
+  auto counter = client.CreateComponent(proc, "Counter", "ctr",
+                                        ComponentKind::kPersistent, {});
+  EXPECT_TRUE(counter.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(client.Call(*counter, "Add", MakeArgs(int64_t{1})).ok());
+  }
+  proc.Kill();
+  EXPECT_TRUE(ma.recovery_service().EnsureProcessAlive(proc.pid()).ok());
+  EXPECT_EQ(client.Call(*counter, "Get", {}).value().AsInt(), 20);
+
+  TracedRun run;
+  run.jsonl = sim.tracer().ExportJsonl();
+  run.chrome = sim.tracer().ExportChromeTrace();
+  JsonWriter w;
+  sim.metrics().WriteJson(w);
+  run.metrics = w.str();
+  return run;
+}
+
+TEST(TracerDeterminismTest, SameSeedRunsAreByteIdentical) {
+  TracedRun a = RunTracedWorkload();
+  TracedRun b = RunTracedWorkload();
+  EXPECT_FALSE(a.jsonl.empty());
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.chrome, b.chrome);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(TracerDeterminismTest, WorkloadTraceCoversTheSubsystems) {
+  TracedRun run = RunTracedWorkload();
+  auto events = ParseTraceJsonl(run.jsonl);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  bool saw_log = false, saw_intercept = false, saw_recovery = false,
+       saw_crash = false;
+  for (const TraceEvent& ev : *events) {
+    if (ev.category == "log") saw_log = true;
+    if (ev.category == "intercept") saw_intercept = true;
+    if (ev.category == "recovery") saw_recovery = true;
+    if (ev.category == "process" && ev.name == "crash") saw_crash = true;
+  }
+  EXPECT_TRUE(saw_log);
+  EXPECT_TRUE(saw_intercept);
+  EXPECT_TRUE(saw_recovery);
+  EXPECT_TRUE(saw_crash);
+}
+
+// Tracing must not alter the simulation: same workload, tracer on vs off,
+// identical sim time and metrics.
+TEST(TracerDeterminismTest, TracingDoesNotPerturbTheRun) {
+  auto run = [](bool trace) {
+    SimulationParams params;
+    params.trace_enabled = trace;
+    Simulation sim({}, params);
+    phoenix::testing::RegisterTestComponents(sim.factories());
+    Machine& ma = sim.AddMachine("ma");
+    Process& proc = ma.CreateProcess();
+    ExternalClient client(&sim, "ma");
+    auto counter = client.CreateComponent(proc, "Counter", "ctr",
+                                          ComponentKind::kPersistent, {});
+    EXPECT_TRUE(counter.ok());
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(client.Call(*counter, "Add", MakeArgs(int64_t{1})).ok());
+    }
+    JsonWriter w;
+    sim.metrics().WriteJson(w);
+    return std::make_pair(sim.clock().NowMs(), w.str());
+  };
+  auto traced = run(true);
+  auto untraced = run(false);
+  EXPECT_DOUBLE_EQ(traced.first, untraced.first);
+  EXPECT_EQ(traced.second, untraced.second);
+}
+
+}  // namespace
+}  // namespace phoenix::obs

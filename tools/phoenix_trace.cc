@@ -11,19 +11,28 @@
 //                 [--crash=<point>:<hit>]...    (point: see --list-points)
 //                 [--save-every=N] [--checkpoint-every=N] [--gc]
 //                 [--multicall] [--dump-log] [--dump-tables]
+//                 [--trace-jsonl=FILE] [--trace-chrome=FILE]
+//                 [--metrics-json=FILE]
 //                 [--list-points]
+//   phoenix_trace --dump-trace=FILE [--component=SUBSTR]
+//                 [--from-ms=T0] [--to-ms=T1]
 //
 // Examples:
 //   phoenix_trace --level=specialized --sessions=2 --dump-log
 //   phoenix_trace --crash=before_reply_send:3 --dump-tables
+//   phoenix_trace --trace-jsonl=run.jsonl --trace-chrome=run.trace.json
+//   phoenix_trace --dump-trace=run.jsonl --component=server/1 --from-ms=100
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bookstore/setup.h"
 #include "common/strings.h"
+#include "obs/json.h"
+#include "obs/tracer.h"
 #include "recovery/checkpoint_manager.h"
 #include "wal/log_dump.h"
 
@@ -41,6 +50,16 @@ struct Options {
   bool multicall = false;
   bool dump_log = false;
   bool dump_tables = false;
+  // Trace recording (scenario mode).
+  std::string trace_jsonl;   // write the run's trace as JSONL here
+  std::string trace_chrome;  // write the run's Chrome trace_event JSON here
+  std::string metrics_json;  // write the run's metrics snapshot here
+  // Trace dump mode: read a previously written JSONL trace instead of
+  // running a scenario.
+  std::string dump_trace;
+  std::string component;  // substring filter on the component label
+  double from_ms = 0;
+  double to_ms = std::numeric_limits<double>::infinity();
 };
 
 bool ParsePoint(const std::string& name, FailurePoint* out) {
@@ -66,8 +85,11 @@ int Usage(const char* argv0) {
                "usage: %s [--level=...] [--sessions=N] [--stores=N] "
                "[--crash=point:hit] [--save-every=N] [--checkpoint-every=N] "
                "[--gc] [--multicall] [--dump-log] [--dump-tables] "
-               "[--list-points]\n",
-               argv0);
+               "[--trace-jsonl=F] [--trace-chrome=F] [--metrics-json=F] "
+               "[--list-points]\n"
+               "       %s --dump-trace=F [--component=S] [--from-ms=T] "
+               "[--to-ms=T]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -77,6 +99,58 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   if (!StartsWith(arg, prefix)) return false;
   *value = arg.substr(prefix.size());
   return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Reads a JSONL trace written by --trace-jsonl (or a Simulation) and prints
+// the events that survive the component/time-range filter.
+int DumpTrace(const Options& opts) {
+  std::FILE* f = std::fopen(opts.dump_trace.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", opts.dump_trace.c_str());
+    return 1;
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto events = obs::ParseTraceJsonl(content);
+  if (!events.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 events.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<obs::TraceEvent> filtered =
+      obs::FilterTrace(*events, opts.component, opts.from_ms, opts.to_ms);
+  std::printf("%zu of %zu event(s) match\n", filtered.size(), events->size());
+  for (const obs::TraceEvent& ev : filtered) {
+    std::string args;
+    for (const obs::TraceArg& a : ev.args) {
+      args += StrCat(" ", a.key, "=", a.value);
+    }
+    std::printf("%12.3f ms  %s %-10s %-24s %-18s%s\n", ev.ts_ms,
+                obs::TracePhaseName(ev.phase), ev.category.c_str(),
+                ev.name.c_str(), ev.component.c_str(), args.c_str());
+  }
+  return 0;
 }
 
 void DumpTables(Process& proc) {
@@ -126,7 +200,10 @@ int Run(const Options& opts) {
   runtime.auto_truncate_log = opts.gc;
   runtime.multi_call_optimization = opts.multicall;
 
-  Simulation sim(runtime);
+  SimulationParams params;
+  params.trace_enabled =
+      !opts.trace_jsonl.empty() || !opts.trace_chrome.empty();
+  Simulation sim(runtime, params);
   bookstore::RegisterBookstoreComponents(sim.factories());
   sim.AddMachine("client");
   Machine& server = sim.AddMachine("server");
@@ -178,7 +255,31 @@ int Run(const Options& opts) {
                 phoenix::DumpLog(proc.log().StableView()).c_str());
   }
   if (opts.dump_tables) DumpTables(proc);
-  return 0;
+
+  bool io_ok = true;
+  if (!opts.trace_jsonl.empty()) {
+    io_ok &= WriteTextFile(opts.trace_jsonl, sim.tracer().ExportJsonl());
+    if (io_ok) {
+      std::printf("trace: %zu event(s) -> %s\n", sim.tracer().events().size(),
+                  opts.trace_jsonl.c_str());
+    }
+  }
+  if (!opts.trace_chrome.empty()) {
+    io_ok &= WriteTextFile(opts.trace_chrome, sim.tracer().ExportChromeTrace());
+    if (io_ok) {
+      std::printf("chrome trace: %s (load in chrome://tracing)\n",
+                  opts.trace_chrome.c_str());
+    }
+  }
+  if (!opts.metrics_json.empty()) {
+    obs::JsonWriter w(2);
+    sim.metrics().WriteJson(w);
+    io_ok &= WriteTextFile(opts.metrics_json, w.str() + "\n");
+    if (io_ok) {
+      std::printf("metrics: %s\n", opts.metrics_json.c_str());
+    }
+  }
+  return io_ok ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -215,6 +316,20 @@ int Main(int argc, char** argv) {
       opts.dump_log = true;
     } else if (arg == "--dump-tables") {
       opts.dump_tables = true;
+    } else if (ParseFlag(arg, "trace-jsonl", &value)) {
+      opts.trace_jsonl = value;
+    } else if (ParseFlag(arg, "trace-chrome", &value)) {
+      opts.trace_chrome = value;
+    } else if (ParseFlag(arg, "metrics-json", &value)) {
+      opts.metrics_json = value;
+    } else if (ParseFlag(arg, "dump-trace", &value)) {
+      opts.dump_trace = value;
+    } else if (ParseFlag(arg, "component", &value)) {
+      opts.component = value;
+    } else if (ParseFlag(arg, "from-ms", &value)) {
+      opts.from_ms = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "to-ms", &value)) {
+      opts.to_ms = std::atof(value.c_str());
     } else if (ParseFlag(arg, "crash", &value)) {
       size_t colon = value.find(':');
       std::string point_name =
@@ -235,6 +350,7 @@ int Main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
+  if (!opts.dump_trace.empty()) return DumpTrace(opts);
   return Run(opts);
 }
 
