@@ -48,6 +48,21 @@ struct RuntimeOptions {
   // bound keeps broken test setups from spinning forever).
   int max_call_retries = 64;
 
+  // Capped exponential backoff between retries: attempt k sleeps
+  // min(initial * multiplier^k, max), plus a seeded uniform jitter of up to
+  // retry_jitter * backoff to de-synchronize concurrent retriers. The first
+  // sleep equals the old fixed 10 ms schedule, so fault-free timings and
+  // the Table 4 benchmark numbers are unchanged.
+  double retry_initial_backoff_ms = 10.0;
+  double retry_backoff_multiplier = 2.0;
+  double retry_max_backoff_ms = 80.0;
+  double retry_jitter = 0.1;
+
+  // Total backoff budget one call may spend across all its retries, in sim
+  // milliseconds (0 = unbounded). With the default schedule 64 retries would
+  // otherwise burn >4 s of sim time per permanently-dead server.
+  double call_retry_budget_ms = 250.0;
+
   // Whether ExternalClient retries unavailable calls too. Externals are
   // outside the guarantees; retrying lets the window-of-vulnerability tests
   // observe duplicate executions.

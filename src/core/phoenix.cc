@@ -1,5 +1,6 @@
 #include "core/phoenix.h"
 
+#include "core/retry.h"
 #include "recovery/recovery_service.h"
 
 namespace phoenix {
@@ -18,6 +19,7 @@ Result<Value> ExternalClient::Call(const std::string& uri,
 
   const RuntimeOptions& opts = sim_->options();
   int attempts = opts.external_client_retries ? opts.max_call_retries + 1 : 1;
+  RetryBackoff backoff(opts);
   Status last = Status::Unavailable("not attempted");
   for (int i = 0; i < attempts; ++i) {
     ++calls_sent_;
@@ -30,7 +32,9 @@ Result<Value> ExternalClient::Call(const std::string& uri,
     last = std::move(reply).status();
     if (!last.IsUnavailable()) return last;
     if (i + 1 >= attempts) break;  // no retry coming: leave the server down
-    sim_->clock().AdvanceMs(sim_->costs().retry_backoff_ms);
+    double delay = backoff.NextDelayMs(sim_->retry_rng());
+    if (delay < 0.0) break;  // retry budget exhausted
+    sim_->clock().AdvanceMs(delay);
     Process* target = sim_->ResolveProcess(uri);
     if (target != nullptr) {
       Status restart =

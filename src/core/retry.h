@@ -1,0 +1,56 @@
+#ifndef PHOENIX_CORE_RETRY_H_
+#define PHOENIX_CORE_RETRY_H_
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/options.h"
+
+namespace phoenix {
+
+// Capped-exponential backoff schedule for one logical call's retry loop
+// (condition 4). Attempt k sleeps min(initial * multiplier^k, max) plus a
+// seeded uniform jitter of up to retry_jitter * that base, and the sum of
+// all sleeps for the call is bounded by call_retry_budget_ms (0 = no bound).
+// The jitter stream is only consumed when a sleep actually happens, so
+// fault-free runs never draw from it.
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(const RuntimeOptions& opts)
+      : initial_ms_(opts.retry_initial_backoff_ms),
+        multiplier_(opts.retry_backoff_multiplier),
+        max_ms_(opts.retry_max_backoff_ms),
+        jitter_(opts.retry_jitter),
+        budget_ms_(opts.call_retry_budget_ms),
+        next_ms_(opts.retry_initial_backoff_ms) {}
+
+  // The sleep before the next retry, or a negative value when the call's
+  // backoff budget is exhausted and the caller should give up.
+  double NextDelayMs(Random& jitter_rng) {
+    if (budget_ms_ > 0.0 && spent_ms_ >= budget_ms_) return -1.0;
+    double base = next_ms_;
+    next_ms_ = std::min(next_ms_ * multiplier_, max_ms_);
+    double delay = base;
+    if (jitter_ > 0.0 && base > 0.0) {
+      delay += base * jitter_ * jitter_rng.NextDouble();
+    }
+    if (budget_ms_ > 0.0) delay = std::min(delay, budget_ms_ - spent_ms_);
+    spent_ms_ += delay;
+    return delay;
+  }
+
+  double spent_ms() const { return spent_ms_; }
+
+ private:
+  double initial_ms_;
+  double multiplier_;
+  double max_ms_;
+  double jitter_;
+  double budget_ms_;
+  double next_ms_;
+  double spent_ms_ = 0.0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_CORE_RETRY_H_

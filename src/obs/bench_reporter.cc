@@ -56,7 +56,7 @@ BenchVariant& BenchReporter::AddVariant(const std::string& name) {
 std::string BenchReporter::ToJson() const {
   JsonWriter w(/*indent=*/2);
   w.BeginObject();
-  w.Key("schema").String(kBenchSchema);
+  w.Key("schema").String(schema_);
   w.Key("bench").String(bench_name_);
   w.Key("variants").BeginArray();
   for (const BenchVariant& variant : variants_) {

@@ -59,13 +59,18 @@ class BenchVariant {
 
 class BenchReporter {
  public:
-  explicit BenchReporter(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+  // `schema` tags the report format; benches use the default, other report
+  // producers (e.g. the chaos-campaign harness, "phoenix.chaos.v1") pass
+  // their own.
+  explicit BenchReporter(std::string bench_name,
+                         std::string schema = kBenchSchema)
+      : bench_name_(std::move(bench_name)), schema_(std::move(schema)) {}
 
   BenchReporter(const BenchReporter&) = delete;
   BenchReporter& operator=(const BenchReporter&) = delete;
 
   const std::string& bench_name() const { return bench_name_; }
+  const std::string& schema() const { return schema_; }
 
   BenchVariant& AddVariant(const std::string& name);
   const std::vector<BenchVariant>& variants() const { return variants_; }
@@ -78,6 +83,7 @@ class BenchReporter {
 
  private:
   std::string bench_name_;
+  std::string schema_;
   std::vector<BenchVariant> variants_;
 };
 

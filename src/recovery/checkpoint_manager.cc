@@ -156,6 +156,9 @@ void CheckpointManager::MaybePublishCheckpoint() {
   // well-known file; recovery starts its first pass there.
   uint64_t published_lsn = pending_begin_lsn_;
   process_->log().WriteWellKnownLsn(published_lsn);
+  // The well-known file now points into the stable checkpoint bracket;
+  // recovery depends on those bytes, so a torn tail may no longer eat them.
+  process_->NoteExternalization();
   pending_begin_lsn_ = kInvalidLsn;
   pending_end_lsn_ = kInvalidLsn;
   ++checkpoints_published_;

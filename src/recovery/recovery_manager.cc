@@ -112,6 +112,7 @@ Status RecoverContextFailure(Process* process, uint64_t context_id) {
     };
 
     LogReader reader(log, origin);
+    reader.EnableSalvage();
     while (auto parsed = reader.Next()) {
       sim->clock().AdvanceMs(sim->costs().recovery_scan_record_ms);
       if (const auto* creation = std::get_if<CreationRecord>(&parsed->record);
@@ -157,10 +158,9 @@ Status RecoveryManager::Recover() {
   obs::Tracer::Span recover_span =
       sim->tracer().StartSpan("recovery", "recover", label);
 
-  // Start point: the published checkpoint, or the whole log.
-  uint64_t start_lsn = 0;
-  Result<uint64_t> well_known = proc.log().ReadWellKnownLsn();
-  if (well_known.ok()) start_lsn = *well_known;
+  // Start point: the published checkpoint, or the whole retained log —
+  // after validating the well-known LSN and salvaging storage damage.
+  uint64_t start_lsn = AssessAndSalvageLog();
 
   // Analysis phase: one forward scan rebuilding the recovery map and the
   // global tables (§4.4's first pass).
@@ -222,12 +222,96 @@ Status RecoveryManager::Recover() {
   return Status::OK();
 }
 
+uint64_t RecoveryManager::AssessAndSalvageLog() {
+  Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  std::string label = ProcLabel(&proc);
+  obs::LabelSet labels{{"process", label}};
+
+  uint64_t start_lsn = proc.log().head_base();
+  Result<uint64_t> well_known = proc.log().ReadWellKnownLsn();
+  if (well_known.ok()) {
+    // A corrupt well-known file (bit rot, or one pointing past a torn tail)
+    // must not be trusted: unless its LSN lands exactly on a readable
+    // begin-checkpoint record, rebuild from a full scan of the retained
+    // log instead.
+    uint64_t wkf = *well_known;
+    LogView log = proc.log().StableView();
+    bool valid = false;
+    if (wkf >= log.base && wkf <= log.base + log.bytes->size()) {
+      Result<LogRecord> rec = ReadRecordAt(log, wkf);
+      valid = rec.ok() &&
+              std::get_if<BeginCheckpointRecord>(&rec.value()) != nullptr;
+    }
+    if (valid) {
+      start_lsn = wkf;
+    } else {
+      sim->metrics()
+          .GetCounter("phoenix.recovery.salvage.wkf_fallback", labels)
+          .Increment();
+      sim->tracer().Instant("recovery", "salvage_wkf_fallback", label,
+                            {obs::Arg("wkf_lsn", wkf),
+                             obs::Arg("scan_from", start_lsn)});
+    }
+  }
+
+  // Damage probe: one un-costed salvage scan. A torn tail is physically
+  // amputated at the first unreadable byte so the partial frame cannot
+  // pollute records appended after this recovery; unreadable mid-log
+  // regions above a checkpoint start force a full scan, because the bytes
+  // lost there may be the checkpoint's own table records.
+  for (;;) {
+    LogView log = proc.log().StableView();
+    LogReader probe(log, start_lsn);
+    probe.EnableSalvage();
+    while (probe.Next()) {
+    }
+    if (probe.tail_torn()) {
+      uint64_t torn_at = probe.torn_offset();
+      uint64_t discarded = log.base + log.bytes->size() - torn_at;
+      proc.log().TruncateStableTail(torn_at);
+      sim->metrics()
+          .GetCounter("phoenix.recovery.salvage.torn_tail_bytes", labels)
+          .Increment(discarded);
+      sim->tracer().Instant("recovery", "salvage_torn_tail", label,
+                            {obs::Arg("torn_at_lsn", torn_at),
+                             obs::Arg("bytes_discarded", discarded)});
+      continue;  // re-probe the amputated log
+    }
+    if (!probe.skipped_ranges().empty() &&
+        start_lsn > proc.log().head_base()) {
+      start_lsn = proc.log().head_base();
+      sim->metrics()
+          .GetCounter("phoenix.recovery.salvage.full_scan_fallback", labels)
+          .Increment();
+      sim->tracer().Instant("recovery", "salvage_full_scan", label,
+                            {obs::Arg("scan_from", start_lsn)});
+      continue;  // re-probe the widened range
+    }
+    if (!probe.skipped_ranges().empty()) {
+      sim->metrics()
+          .GetCounter("phoenix.recovery.salvage.ranges_skipped", labels)
+          .Increment(probe.skipped_ranges().size());
+      sim->metrics()
+          .GetCounter("phoenix.recovery.salvage.bytes_skipped", labels)
+          .Increment(probe.skipped_bytes());
+      for (const SkippedRange& range : probe.skipped_ranges()) {
+        sim->tracer().Instant("recovery", "salvage_skip", label,
+                              {obs::Arg("from_lsn", range.from_lsn),
+                               obs::Arg("to_lsn", range.to_lsn)});
+      }
+    }
+    return start_lsn;
+  }
+}
+
 Status RecoveryManager::PassOne(uint64_t start_lsn) {
   Process& proc = *process_;
   Simulation* sim = proc.simulation();
   LogView log = proc.log().StableView();
 
   LogReader reader(log, start_lsn);
+  reader.EnableSalvage();
   while (auto parsed = reader.Next()) {
     ++stats_.records_scanned;
     sim->clock().AdvanceMs(sim->costs().recovery_scan_record_ms);
@@ -286,52 +370,107 @@ Status RecoveryManager::PassOne(uint64_t start_lsn) {
 Status RecoveryManager::RestoreContextStates() {
   Process& proc = *process_;
   Simulation* sim = proc.simulation();
-  LogView log = proc.log().StableView();
+  std::string label = ProcLabel(&proc);
 
   for (auto& [context_id, info] : infos_) {
     if (context_id == 0) continue;  // activator is rebuilt by Start()
     if (info.recovery_lsn == kInvalidLsn) continue;
 
-    PHX_ASSIGN_OR_RETURN(LogRecord record,
-                         ReadRecordAt(log, info.recovery_lsn));
-    if (const auto* state = std::get_if<ContextStateRecord>(&record)) {
-      // Object creation + registration, then field restore (§5.4 measures
-      // these as ~80 ms + ~60 ms).
-      sim->clock().AdvanceMs(sim->costs().recovery_create_ms +
-                             sim->costs().recovery_restore_state_ms);
-      Context* ctx = proc.CreateRawContext(context_id);
-      for (const ComponentSnapshot& snap : state->components) {
-        PHX_RETURN_IF_ERROR(ctx->RestoreComponent(snap));
-      }
-      ctx->set_state_record_lsn(info.recovery_lsn);
-      ctx->set_last_outgoing_seq(state->last_outgoing_seq);
-      for (const LastCallRef& ref : state->last_call_refs) {
-        LastCallEntry entry;
-        entry.seq = ref.call_id.seq;
-        entry.reply_lsn = ref.reply_lsn;
-        entry.context_id = context_id;
-        MergeLastCall(rebuilt_last_calls_, ref.call_id.caller, entry);
-      }
-      ++stats_.contexts_restored_from_state;
-    } else if (const auto* creation = std::get_if<CreationRecord>(&record)) {
-      // Materialize a blank instance so references resolve and replayed
-      // activator calls find it; Initialize replays in pass 2.
-      sim->clock().AdvanceMs(sim->costs().recovery_create_ms);
-      Context* ctx = proc.CreateRawContext(context_id);
-      Simulation* simulation = proc.simulation();
-      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Component> instance,
-                           simulation->factories().Create(creation->type_name));
-      ctx->AddComponent(std::move(instance), creation->type_name,
-                        creation->name, creation->kind, context_id);
-      proc.IndexComponentName(creation->name, context_id);
-      ctx->set_creation_lsn(info.recovery_lsn);
-    } else {
-      return Status::Corruption(
-          StrCat("context ", context_id,
-                 " recovery LSN does not hold a state/creation record"));
-    }
+    Status status = RestoreOneContext(context_id, info);
+    if (status.ok()) continue;
+    if (!status.IsCorruption()) return status;
+
+    // Salvage: the recovery LSN points at bit-rotted or skipped bytes.
+    // State records are redundant — the same state is reachable by replay
+    // from an older state record, or from the creation record.
+    uint64_t fallback = FindFallbackOrigin(context_id, info.recovery_lsn);
+    if (fallback == kInvalidLsn) return status;  // nothing left to try
+    sim->metrics()
+        .GetCounter("phoenix.recovery.salvage.state_record_fallback",
+                    obs::LabelSet{{"process", label}})
+        .Increment();
+    sim->tracer().Instant("recovery", "salvage_state_fallback", label,
+                          {obs::Arg("context", context_id),
+                           obs::Arg("bad_lsn", info.recovery_lsn),
+                           obs::Arg("fallback_lsn", fallback)});
+    info.recovery_lsn = fallback;
+    info.restored_from_state = false;
+    PHX_RETURN_IF_ERROR(RestoreOneContext(context_id, info));
   }
   return Status::OK();
+}
+
+Status RecoveryManager::RestoreOneContext(uint64_t context_id,
+                                          ContextInfo& info) {
+  Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  LogView log = proc.log().StableView();
+
+  Result<LogRecord> read = ReadRecordAt(log, info.recovery_lsn);
+  if (!read.ok()) return std::move(read).status();
+  LogRecord record = std::move(read).value();
+
+  if (const auto* state = std::get_if<ContextStateRecord>(&record)) {
+    // Object creation + registration, then field restore (§5.4 measures
+    // these as ~80 ms + ~60 ms).
+    sim->clock().AdvanceMs(sim->costs().recovery_create_ms +
+                           sim->costs().recovery_restore_state_ms);
+    Context* ctx = proc.FindContext(context_id);
+    if (ctx == nullptr) ctx = proc.CreateRawContext(context_id);
+    for (const ComponentSnapshot& snap : state->components) {
+      PHX_RETURN_IF_ERROR(ctx->RestoreComponent(snap));
+    }
+    ctx->set_state_record_lsn(info.recovery_lsn);
+    ctx->set_last_outgoing_seq(state->last_outgoing_seq);
+    for (const LastCallRef& ref : state->last_call_refs) {
+      LastCallEntry entry;
+      entry.seq = ref.call_id.seq;
+      entry.reply_lsn = ref.reply_lsn;
+      entry.context_id = context_id;
+      MergeLastCall(rebuilt_last_calls_, ref.call_id.caller, entry);
+    }
+    info.restored_from_state = true;
+    ++stats_.contexts_restored_from_state;
+    return Status::OK();
+  }
+  if (const auto* creation = std::get_if<CreationRecord>(&record)) {
+    // Materialize a blank instance so references resolve and replayed
+    // activator calls find it; Initialize replays in pass 2.
+    sim->clock().AdvanceMs(sim->costs().recovery_create_ms);
+    Context* ctx = proc.FindContext(context_id);
+    if (ctx == nullptr) ctx = proc.CreateRawContext(context_id);
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Component> instance,
+                         sim->factories().Create(creation->type_name));
+    ctx->AddComponent(std::move(instance), creation->type_name,
+                      creation->name, creation->kind, context_id);
+    proc.IndexComponentName(creation->name, context_id);
+    ctx->set_creation_lsn(info.recovery_lsn);
+    return Status::OK();
+  }
+  return Status::Corruption(
+      StrCat("context ", context_id,
+             " recovery LSN does not hold a state/creation record"));
+}
+
+uint64_t RecoveryManager::FindFallbackOrigin(uint64_t context_id,
+                                             uint64_t bad_lsn) {
+  Process& proc = *process_;
+  LogView log = proc.log().StableView();
+  uint64_t best_state = kInvalidLsn;
+  uint64_t best_creation = kInvalidLsn;
+  LogReader reader(log, proc.log().head_base());
+  reader.EnableSalvage();
+  while (auto parsed = reader.Next()) {
+    if (parsed->lsn >= bad_lsn) break;
+    if (const auto* s = std::get_if<ContextStateRecord>(&parsed->record);
+        s != nullptr && s->context_id == context_id) {
+      best_state = parsed->lsn;
+    } else if (const auto* c = std::get_if<CreationRecord>(&parsed->record);
+               c != nullptr && c->context_id == context_id) {
+      if (best_creation == kInvalidLsn) best_creation = parsed->lsn;
+    }
+  }
+  return best_state != kInvalidLsn ? best_state : best_creation;
 }
 
 void RecoveryManager::InstallTables() {
@@ -366,6 +505,7 @@ Status RecoveryManager::PassTwo() {
 
   Status result = Status::OK();
   LogReader reader(log, scan_start);
+  reader.EnableSalvage();
   while (auto parsed = reader.Next()) {
     ++stats_.records_scanned;
     sim->clock().AdvanceMs(sim->costs().recovery_scan_record_ms);

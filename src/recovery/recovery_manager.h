@@ -65,8 +65,24 @@ class RecoveryManager {
     bool restored_from_state = false;
   };
 
+  // Damage assessment before the costed passes: validates the well-known
+  // LSN (falling back to a full scan from the head base when it is corrupt
+  // or dangling), physically amputates a torn stable tail, and falls back
+  // to a full scan when unreadable mid-log regions could hide checkpoint
+  // table records. Returns the (possibly lowered) scan start. Every
+  // degradation decision emits a phoenix.recovery.salvage.* metric and a
+  // tracer instant.
+  uint64_t AssessAndSalvageLog();
+
   Status PassOne(uint64_t start_lsn);
   Status RestoreContextStates();
+  // Restores one context from the record at info.recovery_lsn; kCorruption
+  // when the record is unreadable or of the wrong type.
+  Status RestoreOneContext(uint64_t context_id, ContextInfo& info);
+  // Salvage: newest readable replay origin for `context_id` strictly below
+  // `bad_lsn` — a state record if one survives, else the creation record;
+  // kInvalidLsn when neither is readable.
+  uint64_t FindFallbackOrigin(uint64_t context_id, uint64_t bad_lsn);
   void InstallTables();
   Status PassTwo();
   // Replays (and removes) the pending unit of `context_id`, if any.

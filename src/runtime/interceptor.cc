@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "core/retry.h"
 #include "recovery/checkpoint_manager.h"
 #include "recovery/recovery_service.h"
 #include "runtime/context.h"
@@ -178,6 +179,10 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
     proc->checkpoints().OnIncomingCallFinished(*this);
   }
 
+  // The reply leaves the process now: everything stable so far is
+  // externalized and off-limits for torn-tail injection — including at the
+  // kAfterReplySend crash, whose whole point is that message 2 got out.
+  proc->NoteExternalization();
   if (CrashHook(proc, FailurePoint::kAfterReplySend)) {
     // The reply is already on the wire: deliver it, then the process is
     // found dead by the next caller.
@@ -432,21 +437,31 @@ Result<ReplyMessage> Context::SendWithRetry(CallMessage msg) {
   Simulation* sim = proc->simulation();
   const RuntimeOptions& opts = sim->options();
 
+  RetryBackoff backoff(opts);
   for (int attempt = 0; attempt <= opts.max_call_retries; ++attempt) {
+    // Every attempt may externalize state: once the message leaves this
+    // process, the bytes forced so far are observable by the outside world
+    // and a torn tail may no longer eat them.
+    proc->NoteExternalization();
     Result<ReplyMessage> result = sim->RouteCall(proc->machine_name(), msg);
     if (result.ok()) return result;
     if (!result.status().IsUnavailable()) return result;
     if (!proc->alive()) return Status::Crashed("caller died while sending");
 
-    // Condition 4 retry: same call ID, after backoff and a server restart.
+    // Condition 4 retry: same call ID, after backoff and a server restart
+    // (§2.5). Backoff is capped-exponential with seeded jitter; when the
+    // per-call budget runs out the caller gives up early.
+    double delay = backoff.NextDelayMs(sim->retry_rng());
+    if (delay < 0.0) {
+      return Status::Unavailable(
+          StrCat("no response from ", msg.target_uri, " within ",
+                 "retry budget"));
+    }
     sim->metrics()
         .GetCounter("phoenix.intercept.retries",
                     obs::LabelSet{{"process", ProcLabel(proc)}})
         .Increment();
-
-    // Condition 4: wait a while, make sure the server is restarted, retry
-    // with the same call ID (§2.5).
-    sim->clock().AdvanceMs(sim->costs().retry_backoff_ms);
+    sim->clock().AdvanceMs(delay);
     Process* target = sim->ResolveProcess(msg.target_uri);
     if (target != nullptr) {
       Status restart =

@@ -1,5 +1,7 @@
 #include "runtime/process.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 #include "common/strings.h"
 #include "recovery/checkpoint_manager.h"
@@ -78,6 +80,13 @@ bool Process::MaybeCrash(FailurePoint point) {
   return false;
 }
 
+void Process::NoteExternalization() {
+  uint64_t stable_end = log_->stable_end_lsn();
+  if (stable_end > externalized_stable_lsn_) {
+    externalized_stable_lsn_ = stable_end;
+  }
+}
+
 void Process::Kill() {
   if (!alive_) return;
   alive_ = false;
@@ -86,6 +95,7 @@ void Process::Kill() {
   // Everything volatile dies with the process: unforced log records, the
   // contexts (component states), and the global tables of Table 1.
   log_->DropBuffer();
+  MaybeTearStableTail();
   contexts_.clear();
   component_to_context_.clear();
   last_calls_.Clear();
@@ -101,6 +111,28 @@ void Process::Kill() {
   machine_->recovery_service().NotifyCrashed(pid_);
 }
 
+void Process::MaybeTearStableTail() {
+  Simulation* sim = simulation();
+  uint64_t tear = sim->injector().MaybeTearBytes();
+  if (tear == 0) return;
+  uint64_t stable_end = log_->stable_end_lsn();
+  uint64_t floor = std::max(externalized_stable_lsn_, log_->head_base());
+  uint64_t target = stable_end > tear ? stable_end - tear : 0;
+  if (target < floor) target = floor;
+  if (target >= stable_end) return;  // nothing un-externalized to tear
+  sim->storage().TruncateLog(log_->log_name(), target);
+  std::string label = StrCat(machine_name(), "/", pid_);
+  sim->metrics()
+      .GetCounter("phoenix.storage.torn_tail_injected",
+                  obs::LabelSet{{"process", label}})
+      .Increment();
+  sim->tracer().Instant("storage", "torn_tail_injected", label,
+                        {obs::Arg("torn_at_lsn", target),
+                         obs::Arg("bytes_torn", stable_end - target)});
+  // Start() recreates the LogWriter from the (now shorter) storage image,
+  // so the writer realigns automatically at restart.
+}
+
 void Process::Start() {
   Simulation* sim = simulation();
   log_ = std::make_unique<LogManager>(log_name(), &sim->storage(),
@@ -110,6 +142,10 @@ void Process::Start() {
   // own per-instance stats do not).
   log_->BindObs(&sim->metrics(), &sim->tracer(),
                 StrCat(machine_name(), "/", pid_));
+  // Everything stable at (re)start is conservatively treated as already
+  // externalized: only bytes forced after this point without leaving the
+  // process are candidates for a future torn tail.
+  externalized_stable_lsn_ = log_->stable_end_lsn();
   checkpoints_ = std::make_unique<CheckpointManager>(this);
   contexts_.clear();
   component_to_context_.clear();

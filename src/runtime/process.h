@@ -115,12 +115,26 @@ class Process {
     pending_flusher_ = std::move(flusher);
   }
 
+  // Called whenever this process's effects become visible outside it (a
+  // message leaves, a reply returns, a checkpoint publishes). Raises the
+  // externalized floor to the current stable end: bytes below it are
+  // observable by the outside world, so an injected torn tail may never eat
+  // them — tearing an acknowledged record would genuinely break
+  // exactly-once, which is a storage contract violation, not a crash.
+  void NoteExternalization();
+  uint64_t externalized_stable_lsn() const { return externalized_stable_lsn_; }
+
   // --- statistics ---
   uint64_t incoming_calls() const { return incoming_calls_; }
   void CountIncomingCall() { ++incoming_calls_; }
   uint64_t crash_count() const { return crash_count_; }
 
  private:
+  // Torn-tail injection: consults the failure injector when this process
+  // dies and may rip bytes off the stable log tail, clamped to the
+  // externalized floor and the garbage-collected head base.
+  void MaybeTearStableTail();
+
   Machine* machine_;
   uint32_t pid_;
   bool alive_ = false;
@@ -133,6 +147,7 @@ class Process {
   LastCallTable last_calls_;
   RemoteTypeTable remote_types_;
   uint64_t next_parent_id_ = 1;  // id 0 is the activator
+  uint64_t externalized_stable_lsn_ = 0;
   uint64_t incoming_calls_ = 0;
   uint64_t crash_count_ = 0;
   PendingFlusher pending_flusher_;

@@ -12,6 +12,8 @@ Simulation::Simulation(RuntimeOptions options, SimulationParams params)
       params_(params),
       injector_(),
       network_(params_.network) {
+  network_.SeedFaults(params_.seed * 6271 + 17);
+  retry_rng_ = Random(params_.seed * 9973 + 29);
   tracer_.set_enabled(params_.trace_enabled);
   if (!params_.persistence_dir.empty()) {
     PHX_CHECK_OK(storage_.EnablePersistence(params_.persistence_dir));
@@ -89,9 +91,25 @@ Result<ReplyMessage> Simulation::RouteCallInner(
 
   bool cross_machine =
       !source_machine.empty() && source_machine != target->machine_name();
+  bool duplicate_call = false;
   if (cross_machine) {
     clock_.AdvanceMs(network_.TransferLatencyMs(msg.EncodedSizeHint()));
     network_.CountMessage();
+    if (network_.faults_enabled()) {
+      NetworkDelivery d = network_.DecideDelivery(
+          source_machine, target->machine_name(), msg.method, NetLeg::kCall);
+      if (d.extra_delay_ms > 0.0) {
+        clock_.AdvanceMs(d.extra_delay_ms);
+        metrics_.GetGauge("phoenix.net.jitter_delay_ms").Add(d.extra_delay_ms);
+      }
+      if (d.drop) {
+        RecordNetworkDrop(source_machine, target->machine_name(), msg.method,
+                          NetLeg::kCall);
+        return Status::Unavailable("network dropped call " + msg.method +
+                                   " to " + msg.target_uri);
+      }
+      duplicate_call = d.duplicate;
+    }
   }
 
   if (!target->alive()) {
@@ -109,11 +127,55 @@ Result<ReplyMessage> Simulation::RouteCallInner(
     return reply;
   }
 
+  if (duplicate_call && target->alive()) {
+    // The network delivered a second copy of the call message. The server's
+    // interceptor must eliminate it via the last-call table (same call ID);
+    // the duplicate's reply is discarded — the caller already has one in
+    // flight.
+    metrics_.GetCounter("phoenix.net.duplicated").Increment();
+    tracer_.Instant("net", "duplicate", "network",
+                    {obs::Arg("method", msg.method),
+                     obs::Arg("target", msg.target_uri)});
+    clock_.AdvanceMs(network_.TransferLatencyMs(msg.EncodedSizeHint()));
+    network_.CountMessage();
+    Result<ReplyMessage> dup_reply = target->DeliverCall(msg);
+    (void)dup_reply;
+  }
+
   if (cross_machine) {
     clock_.AdvanceMs(network_.TransferLatencyMs(reply->EncodedSizeHint()));
     network_.CountMessage();
+    if (network_.faults_enabled()) {
+      NetworkDelivery d =
+          network_.DecideDelivery(target->machine_name(), source_machine,
+                                  msg.method, NetLeg::kReply);
+      if (d.extra_delay_ms > 0.0) {
+        clock_.AdvanceMs(d.extra_delay_ms);
+        metrics_.GetGauge("phoenix.net.jitter_delay_ms").Add(d.extra_delay_ms);
+      }
+      if (d.drop) {
+        // The server already executed and logged the call; losing the reply
+        // forces the caller to retry with the same call ID, exercising the
+        // duplicate-elimination path end to end.
+        RecordNetworkDrop(target->machine_name(), source_machine, msg.method,
+                          NetLeg::kReply);
+        return Status::Unavailable("network dropped reply for " + msg.method +
+                                   " from " + msg.target_uri);
+      }
+    }
   }
   return reply;
+}
+
+void Simulation::RecordNetworkDrop(const std::string& src,
+                                   const std::string& dst,
+                                   const std::string& method, NetLeg leg) {
+  metrics_.GetCounter("phoenix.net.dropped", {{"leg", NetLegName(leg)}})
+      .Increment();
+  tracer_.Instant("net", "drop", "network",
+                  {obs::Arg("leg", NetLegName(leg)),
+                   obs::Arg("method", method), obs::Arg("src", src),
+                   obs::Arg("dst", dst)});
 }
 
 uint64_t Simulation::TotalForces() const {

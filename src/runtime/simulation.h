@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "core/options.h"
 #include "obs/metrics.h"
@@ -69,6 +70,10 @@ class Simulation {
   const RuntimeOptions& options() const { return options_; }
   ComponentFactoryRegistry& factories() { return factories_; }
   uint64_t seed() const { return params_.seed; }
+  // Seeded jitter stream for the capped-exponential retry backoff. Only
+  // consumed when a retry actually sleeps, so fault-free runs never draw
+  // from it.
+  Random& retry_rng() { return retry_rng_; }
 
   // --- transport ---
 
@@ -101,6 +106,9 @@ class Simulation {
   Result<ReplyMessage> RouteCallInner(const std::string& source_machine,
                                       const CallMessage& msg);
 
+  void RecordNetworkDrop(const std::string& src, const std::string& dst,
+                         const std::string& method, NetLeg leg);
+
   RuntimeOptions options_;
   SimulationParams params_;
   SimClock clock_;
@@ -112,6 +120,7 @@ class Simulation {
   ComponentFactoryRegistry factories_;
   std::map<std::string, std::unique_ptr<Machine>> machines_;
   std::vector<Context*> context_stack_;
+  Random retry_rng_{0};
   uint64_t next_disk_seed_ = 101;
 };
 

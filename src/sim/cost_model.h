@@ -57,9 +57,6 @@ struct CostModel {
   double state_save_fixed_ms = 0.9;
   double state_save_per_byte_ms = 0.0002;
 
-  // Client-side wait before retrying a call that found the server dead.
-  double retry_backoff_ms = 10.0;
-
   // --- Recovery (Section 5.4) ---
   // Initializing the Phoenix runtime structures in a restarted process.
   double recovery_init_ms = 492.0;

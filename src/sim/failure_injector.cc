@@ -39,6 +39,21 @@ void FailureInjector::EnableRandomCrashes(double p, uint64_t seed) {
   rng_ = Random(seed);
 }
 
+void FailureInjector::EnableTornTails(double p, uint64_t seed,
+                                      uint32_t max_tear_bytes) {
+  torn_p_ = p;
+  max_tear_bytes_ = max_tear_bytes;
+  tear_rng_ = Random(seed);
+}
+
+uint64_t FailureInjector::MaybeTearBytes() {
+  if (torn_p_ <= 0.0) return 0;
+  if (!tear_rng_.Bernoulli(torn_p_)) return 0;
+  uint64_t bytes = 1 + tear_rng_.Uniform(max_tear_bytes_);
+  ++torn_tails_fired_;
+  return bytes;
+}
+
 bool FailureInjector::ShouldCrash(const std::string& machine,
                                   uint32_t process_id, FailurePoint point) {
   Key key(machine, process_id, static_cast<int>(point));
@@ -73,6 +88,9 @@ void FailureInjector::Clear() {
   triggers_.clear();
   random_p_ = 0.0;
   crashes_fired_ = 0;
+  torn_p_ = 0.0;
+  max_tear_bytes_ = 48;
+  torn_tails_fired_ = 0;
 }
 
 }  // namespace phoenix

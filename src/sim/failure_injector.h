@@ -52,6 +52,21 @@ class FailureInjector {
   // schedules are still reproducible).
   void EnableRandomCrashes(double p, uint64_t seed);
 
+  // Torn-tail injection: with probability `p`, a crash also tears up to
+  // `max_tear_bytes` off the end of the crashing process's *stable* log —
+  // a partially completed sector write. The runtime clamps the tear to the
+  // process's externalized floor (bytes whose effects already left the
+  // process can never be un-written by a torn sector; they were stable
+  // before the send).
+  void EnableTornTails(double p, uint64_t seed, uint32_t max_tear_bytes = 48);
+
+  // Consulted when a process dies: bytes to tear off its stable tail
+  // (0 = none). Consumes randomness only when torn tails are enabled.
+  uint64_t MaybeTearBytes();
+
+  // Tear decisions that returned nonzero so far.
+  uint64_t torn_tails_fired() const { return torn_tails_fired_; }
+
   // Called by the runtime at each hook. True => the process must die now.
   bool ShouldCrash(const std::string& machine, uint32_t process_id,
                    FailurePoint point);
@@ -72,6 +87,10 @@ class FailureInjector {
   double random_p_ = 0.0;
   Random rng_;
   uint64_t crashes_fired_ = 0;
+  double torn_p_ = 0.0;
+  uint32_t max_tear_bytes_ = 48;
+  Random tear_rng_{0};
+  uint64_t torn_tails_fired_ = 0;
 };
 
 }  // namespace phoenix

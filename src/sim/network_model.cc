@@ -1,1 +1,97 @@
 #include "sim/network_model.h"
+
+#include <algorithm>
+
+namespace phoenix {
+
+const char* NetLegName(NetLeg leg) {
+  return leg == NetLeg::kCall ? "call" : "reply";
+}
+
+void NetworkFaultPlan::AddDropTrigger(const std::string& src,
+                                      const std::string& dst,
+                                      const std::string& method, NetLeg leg,
+                                      uint64_t nth) {
+  TriggerKey key(src, dst, method, static_cast<int>(leg));
+  // Relative to the hits already consumed at registration time, mirroring
+  // FailureInjector::AddTrigger: setup traffic does not shift schedules.
+  triggers_[key].push_back(hit_counts_[key] + nth);
+}
+
+const LinkFaults& NetworkFaultPlan::FaultsFor(const std::string& src,
+                                              const std::string& dst) const {
+  auto it = link_faults_.find({src, dst});
+  return it == link_faults_.end() ? default_faults_ : it->second;
+}
+
+bool NetworkFaultPlan::ConsumeTrigger(const std::string& src,
+                                      const std::string& dst,
+                                      const std::string& method, NetLeg leg) {
+  if (triggers_.empty()) return false;
+  bool fired = false;
+  // A message matches both its exact-method triggers and any-method ("")
+  // triggers; each keeps its own hit count.
+  for (const std::string& m : {method, std::string()}) {
+    TriggerKey key(src, dst, m, static_cast<int>(leg));
+    auto it = triggers_.find(key);
+    bool counted = it != triggers_.end() || hit_counts_.count(key) > 0;
+    if (!counted && m.empty()) continue;  // nothing registered for any-method
+    if (it == triggers_.end() && !counted) continue;
+    uint64_t hits = ++hit_counts_[key];
+    if (it == triggers_.end()) continue;
+    auto& pending = it->second;
+    auto match = std::find(pending.begin(), pending.end(), hits);
+    if (match != pending.end()) {
+      pending.erase(match);
+      fired = true;
+    }
+  }
+  return fired;
+}
+
+void NetworkFaultPlan::Clear() {
+  default_faults_ = LinkFaults{};
+  link_faults_.clear();
+  hit_counts_.clear();
+  triggers_.clear();
+}
+
+NetworkDelivery NetworkModel::DecideDelivery(const std::string& src,
+                                             const std::string& dst,
+                                             const std::string& method,
+                                             NetLeg leg) {
+  NetworkDelivery out;
+  if (fault_plan_.empty()) return out;
+
+  if (fault_plan_.ConsumeTrigger(src, dst, method, leg)) {
+    out.drop = true;
+    ++messages_dropped_;
+    return out;
+  }
+
+  const LinkFaults& faults = fault_plan_.FaultsFor(src, dst);
+  if (!faults.any()) return out;
+
+  // One fixed draw order per message keeps the stream deterministic
+  // regardless of which faults fire.
+  if (faults.drop_p > 0.0 && rng_.Bernoulli(faults.drop_p)) {
+    out.drop = true;
+    ++messages_dropped_;
+    return out;
+  }
+  if (faults.dup_p > 0.0 && leg == NetLeg::kCall &&
+      rng_.Bernoulli(faults.dup_p)) {
+    out.duplicate = true;
+    ++messages_duplicated_;
+  }
+  if (faults.delay_jitter_ms > 0.0) {
+    double extra = rng_.NextDouble() * faults.delay_jitter_ms;
+    if (extra > 0.0) {
+      out.extra_delay_ms = extra;
+      ++messages_delayed_;
+    }
+  }
+  return out;
+}
+
+}  // namespace phoenix

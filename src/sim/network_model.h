@@ -3,6 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
 
 namespace phoenix {
 
@@ -12,12 +18,90 @@ struct NetworkParams {
   double bytes_per_ms = 12500.0;  // 100 Mb/s = 12.5 MB/s
 };
 
+// Which half of a call round trip a network fault hits: the request
+// (message 1/3) or the response (message 2/4).
+enum class NetLeg : int { kCall = 0, kReply = 1 };
+
+const char* NetLegName(NetLeg leg);
+
+// Fault rates for one directed machine-to-machine link. All rates are
+// per-message; jitter adds a uniform extra delay in [0, delay_jitter_ms).
+// Duplication applies to call messages only (a duplicated reply is
+// indistinguishable from the original to a synchronous caller).
+struct LinkFaults {
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double delay_jitter_ms = 0.0;
+
+  bool any() const {
+    return drop_p > 0.0 || dup_p > 0.0 || delay_jitter_ms > 0.0;
+  }
+};
+
+// What the lossy network decided for one message.
+struct NetworkDelivery {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay_ms = 0.0;
+};
+
+// Seeded, deterministic plan of network faults: per-link probabilistic
+// drop/duplication/jitter plus targeted "drop the Nth message of method M on
+// link src->dst" triggers mirroring FailureInjector::AddTrigger. A plan with
+// nothing configured never consumes randomness, so fault-free runs are
+// byte-identical to runs of builds without fault support.
+class NetworkFaultPlan {
+ public:
+  NetworkFaultPlan() = default;
+
+  // Faults for every link without an explicit per-link entry.
+  void SetDefaultFaults(const LinkFaults& faults) { default_faults_ = faults; }
+
+  // Faults for the directed link src -> dst (machine names).
+  void SetLinkFaults(const std::string& src, const std::string& dst,
+                     const LinkFaults& faults) {
+    link_faults_[{src, dst}] = faults;
+  }
+
+  // Drop the `nth` message (1-based, counted from registration) of method
+  // `method` travelling src -> dst on leg `leg`. Empty `method` matches any
+  // method.
+  void AddDropTrigger(const std::string& src, const std::string& dst,
+                      const std::string& method, NetLeg leg,
+                      uint64_t nth = 1);
+
+  bool empty() const {
+    return !default_faults_.any() && link_faults_.empty() &&
+           triggers_.empty();
+  }
+
+  const LinkFaults& FaultsFor(const std::string& src,
+                              const std::string& dst) const;
+
+  // Consumes one trigger hit; true if a registered trigger fires.
+  bool ConsumeTrigger(const std::string& src, const std::string& dst,
+                      const std::string& method, NetLeg leg);
+
+  void Clear();
+
+ private:
+  using TriggerKey = std::tuple<std::string, std::string, std::string, int>;
+
+  LinkFaults default_faults_;
+  std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
+  std::map<TriggerKey, uint64_t> hit_counts_;
+  std::map<TriggerKey, std::vector<uint64_t>> triggers_;
+};
+
 // Charges transfer time for messages between machines. Calls within one
 // machine (cross-process or cross-context) do not go through the network;
-// their cost is covered by the marshalling constants in CostModel.
+// their cost is covered by the marshalling constants in CostModel. With a
+// fault plan installed it also decides, deterministically per seed, which
+// messages are dropped, duplicated or delayed.
 class NetworkModel {
  public:
-  explicit NetworkModel(const NetworkParams& params) : params_(params) {}
+  explicit NetworkModel(const NetworkParams& params)
+      : params_(params), rng_(0) {}
 
   NetworkModel(const NetworkModel&) = delete;
   NetworkModel& operator=(const NetworkModel&) = delete;
@@ -31,9 +115,36 @@ class NetworkModel {
   uint64_t total_messages() const { return total_messages_; }
   void CountMessage() { ++total_messages_; }
 
+  // --- fault injection ---
+
+  // Seeds the fault decision stream (the Simulation does this at
+  // construction; re-seeding resets the stream).
+  void SeedFaults(uint64_t seed) { rng_ = Random(seed); }
+
+  NetworkFaultPlan& fault_plan() { return fault_plan_; }
+  const NetworkFaultPlan& fault_plan() const { return fault_plan_; }
+  bool faults_enabled() const { return !fault_plan_.empty(); }
+
+  // Decides the fate of one message src -> dst. Consumes randomness only
+  // when the link actually has faults configured, so plans that target one
+  // link leave all other traffic (and the decision stream) untouched.
+  NetworkDelivery DecideDelivery(const std::string& src,
+                                 const std::string& dst,
+                                 const std::string& method, NetLeg leg);
+
+  // --- fault statistics ---
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  uint64_t messages_delayed() const { return messages_delayed_; }
+
  private:
   NetworkParams params_;
   uint64_t total_messages_ = 0;
+  NetworkFaultPlan fault_plan_;
+  Random rng_;
+  uint64_t messages_dropped_ = 0;
+  uint64_t messages_duplicated_ = 0;
+  uint64_t messages_delayed_ = 0;
 };
 
 }  // namespace phoenix

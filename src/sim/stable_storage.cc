@@ -192,6 +192,19 @@ void StableStorage::TruncateLog(const std::string& name, uint64_t size) {
   PersistLog(name, log);
 }
 
+void StableStorage::CorruptFile(const std::string& name, uint64_t offset,
+                                int flip_count) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  std::vector<uint8_t>& data = it->second;
+  for (int i = 0; i < flip_count; ++i) {
+    uint64_t pos = offset + static_cast<uint64_t>(i) * 7;
+    if (pos >= data.size()) break;
+    data[pos] ^= 0x55;
+  }
+  PersistFile(name, data);
+}
+
 void StableStorage::WriteFile(const std::string& name,
                               const std::vector<uint8_t>& data) {
   files_[name] = data;

@@ -68,6 +68,10 @@ class StableStorage {
   // Truncates log `name` to `size` bytes, simulating a torn tail write.
   void TruncateLog(const std::string& name, uint64_t size);
 
+  // Flips `flip_count` bits in small file `name` starting at byte `offset`
+  // (bit-rot injection for e.g. the well-known file). No-op if absent.
+  void CorruptFile(const std::string& name, uint64_t offset, int flip_count);
+
   // --- small atomically replaced files ---
   void WriteFile(const std::string& name, const std::vector<uint8_t>& data);
   Result<std::vector<uint8_t>> ReadFile(const std::string& name) const;

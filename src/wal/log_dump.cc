@@ -137,12 +137,28 @@ std::string DumpLog(const LogView& view) {
     out += StrCat("  (head truncated below lsn ", view.base, ")\n");
   }
   LogReader reader(view, view.base);
+  reader.EnableSalvage();
+  size_t printed_skips = 0;
   while (auto parsed = reader.Next()) {
+    // Interleave any unreadable region the reader just skipped over.
+    while (printed_skips < reader.skipped_ranges().size()) {
+      const SkippedRange& range = reader.skipped_ranges()[printed_skips++];
+      out += StrCat("  (unreadable: ", range.to_lsn - range.from_lsn,
+                    " byte(s) skipped at lsn ", range.from_lsn, ")\n");
+    }
     out += StrCat("  lsn ", parsed->lsn, "  ",
                   DescribeRecord(parsed->record), "\n");
   }
+  while (printed_skips < reader.skipped_ranges().size()) {
+    const SkippedRange& range = reader.skipped_ranges()[printed_skips++];
+    out += StrCat("  (unreadable: ", range.to_lsn - range.from_lsn,
+                  " byte(s) skipped at lsn ", range.from_lsn, ")\n");
+  }
   if (reader.tail_torn()) {
-    out += StrCat("  (torn tail after lsn ", reader.end_lsn(), ")\n");
+    uint64_t log_end = view.base + view.bytes->size();
+    out += StrCat("  (torn tail: first bad frame at lsn ",
+                  reader.torn_offset(), ", ",
+                  log_end - reader.torn_offset(), " byte(s) unreadable)\n");
   }
   return out;
 }

@@ -48,6 +48,24 @@ void LogManager::TrimHead(uint64_t lsn) {
   storage_->TrimLogHead(writer_.log_name(), lsn);
 }
 
+void LogManager::TruncateStableTail(uint64_t end_lsn) {
+  uint64_t old_end = storage_->LogSize(writer_.log_name());
+  storage_->TruncateLog(writer_.log_name(), end_lsn);
+  writer_.ResetStableEnd(storage_->LogSize(writer_.log_name()));
+  uint64_t discarded = old_end > end_lsn ? old_end - end_lsn : 0;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("phoenix.wal.torn_tails",
+                     obs::LabelSet{{"process", component_}})
+        .Increment();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("log", "torn_tail", component_,
+                     {obs::Arg("torn_at_lsn", end_lsn),
+                      obs::Arg("bytes_discarded", discarded)});
+  }
+}
+
 void LogManager::WriteWellKnownLsn(uint64_t lsn) {
   Encoder enc;
   enc.PutU64(lsn);

@@ -65,6 +65,15 @@ class LogManager {
   // published checkpoint.
   void TrimHead(uint64_t lsn);
 
+  // Logical LSN one past the last stable byte.
+  uint64_t stable_end_lsn() const { return writer_.stable_bytes(); }
+
+  // Torn-tail salvage: physically truncates the stable log at `end_lsn`
+  // (the first unreadable byte) and realigns the writer, so the partial
+  // frame cannot pollute future appends. Recovery-time only; the buffer
+  // must be empty.
+  void TruncateStableTail(uint64_t end_lsn);
+
   // --- well-known file (§4.3): LSN of the last flushed begin-checkpoint ---
   // Force-writes `lsn`; charged as one disk write.
   void WriteWellKnownLsn(uint64_t lsn);

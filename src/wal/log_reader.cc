@@ -21,35 +21,55 @@ LogReader::LogReader(const LogView& view, uint64_t start_lsn)
   PHX_CHECK(start_lsn >= view.base);
 }
 
+bool LogReader::ValidFrameAt(uint64_t lsn, ParsedRecord* out) const {
+  uint64_t end = base_ + log_.size();
+  if (lsn + 8 > end) return false;
+  uint64_t rel = lsn - base_;
+  uint32_t len = LoadU32(&log_[rel]);
+  uint32_t crc = LoadU32(&log_[rel + 4]);
+  if (lsn + 8 + len > end) return false;
+  const uint8_t* payload = &log_[rel + 8];
+  if (Crc32c(payload, len) != crc) return false;
+  Result<LogRecord> record = DecodeLogRecord(payload, len);
+  if (!record.ok()) return false;
+  out->lsn = lsn;
+  out->record = std::move(record).value();
+  return true;
+}
+
 std::optional<ParsedRecord> LogReader::Next() {
   if (tail_torn_) return std::nullopt;
   uint64_t end = base_ + log_.size();
-  if (pos_ == end) return std::nullopt;  // clean end
-  if (pos_ + 8 > end) {
+  for (;;) {
+    if (pos_ == end) return std::nullopt;  // clean end
+    ParsedRecord out;
+    if (ValidFrameAt(pos_, &out)) {
+      uint64_t rel = pos_ - base_;
+      uint32_t len = LoadU32(&log_[rel]);
+      pos_ += 8 + len;
+      ++records_read_;
+      return out;
+    }
+    if (salvage_) {
+      // Resync: the first later offset where a whole frame validates is
+      // where parsing resumes; everything in between is unreadable.
+      bool resynced = false;
+      for (uint64_t cand = pos_ + 1; cand + 8 <= end; ++cand) {
+        ParsedRecord probe;
+        if (ValidFrameAt(cand, &probe)) {
+          skipped_ranges_.push_back(SkippedRange{pos_, cand});
+          skipped_bytes_ += cand - pos_;
+          pos_ = cand;
+          resynced = true;
+          break;
+        }
+      }
+      if (resynced) continue;  // parse the frame at the new position
+    }
+    torn_offset_ = pos_;
     tail_torn_ = true;
     return std::nullopt;
   }
-  uint64_t rel = pos_ - base_;
-  uint32_t len = LoadU32(&log_[rel]);
-  uint32_t crc = LoadU32(&log_[rel + 4]);
-  if (pos_ + 8 + len > end) {
-    tail_torn_ = true;
-    return std::nullopt;
-  }
-  const uint8_t* payload = &log_[rel + 8];
-  if (Crc32c(payload, len) != crc) {
-    tail_torn_ = true;
-    return std::nullopt;
-  }
-  Result<LogRecord> record = DecodeLogRecord(payload, len);
-  if (!record.ok()) {
-    tail_torn_ = true;
-    return std::nullopt;
-  }
-  ParsedRecord out{pos_, std::move(record).value()};
-  pos_ += 8 + len;
-  ++records_read_;
-  return out;
 }
 
 Result<LogRecord> ReadRecordAt(const LogView& view, uint64_t lsn) {

@@ -22,9 +22,23 @@ struct LogView {
   uint64_t base = 0;
 };
 
+// A half-open LSN range [from_lsn, to_lsn) the salvaging reader could not
+// parse and skipped over.
+struct SkippedRange {
+  uint64_t from_lsn = 0;
+  uint64_t to_lsn = 0;
+};
+
 // Sequential scanner over a stable log image. Stops cleanly at end-of-log;
 // stops and sets tail_torn() at a truncated frame or CRC mismatch — a torn
 // tail write from the crash, which recovery treats as the end of the log.
+//
+// In salvage mode (EnableSalvage) a bad frame mid-log does not end the scan:
+// the reader searches forward for the next offset where a frame's length,
+// CRC and decode all validate, records the unreadable bytes as a
+// SkippedRange, and continues from there. Only when no later frame validates
+// is the tail considered torn. Frames are CRC-protected, so a false resync
+// requires a 32-bit CRC collision on decodable bytes.
 class LogReader {
  public:
   // `log` must outlive the reader. `start_lsn` is where scanning begins
@@ -36,10 +50,17 @@ class LogReader {
   LogReader(const LogReader&) = delete;
   LogReader& operator=(const LogReader&) = delete;
 
+  // Skip unreadable mid-log regions instead of declaring a torn tail.
+  void EnableSalvage() { salvage_ = true; }
+
   // Next record, or nullopt at (clean or torn) end.
   std::optional<ParsedRecord> Next();
 
   bool tail_torn() const { return tail_torn_; }
+
+  // LSN of the first unreadable byte of the torn tail (valid iff
+  // tail_torn()).
+  uint64_t torn_offset() const { return torn_offset_; }
 
   // LSN one past the last successfully parsed record.
   uint64_t end_lsn() const { return pos_; }
@@ -47,12 +68,26 @@ class LogReader {
   // Number of records returned so far.
   uint64_t records_read() const { return records_read_; }
 
+  // Salvage-mode damage report.
+  const std::vector<SkippedRange>& skipped_ranges() const {
+    return skipped_ranges_;
+  }
+  uint64_t skipped_bytes() const { return skipped_bytes_; }
+
  private:
+  // Validates the frame at `lsn` (length, CRC, decode) and parses it into
+  // `out` on success.
+  bool ValidFrameAt(uint64_t lsn, ParsedRecord* out) const;
+
   const std::vector<uint8_t>& log_;
   uint64_t base_;
   uint64_t pos_;  // logical LSN
+  bool salvage_ = false;
   bool tail_torn_ = false;
+  uint64_t torn_offset_ = 0;
   uint64_t records_read_ = 0;
+  std::vector<SkippedRange> skipped_ranges_;
+  uint64_t skipped_bytes_ = 0;
 };
 
 // Reads the single record whose frame starts at `lsn`.

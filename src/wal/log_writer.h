@@ -52,6 +52,12 @@ class LogWriter {
   // Crash: unforced records are lost.
   void DropBuffer() { buffer_.clear(); }
 
+  // Mid-recovery salvage: the stable log was physically truncated under
+  // this writer (torn tail amputation); realign its notion of the stable
+  // end so new appends land right after the last valid frame. Only valid
+  // with an empty buffer.
+  void ResetStableEnd(uint64_t end_lsn) { stable_bytes_ = end_lsn; }
+
   const std::string& log_name() const { return log_name_; }
 
   // Connects this writer to the simulation-wide observability sinks.

@@ -68,6 +68,35 @@ TEST(FailureInjectorTest, ClearResetsEverything) {
   EXPECT_FALSE(injector.ShouldCrash("m", 1, FailurePoint::kBeforeReplySend));
 }
 
+TEST(FailureInjectorTest, TornTailsAreSeededAndBounded) {
+  FailureInjector a, b;
+  a.EnableTornTails(0.5, 99, /*max_tear_bytes=*/16);
+  b.EnableTornTails(0.5, 99, /*max_tear_bytes=*/16);
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t tear_a = a.MaybeTearBytes();
+    EXPECT_EQ(tear_a, b.MaybeTearBytes());  // reproducible
+    if (tear_a > 0) {
+      ++fired;
+      EXPECT_LE(tear_a, 16u);
+    }
+  }
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 150);
+  EXPECT_EQ(a.torn_tails_fired(), static_cast<uint64_t>(fired));
+}
+
+TEST(FailureInjectorTest, TornTailsOffByDefaultAndClearedByClear) {
+  FailureInjector injector;
+  EXPECT_EQ(injector.MaybeTearBytes(), 0u);
+  injector.EnableTornTails(1.0, 7);
+  EXPECT_GT(injector.MaybeTearBytes(), 0u);
+  EXPECT_EQ(injector.torn_tails_fired(), 1u);
+  injector.Clear();
+  EXPECT_EQ(injector.MaybeTearBytes(), 0u);
+  EXPECT_EQ(injector.torn_tails_fired(), 0u);
+}
+
 TEST(FailureInjectorTest, AllPointsHaveNames) {
   for (int p = 0; p < kNumFailurePoints; ++p) {
     EXPECT_STRNE(FailurePointName(static_cast<FailurePoint>(p)), "unknown");

@@ -176,6 +176,139 @@ TEST_F(RecoveryRobustnessTest, TornTailPlusRetryIsExactlyOnce) {
   EXPECT_EQ(admin.Call(*counter, "Get", {})->AsInt(), 3);
 }
 
+// Scans the stable log and returns the LSN of the newest record matching
+// `pred`, or kInvalidLsn.
+template <typename Pred>
+uint64_t FindNewestRecord(Process& proc, Pred pred) {
+  LogView view = proc.log().StableView();
+  LogReader reader(view, proc.log().head_base());
+  reader.EnableSalvage();
+  uint64_t found = kInvalidLsn;
+  while (auto parsed = reader.Next()) {
+    if (pred(parsed->record)) found = parsed->lsn;
+  }
+  return found;
+}
+
+TEST_F(RecoveryRobustnessTest, CorruptStateRecordFallsBackToOlderOrigin) {
+  // A checkpoint references a context-state record that bit rot later makes
+  // unreadable. Recovery must not fail: it falls back to an older state
+  // record or the creation record and replays forward.
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  }
+  Context* ctx = proc_->FindContextOfComponent("c");
+  ASSERT_TRUE(proc_->checkpoints().SaveContextState(*ctx).ok());
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  ASSERT_TRUE(proc_->checkpoints().TakeProcessCheckpoint().ok());
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());  // publishes
+
+  uint64_t state_lsn = FindNewestRecord(*proc_, [](const LogRecord& r) {
+    return std::holds_alternative<ContextStateRecord>(r);
+  });
+  ASSERT_NE(state_lsn, kInvalidLsn);
+  proc_->Kill();
+  sim_->storage().CorruptLog(proc_->log_name(), state_lsn + 8, 2);
+
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  EXPECT_EQ(client.Call(*uri, "Get", {})->AsInt(), 5);
+  EXPECT_GE(sim_->metrics().CounterTotal(
+                "phoenix.recovery.salvage.state_record_fallback"),
+            1u);
+}
+
+TEST_F(RecoveryRobustnessTest, CorruptionInsideCheckpointBracketFullScan) {
+  // Bit rot lands on a checkpoint table record above the published begin
+  // LSN: the bracket can no longer be trusted, so recovery must widen to a
+  // full scan of the retained log and still converge.
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  }
+  ASSERT_TRUE(proc_->checkpoints().TakeProcessCheckpoint().ok());
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());  // publishes
+  ASSERT_TRUE(proc_->log().ReadWellKnownLsn().ok());
+
+  uint64_t entry_lsn = FindNewestRecord(*proc_, [](const LogRecord& r) {
+    return std::holds_alternative<CheckpointContextEntryRecord>(r) ||
+           std::holds_alternative<CheckpointLastCallRecord>(r);
+  });
+  ASSERT_NE(entry_lsn, kInvalidLsn);
+  proc_->Kill();
+  sim_->storage().CorruptLog(proc_->log_name(), entry_lsn + 8, 2);
+
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  EXPECT_EQ(client.Call(*uri, "Get", {})->AsInt(), 5);
+  EXPECT_GE(sim_->metrics().CounterTotal(
+                "phoenix.recovery.salvage.full_scan_fallback"),
+            1u);
+}
+
+TEST_F(RecoveryRobustnessTest, CorruptWellKnownFileFallsBackToFullScan) {
+  // The well-known file itself rots: its LSN no longer lands on a readable
+  // begin-checkpoint record, so recovery distrusts it and rescans.
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  }
+  ASSERT_TRUE(proc_->checkpoints().TakeProcessCheckpoint().ok());
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());  // publishes
+  ASSERT_TRUE(proc_->log().ReadWellKnownLsn().ok());
+
+  proc_->Kill();
+  sim_->storage().CorruptFile(proc_->log_name() + ".wkf", 0, 2);
+
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  EXPECT_EQ(client.Call(*uri, "Get", {})->AsInt(), 5);
+  EXPECT_GE(
+      sim_->metrics().CounterTotal("phoenix.recovery.salvage.wkf_fallback"),
+      1u);
+}
+
+TEST_F(RecoveryRobustnessTest, TornTailIsAmputatedAndSecondCrashIsClean) {
+  // A crash tears the stable tail mid-frame. Recovery must truncate the
+  // torn bytes (so later appends cannot be polluted by the partial frame),
+  // surface the tear in metrics, and a second crash/recovery cycle must
+  // land on the same state.
+  SetUpSim();
+  ExternalClient client(sim_.get(), "alpha");
+  auto uri = client.CreateComponent(*proc_, "Counter", "c",
+                                    ComponentKind::kPersistent, {});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  }
+  std::string log_name = proc_->log_name();
+  uint64_t size = sim_->storage().LogSize(log_name);
+  proc_->Kill();
+  sim_->storage().TruncateLog(log_name, size - 3);
+
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  EXPECT_GE(sim_->metrics().CounterTotal("phoenix.wal.torn_tails"), 1u);
+  EXPECT_GT(sim_->metrics().CounterTotal(
+                "phoenix.recovery.salvage.torn_tail_bytes"),
+            0u);
+  auto value = client.Call(*uri, "Get", {});
+  ASSERT_TRUE(value.ok());
+  int64_t recovered = value->AsInt();
+  EXPECT_EQ(recovered, 5);  // every Add was acknowledged, none may be lost
+
+  // The amputated log must append and recover cleanly from here on.
+  ASSERT_TRUE(client.Call(*uri, "Add", MakeArgs(1)).ok());
+  proc_->Kill();
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  EXPECT_EQ(client.Call(*uri, "Get", {})->AsInt(), recovered + 1);
+}
+
 TEST_F(RecoveryRobustnessTest, RestartAllDeadRevivesEveryProcess) {
   SetUpSim();
   ExternalClient client(sim_.get(), "alpha");

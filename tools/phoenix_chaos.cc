@@ -1,0 +1,551 @@
+// phoenix_chaos — seeded hostile-environment campaign driver.
+//
+// Sweeps randomized combinations of crash points, lossy-network faults
+// (drop/duplicate/jitter), faulty-storage injections (torn tails, targeted
+// bit-rot on state records and the well-known file), optimization levels
+// and client topologies against the bookstore, checking the torture-test
+// exactly-once oracle after every run: every session's reservations and
+// sales must be accounted for exactly once.
+//
+// Persistent topologies (a persistent ShoppingAgent driving the seller)
+// must come out exact under every fault mix — any drift is a violation and
+// the campaign exits non-zero. The external-direct topology exercises the
+// paper's §3.1.2 window of vulnerability: an external client that loses a
+// reply reissues under a NEW call id, so duplicate executions are expected
+// there; the campaign counts them (wov_duplicate_executions) rather than
+// masking them, and only undercounts or inconsistent inventory are
+// violations.
+//
+// Every decision flows from --seed through split Random streams, so a rerun
+// with the same flags emits a byte-identical phoenix.chaos.v1 report.
+//
+// Usage:
+//   phoenix_chaos [--runs=N] [--seed=S] [--sessions=N] [--out=FILE]
+//                 [--verbose]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bookstore/setup.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "obs/bench_reporter.h"
+#include "wal/log_reader.h"
+
+namespace phoenix::tools {
+namespace {
+
+inline constexpr char kChaosSchema[] = "phoenix.chaos.v1";
+
+struct CampaignOptions {
+  int runs = 500;
+  uint64_t seed = 42;
+  int sessions = 6;
+  std::string out;  // empty: BenchReporter default (BENCH_<name>.json)
+  bool verbose = false;
+};
+
+enum class Topology {
+  kRemoteAgent,     // persistent agent on its own machine
+  kColocatedAgent,  // persistent agent in a second process on the server
+  kExternalDirect,  // external client drives the seller directly (WoV)
+};
+
+const char* TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kRemoteAgent:
+      return "remote_agent";
+    case Topology::kColocatedAgent:
+      return "colocated_agent";
+    case Topology::kExternalDirect:
+      return "external_direct";
+  }
+  return "?";
+}
+
+// Persistent workflow tier (same shape as the torture test's agent): one
+// Session call adds a book to the buyer's basket and checks out. Its
+// retries carry stable call IDs, so crashes and lost replies anywhere
+// inside the session are fully masked by duplicate elimination.
+class ShoppingAgent : public Component {
+ public:
+  void RegisterMethods(MethodRegistry& methods) override {
+    methods.Register("Session", [this](const ArgList& a) -> Result<Value> {
+      const std::string& buyer = a[0].AsString();
+      const std::string& store = a[1].AsString();
+      int64_t book = a[2].AsInt();
+      PHX_RETURN_IF_ERROR(
+          CallRef(seller_, "AddToBasket", MakeArgs(buyer, store, book))
+              .status());
+      PHX_ASSIGN_OR_RETURN(
+          Value total,
+          CallRef(seller_, "Checkout", MakeArgs(buyer, std::string("WA"))));
+      ++sessions_done_;
+      return total;
+    });
+    methods.Register(
+        "SessionsDone",
+        [this](const ArgList&) -> Result<Value> {
+          return Value(sessions_done_);
+        },
+        MethodTraits{.read_only = true});
+  }
+  void RegisterFields(FieldRegistry& fields) override {
+    fields.RegisterComponentRef("seller", &seller_);
+    fields.RegisterInt("sessions_done", &sessions_done_);
+  }
+  Status Initialize(const ArgList& args) override {
+    seller_.uri = args[0].AsString();
+    return Status::OK();
+  }
+
+ private:
+  ComponentRefField seller_;
+  int64_t sessions_done_ = 0;
+};
+
+// One randomized run configuration, fully derived from the campaign seed.
+struct RunConfig {
+  uint64_t sim_seed = 1;
+  bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
+  uint32_t save_every = 0;
+  uint32_t checkpoint_every = 0;
+  Topology topology = Topology::kRemoteAgent;
+  int stores = 2;
+  std::vector<std::pair<FailurePoint, uint64_t>> crashes;
+  LinkFaults faults;        // default faults on every link
+  bool targeted_drop = false;  // drop the first Checkout reply
+  double torn_p = 0.0;      // torn-tail probability per crash
+  bool bitrot_state = false;  // mid-run bit-rot on the newest state record
+  bool bitrot_wkf = false;    // mid-run bit-rot on the well-known file
+};
+
+RunConfig MakeRunConfig(const CampaignOptions& campaign, int run) {
+  Random rng(campaign.seed * 1000003ull + static_cast<uint64_t>(run));
+  RunConfig cfg;
+  cfg.sim_seed = campaign.seed * 7919ull + static_cast<uint64_t>(run) + 1;
+  switch (rng.Uniform(3)) {
+    case 0:
+      cfg.level = bookstore::OptLevel::kBaseline;
+      break;
+    case 1:
+      cfg.level = bookstore::OptLevel::kOptimizedLogging;
+      break;
+    default:
+      cfg.level = bookstore::OptLevel::kSpecialized;
+      break;
+  }
+  const uint32_t kSaveChoices[] = {0, 3, 7};
+  cfg.save_every = kSaveChoices[rng.Uniform(3)];
+  cfg.checkpoint_every = cfg.save_every > 0 ? cfg.save_every * 2 : 0;
+  cfg.topology = static_cast<Topology>(rng.Uniform(3));
+  cfg.stores = 1 + static_cast<int>(rng.Uniform(2));
+
+  uint64_t crash_count = rng.Uniform(5);  // 0..4 crash triggers
+  for (uint64_t i = 0; i < crash_count; ++i) {
+    auto point = static_cast<FailurePoint>(rng.Uniform(6));
+    uint64_t hit = 1 + rng.Uniform(100);
+    cfg.crashes.emplace_back(point, hit);
+  }
+
+  if (rng.Bernoulli(0.7)) {  // lossy network
+    cfg.faults.drop_p = rng.NextDouble() * 0.08;
+    cfg.faults.dup_p = rng.NextDouble() * 0.05;
+    cfg.faults.delay_jitter_ms = rng.NextDouble() * 2.0;
+  }
+  cfg.targeted_drop = rng.Bernoulli(0.25);
+  if (rng.Bernoulli(0.5)) {  // faulty storage
+    cfg.torn_p = 0.1 + rng.NextDouble() * 0.5;
+  }
+  cfg.bitrot_state = rng.Bernoulli(0.25);
+  cfg.bitrot_wkf = rng.Bernoulli(0.15);
+  return cfg;
+}
+
+// Campaign-wide tallies, aggregated across runs before each sim dies.
+struct CampaignStats {
+  uint64_t runs = 0;
+  uint64_t violations = 0;
+  uint64_t wov_duplicate_executions = 0;
+  uint64_t sessions_total = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t recoveries = 0;
+  uint64_t net_dropped = 0;
+  uint64_t net_duplicated = 0;
+  uint64_t torn_tails_injected = 0;
+  uint64_t torn_tails_salvaged = 0;
+  uint64_t salvage_wkf_fallback = 0;
+  uint64_t salvage_full_scan = 0;
+  uint64_t salvage_ranges_skipped = 0;
+  uint64_t salvage_state_fallback = 0;
+  uint64_t dedupe_hits = 0;
+  uint64_t retries = 0;
+  // Per-topology breakdown.
+  uint64_t topo_runs[3] = {0, 0, 0};
+  uint64_t topo_violations[3] = {0, 0, 0};
+  uint64_t topo_wov[3] = {0, 0, 0};
+};
+
+// Crashes the server mid-run and flips bits in the places salvage must
+// tolerate: the newest context-state record's payload and/or the
+// well-known file. Recovery runs immediately via the recovery service.
+Status ApplyStorageAttack(const RunConfig& cfg, Simulation& sim,
+                          Machine& server_machine, Process& server_proc) {
+  server_proc.Kill();
+  const std::string log_name = server_proc.log_name();
+  if (cfg.bitrot_state) {
+    // Find the newest readable context-state record in the stable image.
+    LogView view = server_proc.log().StableView();
+    LogReader reader(view, server_proc.log().head_base());
+    reader.EnableSalvage();
+    uint64_t state_lsn = kInvalidLsn;
+    while (auto parsed = reader.Next()) {
+      if (std::holds_alternative<ContextStateRecord>(parsed->record)) {
+        state_lsn = parsed->lsn;
+      }
+    }
+    if (state_lsn != kInvalidLsn) {
+      // +8 lands inside the payload, past the length/CRC header.
+      sim.storage().CorruptLog(log_name, state_lsn + 8, /*flip_count=*/2);
+    }
+  }
+  if (cfg.bitrot_wkf) {
+    sim.storage().CorruptFile(log_name + ".wkf", 0, /*flip_count=*/2);
+  }
+  return server_machine.recovery_service().EnsureProcessAlive(
+      server_proc.pid());
+}
+
+// Runs one configuration and checks the oracle. Returns a description of
+// the violation, or "" when the run came out exact.
+std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
+  RuntimeOptions runtime = bookstore::OptionsForLevel(cfg.level);
+  runtime.save_context_state_every = cfg.save_every;
+  runtime.process_checkpoint_every = cfg.checkpoint_every;
+  // Condition 4 (retry until a response arrives) is what the exactly-once
+  // oracle assumes; the per-call budget is an availability knob, so the
+  // campaign runs unbounded.
+  runtime.call_retry_budget_ms = 0.0;
+
+  SimulationParams params;
+  params.seed = cfg.sim_seed;
+  Simulation sim(runtime, params);
+  bookstore::RegisterBookstoreComponents(sim.factories());
+  sim.factories().Register<ShoppingAgent>("ShoppingAgent");
+  Machine& server_machine = sim.AddMachine("server");
+  Machine& client_machine = sim.AddMachine("client");
+  auto deployment =
+      bookstore::Deploy(sim, server_machine, cfg.stores, cfg.level);
+  if (!deployment.ok()) {
+    return "deploy failed: " + deployment.status().ToString();
+  }
+  Process& server_proc = *deployment->server_process;
+
+  for (const auto& [point, hit] : cfg.crashes) {
+    sim.injector().AddTrigger("server", server_proc.pid(), point, hit);
+  }
+  // Fault the links that carry the traffic under test. In agent topologies
+  // that is the persistent agent <-> seller path; the admin driver edge is
+  // left reliable because an external client losing a reply reissues under
+  // a fresh call id (the WoV), which would confound the exactly-once
+  // oracle for the persistent tier. external_direct faults the driver edge
+  // on purpose — there the WoV is the measured subject.
+  if (cfg.faults.any()) {
+    NetworkFaultPlan& plan = sim.network().fault_plan();
+    switch (cfg.topology) {
+      case Topology::kRemoteAgent:
+      case Topology::kExternalDirect:
+        plan.SetLinkFaults("client", "server", cfg.faults);
+        plan.SetLinkFaults("server", "client", cfg.faults);
+        break;
+      case Topology::kColocatedAgent:
+        plan.SetLinkFaults("server", "server", cfg.faults);
+        break;
+    }
+  }
+  if (cfg.torn_p > 0.0) {
+    sim.injector().EnableTornTails(cfg.torn_p, cfg.sim_seed * 131 + 7);
+  }
+  if (cfg.targeted_drop) {
+    // Drop the first Checkout reply on the seller's outbound link; the
+    // caller must mask it (or, for an external client, it opens the WoV).
+    const char* caller_machine =
+        cfg.topology == Topology::kColocatedAgent ? "server" : "client";
+    sim.network().fault_plan().AddDropTrigger("server", caller_machine,
+                                              "Checkout", NetLeg::kReply,
+                                              /*nth=*/1);
+  }
+
+  ExternalClient admin(&sim, "client");
+  std::string agent_uri;
+  if (cfg.topology != Topology::kExternalDirect) {
+    Process& agent_proc = cfg.topology == Topology::kRemoteAgent
+                              ? client_machine.CreateProcess()
+                              : server_machine.CreateProcess();
+    auto agent = admin.CreateComponent(agent_proc, "ShoppingAgent", "agent",
+                                       ComponentKind::kPersistent,
+                                       MakeArgs(deployment->seller_uri));
+    if (!agent.ok()) {
+      return "agent creation failed: " + agent.status().ToString();
+    }
+    agent_uri = *agent;
+  }
+
+  std::vector<int> expected_store(cfg.stores, 0);
+  std::vector<std::vector<int>> expected_book(cfg.stores,
+                                              std::vector<int>(11, 0));
+  Random workload(cfg.sim_seed * 31 + 1);
+  std::string failure;
+  for (int i = 0; i < sessions; ++i) {
+    int store = static_cast<int>(workload.Uniform(cfg.stores));
+    int book = static_cast<int>(workload.Uniform(10)) + 1;
+    std::string buyer = "buyer" + std::to_string(i);
+    Status status = Status::OK();
+    if (cfg.topology == Topology::kExternalDirect) {
+      auto add = admin.Call(deployment->seller_uri, "AddToBasket",
+                            MakeArgs(buyer, deployment->store_uris[store],
+                                     int64_t{book}));
+      status = add.status();
+      if (status.ok()) {
+        auto total = admin.Call(deployment->seller_uri, "Checkout",
+                                MakeArgs(buyer, std::string("WA")));
+        status = total.status();
+      }
+    } else {
+      auto r = admin.Call(agent_uri, "Session",
+                          MakeArgs(buyer, deployment->store_uris[store],
+                                   int64_t{book}));
+      status = r.status();
+    }
+    if (!status.ok()) {
+      failure = StrCat("session ", i, " failed: ", status.ToString());
+      break;
+    }
+    ++expected_store[store];
+    ++expected_book[store][book];
+    ++stats.sessions_total;
+
+    if (i + 1 == sessions / 2 && (cfg.bitrot_state || cfg.bitrot_wkf)) {
+      Status attack =
+          ApplyStorageAttack(cfg, sim, server_machine, server_proc);
+      if (!attack.ok()) {
+        failure = "recovery after bit-rot failed: " + attack.ToString();
+        break;
+      }
+    }
+  }
+
+  // Oracle: with a persistent agent every count must be exact; an external
+  // client may legitimately overcount (window of vulnerability), but never
+  // undercount, and inventory must stay consistent with TotalSold.
+  if (failure.empty()) {
+    bool external = cfg.topology == Topology::kExternalDirect;
+    if (!external) {
+      auto done = admin.Call(agent_uri, "SessionsDone", {});
+      if (!done.ok()) {
+        failure = "SessionsDone failed: " + done.status().ToString();
+      } else if (done->AsInt() != sessions) {
+        failure = StrCat("SessionsDone=", done->AsInt(), " want ", sessions);
+      }
+    }
+    ExternalClient probe(&sim, "client");
+    for (int s = 0; s < cfg.stores && failure.empty(); ++s) {
+      auto sold = probe.Call(deployment->store_uris[s], "TotalSold", {});
+      if (!sold.ok()) {
+        failure = "TotalSold failed: " + sold.status().ToString();
+        break;
+      }
+      int64_t sold_count = sold->AsInt();
+      int64_t book_sold_sum = 0;
+      for (int book = 1; book <= 10 && failure.empty(); ++book) {
+        auto entry = probe.Call(deployment->store_uris[s], "GetBook",
+                                MakeArgs(int64_t{book}));
+        if (!entry.ok()) {
+          failure = "GetBook failed: " + entry.status().ToString();
+          break;
+        }
+        int64_t book_sold = 25 - entry->AsList()[3].AsInt();
+        book_sold_sum += book_sold;
+        int64_t want = expected_book[s][book];
+        if (!external && book_sold != want) {
+          failure = StrCat("store ", s, " book ", book, " sold ", book_sold,
+                           " want ", want);
+        } else if (external && book_sold < want) {
+          failure = StrCat("store ", s, " book ", book, " UNDERSOLD ",
+                           book_sold, " want >= ", want);
+        }
+      }
+      if (!failure.empty()) break;
+      if (book_sold_sum != sold_count) {
+        failure = StrCat("store ", s, " inventory says ", book_sold_sum,
+                         " sold but TotalSold=", sold_count);
+      } else if (!external && sold_count != expected_store[s]) {
+        failure = StrCat("store ", s, " TotalSold=", sold_count, " want ",
+                         expected_store[s]);
+      } else if (external && sold_count < expected_store[s]) {
+        failure = StrCat("store ", s, " TotalSold=", sold_count,
+                         " want >= ", expected_store[s]);
+      } else if (external) {
+        stats.wov_duplicate_executions +=
+            static_cast<uint64_t>(sold_count - expected_store[s]);
+        stats.topo_wov[static_cast<int>(cfg.topology)] +=
+            static_cast<uint64_t>(sold_count - expected_store[s]);
+      }
+    }
+  }
+
+  // Harvest per-run counters before the sim dies.
+  stats.crashes_fired += sim.injector().crashes_fired();
+  stats.recoveries += server_machine.recovery_service().recoveries_performed();
+  stats.net_dropped += sim.network().messages_dropped();
+  stats.net_duplicated += sim.network().messages_duplicated();
+  stats.torn_tails_injected += sim.injector().torn_tails_fired();
+  stats.torn_tails_salvaged +=
+      sim.metrics().CounterTotal("phoenix.wal.torn_tails");
+  stats.salvage_wkf_fallback +=
+      sim.metrics().CounterTotal("phoenix.recovery.salvage.wkf_fallback");
+  stats.salvage_full_scan +=
+      sim.metrics().CounterTotal("phoenix.recovery.salvage.full_scan_fallback");
+  stats.salvage_ranges_skipped +=
+      sim.metrics().CounterTotal("phoenix.recovery.salvage.ranges_skipped");
+  stats.salvage_state_fallback += sim.metrics().CounterTotal(
+      "phoenix.recovery.salvage.state_record_fallback");
+  stats.dedupe_hits +=
+      sim.metrics().CounterTotal("phoenix.intercept.dedupe_hits");
+  stats.retries += sim.metrics().CounterTotal("phoenix.intercept.retries");
+  return failure;
+}
+
+int RunCampaign(const CampaignOptions& campaign) {
+  CampaignStats stats;
+  for (int run = 0; run < campaign.runs; ++run) {
+    RunConfig cfg = MakeRunConfig(campaign, run);
+    std::string violation = RunOne(cfg, campaign.sessions, stats);
+    ++stats.runs;
+    int topo = static_cast<int>(cfg.topology);
+    ++stats.topo_runs[topo];
+    if (!violation.empty()) {
+      ++stats.violations;
+      ++stats.topo_violations[topo];
+      std::fprintf(stderr,
+                   "VIOLATION run %d (%s, %s, save=%u, %d store(s)): %s\n",
+                   run, TopologyName(cfg.topology),
+                   bookstore::OptLevelName(cfg.level), cfg.save_every,
+                   cfg.stores, violation.c_str());
+    } else if (campaign.verbose) {
+      std::printf("run %d ok (%s, %s, save=%u, crashes=%zu, drop=%.3f, "
+                  "torn=%.2f)\n",
+                  run, TopologyName(cfg.topology),
+                  bookstore::OptLevelName(cfg.level), cfg.save_every,
+                  cfg.crashes.size(), cfg.faults.drop_p, cfg.torn_p);
+    }
+  }
+
+  obs::BenchReporter reporter("chaos_campaign", kChaosSchema);
+  obs::BenchVariant& campaign_v = reporter.AddVariant("campaign");
+  campaign_v.SetMetric("runs", stats.runs)
+      .SetMetric("seed", campaign.seed)
+      .SetMetric("sessions_per_run", static_cast<uint64_t>(campaign.sessions))
+      .SetMetric("violations", stats.violations)
+      .SetMetric("wov_duplicate_executions", stats.wov_duplicate_executions)
+      .SetMetric("sessions_total", stats.sessions_total)
+      .SetMetric("crashes_fired", stats.crashes_fired)
+      .SetMetric("recoveries", stats.recoveries)
+      .SetMetric("net_messages_dropped", stats.net_dropped)
+      .SetMetric("net_messages_duplicated", stats.net_duplicated)
+      .SetMetric("torn_tails_injected", stats.torn_tails_injected)
+      .SetMetric("torn_tails_salvaged", stats.torn_tails_salvaged)
+      .SetMetric("salvage_wkf_fallbacks", stats.salvage_wkf_fallback)
+      .SetMetric("salvage_full_scan_fallbacks", stats.salvage_full_scan)
+      .SetMetric("salvage_ranges_skipped", stats.salvage_ranges_skipped)
+      .SetMetric("salvage_state_record_fallbacks",
+                 stats.salvage_state_fallback)
+      .SetMetric("dedupe_hits", stats.dedupe_hits)
+      .SetMetric("interceptor_retries", stats.retries);
+  for (int t = 0; t < 3; ++t) {
+    obs::BenchVariant& v =
+        reporter.AddVariant(TopologyName(static_cast<Topology>(t)));
+    v.SetMetric("runs", stats.topo_runs[t])
+        .SetMetric("violations", stats.topo_violations[t])
+        .SetMetric("wov_duplicate_executions", stats.topo_wov[t]);
+  }
+  auto written = reporter.WriteFile(campaign.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "chaos campaign: %llu run(s), %llu violation(s), %llu WoV duplicate "
+      "execution(s)\n"
+      "  faults: %llu crash(es), %llu recover(ies), %llu dropped, "
+      "%llu duplicated, %llu torn tail(s)\n"
+      "  salvage: %llu torn-tail truncation(s), %llu wkf fallback(s), "
+      "%llu full-scan fallback(s), %llu range(s) skipped, "
+      "%llu state-record fallback(s)\n"
+      "  masking: %llu dedupe hit(s), %llu retry(ies)\n"
+      "report: %s\n",
+      static_cast<unsigned long long>(stats.runs),
+      static_cast<unsigned long long>(stats.violations),
+      static_cast<unsigned long long>(stats.wov_duplicate_executions),
+      static_cast<unsigned long long>(stats.crashes_fired),
+      static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.net_dropped),
+      static_cast<unsigned long long>(stats.net_duplicated),
+      static_cast<unsigned long long>(stats.torn_tails_injected),
+      static_cast<unsigned long long>(stats.torn_tails_salvaged),
+      static_cast<unsigned long long>(stats.salvage_wkf_fallback),
+      static_cast<unsigned long long>(stats.salvage_full_scan),
+      static_cast<unsigned long long>(stats.salvage_ranges_skipped),
+      static_cast<unsigned long long>(stats.salvage_state_fallback),
+      static_cast<unsigned long long>(stats.dedupe_hits),
+      static_cast<unsigned long long>(stats.retries), written->c_str());
+  return stats.violations > 0 ? 1 : 0;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  CampaignOptions campaign;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "runs", &value)) {
+      campaign.runs = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      campaign.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "sessions", &value)) {
+      campaign.sessions = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "out", &value)) {
+      campaign.out = value;
+    } else if (arg == "--verbose") {
+      campaign.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--runs=N] [--seed=S] [--sessions=N] "
+                   "[--out=FILE] [--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (campaign.runs <= 0 || campaign.sessions <= 0) {
+    std::fprintf(stderr, "--runs and --sessions must be positive\n");
+    return 2;
+  }
+  return RunCampaign(campaign);
+}
+
+}  // namespace
+}  // namespace phoenix::tools
+
+int main(int argc, char** argv) { return phoenix::tools::Main(argc, argv); }

@@ -9,6 +9,7 @@
 //   phoenix_trace [--level=baseline|optimized|specialized]
 //                 [--sessions=N] [--stores=N]
 //                 [--crash=<point>:<hit>]...    (point: see --list-points)
+//                 [--net-drop=P] [--net-dup=P] [--torn-tail=P]
 //                 [--save-every=N] [--checkpoint-every=N] [--gc]
 //                 [--multicall] [--dump-log] [--dump-tables]
 //                 [--trace-jsonl=FILE] [--trace-chrome=FILE]
@@ -46,6 +47,10 @@ struct Options {
   std::vector<std::pair<FailurePoint, uint64_t>> crashes;
   uint32_t save_every = 0;
   uint32_t checkpoint_every = 0;
+  // Hostile-environment injection (see docs/FAULTS.md).
+  double net_drop = 0.0;   // per-message drop probability on every link
+  double net_dup = 0.0;    // per-call duplicate probability on every link
+  double torn_tail = 0.0;  // probability a crash tears the stable tail
   bool gc = false;
   bool multicall = false;
   bool dump_log = false;
@@ -83,7 +88,8 @@ void ListPoints() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--level=...] [--sessions=N] [--stores=N] "
-               "[--crash=point:hit] [--save-every=N] [--checkpoint-every=N] "
+               "[--crash=point:hit] [--net-drop=P] [--net-dup=P] "
+               "[--torn-tail=P] [--save-every=N] [--checkpoint-every=N] "
                "[--gc] [--multicall] [--dump-log] [--dump-tables] "
                "[--trace-jsonl=F] [--trace-chrome=F] [--metrics-json=F] "
                "[--list-points]\n"
@@ -218,6 +224,15 @@ int Run(const Options& opts) {
   for (const auto& [point, hit] : opts.crashes) {
     sim.injector().AddTrigger("server", proc.pid(), point, hit);
   }
+  if (opts.net_drop > 0.0 || opts.net_dup > 0.0) {
+    LinkFaults faults;
+    faults.drop_p = opts.net_drop;
+    faults.dup_p = opts.net_dup;
+    sim.network().fault_plan().SetDefaultFaults(faults);
+  }
+  if (opts.torn_tail > 0.0) {
+    sim.injector().EnableTornTails(opts.torn_tail, params.seed * 131 + 7);
+  }
 
   ExternalClient buyer(&sim, "client");
   double t0 = sim.clock().NowMs();
@@ -308,6 +323,12 @@ int Main(int argc, char** argv) {
       opts.save_every = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "checkpoint-every", &value)) {
       opts.checkpoint_every = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "net-drop", &value)) {
+      opts.net_drop = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "net-dup", &value)) {
+      opts.net_dup = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "torn-tail", &value)) {
+      opts.torn_tail = std::atof(value.c_str());
     } else if (arg == "--gc") {
       opts.gc = true;
     } else if (arg == "--multicall") {
