@@ -6,7 +6,8 @@
 #include <cstdio>
 
 #include "bench/bench_components.h"
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "common/strings.h"
 #include "recovery/checkpoint_manager.h"
 #include "recovery/recovery_service.h"
@@ -45,7 +46,7 @@ IntervalResult Measure(obs::BenchVariant& variant, uint32_t interval,
   double r0 = sim.clock().NowMs();
   ma.recovery_service().EnsureProcessAlive(proc.pid());
   out.recovery_ms = sim.clock().NowMs() - r0;
-  CaptureSimulation(variant, sim);
+  sim.CaptureBench(variant);
   variant.SetMetric("interval", static_cast<uint64_t>(interval));
   variant.SetMetric("workload_ms", out.run_ms);
   variant.SetMetric("recovery_ms", out.recovery_ms);
@@ -78,7 +79,7 @@ void Run() {
       "at growing runtime overhead; past ~400 calls the replay saved per\n"
       "state record exceeds the ~60 ms restore cost, matching §5.4.\n");
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 // querying N bookstores forces the log at every store reply without the
 // optimization, and exactly once with it — regardless of N.
 
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 #include "bookstore/setup.h"
 #include "common/strings.h"
@@ -51,7 +52,7 @@ SearchCost MeasureSearch(obs::BenchVariant& variant, int num_stores,
   admin.Call(*grabber, "Search", MakeArgs(std::string("recovery"))).value();
   SearchCost cost{grabber_proc.log().num_forces() - f0,
                   sim.clock().NowMs() - t0};
-  CaptureSimulation(variant, sim);
+  sim.CaptureBench(variant);
   variant.SetMetric("grabber_forces", cost.grabber_forces);
   variant.SetMetric("search_ms", cost.elapsed_ms);
   variant.SetMetric("stores", static_cast<uint64_t>(num_stores));
@@ -79,7 +80,7 @@ void Run() {
       "forces\ngrow with the number of stores; with it the grabber forces "
       "once\n(plus the message-1 and reply forces), independent of N.\n");
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

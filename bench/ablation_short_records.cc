@@ -4,7 +4,8 @@
 // regenerate the content. With large replies the byte difference is big;
 // the force count is identical.
 
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "core/phoenix.h"
@@ -54,7 +55,7 @@ Cost Measure(obs::BenchVariant& variant, LoggingMode mode,
   }
   Cost cost{(proc.log().bytes_forced() - b0) / kCalls,
             (sim.clock().NowMs() - t0) / kCalls};
-  CaptureSimulation(variant, sim);
+  sim.CaptureBench(variant);
   variant.SetMetric("reply_bytes", reply_bytes);
   variant.SetMetric("forced_bytes_per_call", cost.bytes_forced);
   variant.SetMetric("per_call_ms", cost.elapsed_ms);
@@ -88,7 +89,7 @@ void Run() {
       "identity of the send; the forced bytes no longer scale with the\n"
       "reply size, because replay can regenerate the content.\n");
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

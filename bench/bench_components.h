@@ -8,7 +8,8 @@
 
 #include <string>
 
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "core/phoenix.h"
 
 namespace phoenix::bench {
@@ -122,7 +123,7 @@ struct MicroBenchConfig {
 };
 
 // When `variant` is non-null, the run's aggregate counters and latency
-// distribution are captured into it (bench_report.h) before the simulation
+// distribution are captured into it (Simulation::CaptureBench) before the
 // is torn down; the per-call result is also stored as "per_call_ms".
 inline double RunMicroBench(const MicroBenchConfig& cfg,
                             obs::BenchVariant* variant = nullptr) {
@@ -189,7 +190,7 @@ inline double RunMicroBench(const MicroBenchConfig& cfg,
 
   double per_call = run();
   if (variant != nullptr) {
-    CaptureSimulation(*variant, sim);
+    sim.CaptureBench(*variant);
     variant->SetMetric("per_call_ms", per_call);
   }
   return per_call;

@@ -3,7 +3,8 @@
 // discrete full-rotation (8.33 ms) steps — unbuffered appends miss a whole
 // rotation.
 
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "sim/disk_model.h"
@@ -65,7 +66,7 @@ void Run() {
       "rotation (8.33 ms); elapsed time jumps in discrete rotation-sized\n"
       "steps as the delay grows.\n");
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -6,7 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_components.h"
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "common/crc32c.h"
 #include "common/strings.h"
 #include "recovery/recovery_service.h"
@@ -132,7 +133,7 @@ void WriteDeterministicReport() {
     for (int i = 0; i < 400; ++i) {
       client.Call(*server, "Add", MakeArgs(int64_t{1})).value();
     }
-    CaptureSimulation(variant, sim);
+    sim.CaptureBench(variant);
   }
 
   {
@@ -151,13 +152,13 @@ void WriteDeterministicReport() {
       proc.Kill();
       (void)ma.recovery_service().EnsureProcessAlive(proc.pid());
     }
-    CaptureSimulation(variant, sim);
+    sim.CaptureBench(variant);
     variant.SetMetric(
         "recoveries",
         sim.metrics().CounterTotal("phoenix.recovery.recoveries"));
   }
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -4,7 +4,8 @@
 // system (Algorithm 2/3), local and remote.
 
 #include "bench/bench_components.h"
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 #include "sim/cost_model.h"
 #include "sim/network_model.h"
@@ -109,7 +110,7 @@ void Run() {
       base_pp_local, opt_pp_local, base_pp_remote, base_pp_local,
       opt_pp_remote, opt_pp_local);
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 // a subordinate are plain local calls.
 
 #include "bench/bench_components.h"
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 
 namespace phoenix::bench {
@@ -93,7 +94,7 @@ void Run() {
       "  External rows are cheaper than Persistent rows (externals attach\n"
       "  no sender-kind information).\n");
 
-  WriteReport(Reporter());
+  obs::AnnounceReport(Reporter());
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 // acks). Saving state adds ~1 ms of software cost per call either way.
 
 #include "bench/bench_components.h"
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 
 namespace phoenix::bench {
@@ -37,7 +38,7 @@ double Measure(obs::BenchVariant& variant, bool save_state_on_call,
   double t0 = sim.clock().NowMs();
   admin.Call(*caller, "RunBatch", MakeArgs(int64_t{kBatch}));
   double per_call = (sim.clock().NowMs() - t0) / kBatch;
-  CaptureSimulation(variant, sim);
+  sim.CaptureBench(variant);
   variant.SetMetric("per_call_ms", per_call);
   return per_call;
 }
@@ -71,7 +72,7 @@ void Run() {
       "adds ~1 ms regardless of the cache setting — modest next to the\n"
       "disk media cost, visible next to the cached-write cost.\n");
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -4,7 +4,8 @@
 // the ~60 ms cost of restoring a state record (~400+ calls).
 
 #include "bench/bench_components.h"
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "recovery/checkpoint_manager.h"
@@ -17,7 +18,7 @@ namespace {
 // standard capture.
 void CaptureRecovery(obs::BenchVariant& variant, Simulation& sim,
                      double recovery_ms) {
-  CaptureSimulation(variant, sim);
+  sim.CaptureBench(variant);
   variant.SetMetric("recovery_ms", recovery_ms);
   variant.SetMetric(
       "records_scanned",
@@ -118,7 +119,7 @@ void Run() {
       "calls or more (the paper concludes ~400).\n",
       restore_extra, per_call, restore_extra / per_call);
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 // optimization levels — elapsed time and number of log forces for the
 // paper's scripted BookBuyer session.
 
-#include "bench/bench_report.h"
+#include "obs/bench_reporter.h"
+#include "runtime/simulation.h"
 #include "bench/bench_util.h"
 #include "bookstore/setup.h"
 
@@ -37,7 +38,7 @@ LevelResult Run(obs::BenchVariant& variant, OptLevel level) {
   uint64_t f0 = sim.TotalForces();
   RunBuyerSession(sim, *deployment, buyer, "alice", "WA").value();
   LevelResult result{sim.clock().NowMs() - t0, sim.TotalForces() - f0};
-  CaptureSimulation(variant, sim);
+  sim.CaptureBench(variant);
   variant.SetMetric("session_ms", result.elapsed_ms);
   variant.SetMetric("session_forces", result.forces);
   return result;
@@ -83,7 +84,7 @@ void Main() {
       specialized.elapsed_ms,
       static_cast<unsigned long long>(specialized.forces));
 
-  WriteReport(reporter);
+  obs::AnnounceReport(reporter);
 }
 
 }  // namespace

@@ -74,6 +74,13 @@ struct RuntimeOptions {
   // enable; off by default so logs stay fully inspectable.
   bool auto_truncate_log = false;
 
+  // Group commit: when a session scheduler is active, durability waits
+  // park their session and the commit pipeline coalesces all concurrent
+  // waits on one log into a single disk force (wal/commit_pipeline.h).
+  // Off by default — and without overlapping sessions the flag changes
+  // nothing — so single-session runs keep the paper's exact force counts.
+  bool group_commit = false;
+
   // Allow failure-injection hooks to fire while a process is recovering.
   // Recovery is idempotent (it only reads the stable log), so crashes during
   // recovery simply restart it; off by default to keep schedules simple.

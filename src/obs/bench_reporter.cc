@@ -82,4 +82,14 @@ Result<std::string> BenchReporter::WriteFile(const std::string& path) const {
   return target;
 }
 
+void AnnounceReport(const BenchReporter& reporter, const std::string& path) {
+  Result<std::string> written = reporter.WriteFile(path);
+  if (written.ok()) {
+    std::printf("\nbench report: %s\n", written->c_str());
+  } else {
+    std::printf("\nbench report FAILED: %s\n",
+                written.status().ToString().c_str());
+  }
+}
+
 }  // namespace phoenix::obs

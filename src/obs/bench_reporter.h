@@ -87,6 +87,11 @@ class BenchReporter {
   std::vector<BenchVariant> variants_;
 };
 
+// Writes the report (WriteFile) and names the artifact on stdout so the
+// human-readable table and the JSON stay associated. The single exit path
+// every bench binary and report producer goes through.
+void AnnounceReport(const BenchReporter& reporter, const std::string& path = "");
+
 }  // namespace phoenix::obs
 
 #endif  // PHOENIX_OBS_BENCH_REPORTER_H_

@@ -177,6 +177,11 @@ class Context {
   uint64_t incoming_calls_handled_ = 0;
 
   bool busy_ = false;       // single-threaded check (PWD requirement)
+  // Whole-HandleIncoming occupancy: which session (if any) is serving this
+  // context. Other sessions park on it instead of failing the busy check;
+  // within one chain busy_ keeps catching reentrant cycles.
+  bool serving_ = false;
+  int serving_session_ = -1;
   bool parent_initialized_ = false;
   bool replaying_ = false;
   ReplayFeed* replay_feed_ = nullptr;

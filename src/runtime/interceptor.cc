@@ -47,12 +47,38 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
   const RuntimeOptions& opts = sim->options();
 
   if (!proc->alive()) return Status::Unavailable("process is down");
-  if (busy_) {
-    // PWD requirement: a context serves one incoming call at a time; a
-    // reentrant cross-context cycle is a programming error.
-    return Status::FailedPrecondition(
-        StrCat("context ", id_, " is busy (single-threaded component)"));
+  while (serving_ || busy_) {
+    // PWD requirement: a context serves one incoming call at a time. A
+    // session finding the context occupied by *another* session parks
+    // until it frees up; a reentrant cross-context cycle within one chain
+    // is still a programming error.
+    SessionScheduler* sched = sim->session_scheduler();
+    int cur = sched != nullptr ? sched->current_session() : -1;
+    if (cur < 0 || !serving_ || serving_session_ == cur) {
+      return Status::FailedPrecondition(
+          StrCat("context ", id_, " is busy (single-threaded component)"));
+    }
+    sched->ParkUntil([this] { return !serving_ && !busy_; });
+    if (!proc->alive() || proc->FindContext(id_) != this) {
+      // The process died (and possibly recovered into fresh contexts)
+      // while we waited; surface a retriable error so the caller's retry
+      // re-resolves the target.
+      return Status::Unavailable("process restarted while call waited");
+    }
   }
+  serving_ = true;
+  {
+    SessionScheduler* sched = sim->session_scheduler();
+    serving_session_ = sched != nullptr ? sched->current_session() : -1;
+  }
+  // Local class so every return path below releases the context.
+  struct ServingGuard {
+    Context* ctx;
+    ~ServingGuard() {
+      ctx->serving_ = false;
+      ctx->serving_session_ = -1;
+    }
+  } serving_guard{this};
 
   ComponentKind server_kind = parent_kind();
   ComponentKind client_kind = EffectiveClientKind(msg);
@@ -118,7 +144,9 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
     rec.client_kind = client_kind;
     proc->log().Append(rec);
     if (in_dec.force) {
-      proc->log().Force();
+      // Algorithms 1/3: message 1 must be stable before the call executes.
+      Status durable = proc->WaitDurable(ForcePoint::kIncomingLogged);
+      if (!durable.ok()) return durable;
       proc->checkpoints().MaybePublishCheckpoint();
     }
   }
@@ -147,7 +175,11 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
     proc->log().Append(rec);
   }
   if (rep_dec.force) {
-    proc->log().Force();
+    // The reply externalizes state: everything logged so far (including
+    // the optimized discipline's unwritten-but-implied receive records)
+    // must be stable before message 2 leaves.
+    Status durable = proc->WaitDurable(ForcePoint::kReplySend);
+    if (!durable.ok()) return durable;
     proc->checkpoints().MaybePublishCheckpoint();
   }
 
@@ -370,7 +402,8 @@ Result<Value> Context::OutgoingCall(Component* from,
   }
   if (dec.force) {
     // The send commits our state: everything before it must be stable.
-    proc->log().Force();
+    Status durable = proc->WaitDurable(ForcePoint::kOutgoingSend);
+    if (!durable.ok()) return durable;
     proc->checkpoints().MaybePublishCheckpoint();
   }
 
@@ -419,7 +452,9 @@ Result<Value> Context::OutgoingCall(Component* from,
     rec.server_kind = reply_server_kind;
     proc->log().Append(rec);
     if (rdec.force) {
-      proc->log().Force();
+      // Algorithm 1 forces message 4 too (the baseline's fourth force).
+      Status durable = proc->WaitDurable(ForcePoint::kReplyReceived);
+      if (!durable.ok()) return durable;
       proc->checkpoints().MaybePublishCheckpoint();
     }
   }

@@ -68,6 +68,14 @@ std::string Process::ActivatorUri() const {
   return MakeComponentUri(machine_name(), pid_, kActivatorName);
 }
 
+Status Process::WaitDurable(ForcePoint reason) {
+  if (!alive_) return Status::Crashed("process is down");
+  // Recovery must not yield: its replay is itself driven from a chain that
+  // other sessions may be parked behind.
+  return log_->WaitDurable(log_->next_lsn(), reason,
+                           /*allow_park=*/!recovering_);
+}
+
 bool Process::MaybeCrash(FailurePoint point) {
   Simulation* sim = simulation();
   if (recovering_ && !sim->options().inject_failures_during_recovery) {
@@ -94,8 +102,15 @@ void Process::Kill() {
   pending_flusher_ = nullptr;
   // Everything volatile dies with the process: unforced log records, the
   // contexts (component states), and the global tables of Table 1.
+  // DropBuffer also aborts the commit pipeline so sessions parked on a
+  // durability wait wake and unwind with Crashed.
   log_->DropBuffer();
   MaybeTearStableTail();
+  // Contexts go to the graveyard, not straight to the destructor: a parked
+  // session may still be executing inside one of them.
+  if (!contexts_.empty()) {
+    zombie_contexts_.push_back(std::move(contexts_));
+  }
   contexts_.clear();
   component_to_context_.clear();
   last_calls_.Clear();
@@ -135,6 +150,11 @@ void Process::MaybeTearStableTail() {
 
 void Process::Start() {
   Simulation* sim = simulation();
+  if (log_ != nullptr) {
+    // Same zombie rule as the contexts in Kill(): a parked session may
+    // resume inside the old manager's commit pipeline.
+    zombie_logs_.push_back(std::move(log_));
+  }
   log_ = std::make_unique<LogManager>(log_name(), &sim->storage(),
                                       &machine_->disk(), &sim->clock(),
                                       &sim->costs());
@@ -142,6 +162,8 @@ void Process::Start() {
   // own per-instance stats do not).
   log_->BindObs(&sim->metrics(), &sim->tracer(),
                 StrCat(machine_name(), "/", pid_));
+  log_->pipeline().SetGroupCommit(sim->options().group_commit);
+  log_->pipeline().SetScheduler(sim->session_scheduler());
   // Everything stable at (re)start is conservatively treated as already
   // externalized: only bytes forced after this point without leaving the
   // process are candidates for a future torn tail.

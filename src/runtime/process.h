@@ -50,6 +50,13 @@ class Process {
 
   // --- subsystems ---
   LogManager& log() { return *log_; }
+
+  // Durability wait for everything this process has appended so far: the
+  // single API behind every interceptor force site (wal/force_point.h
+  // names them). Parks the calling session under group commit; flushes
+  // inline otherwise. Returns Crashed when the process died before the
+  // wait was satisfied.
+  Status WaitDurable(ForcePoint reason);
   LastCallTable& last_calls() { return last_calls_; }
   RemoteTypeTable& remote_types() { return remote_types_; }
   CheckpointManager& checkpoints() { return *checkpoints_; }
@@ -151,6 +158,13 @@ class Process {
   uint64_t incoming_calls_ = 0;
   uint64_t crash_count_ = 0;
   PendingFlusher pending_flusher_;
+
+  // Crash graveyard: sessions parked inside a context's or log manager's
+  // member functions when the process dies resume on the old objects (and
+  // immediately unwind with Crashed). Keeping the corpses alive until the
+  // process itself is destroyed makes that resume memory-safe.
+  std::vector<std::map<uint64_t, std::unique_ptr<Context>>> zombie_contexts_;
+  std::vector<std::unique_ptr<LogManager>> zombie_logs_;
 };
 
 }  // namespace phoenix

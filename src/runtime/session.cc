@@ -1,0 +1,172 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace phoenix {
+namespace {
+
+// The session the calling thread is executing, if any. Session bodies run
+// strictly one at a time, so this is only ever read by its own thread or
+// while that thread is parked.
+thread_local SessionScheduler::Session* tls_session = nullptr;
+
+}  // namespace
+
+SessionScheduler::~SessionScheduler() {
+  // Run() joins everything; nothing to do unless Run was never called.
+  PHX_CHECK(sessions_.empty());
+}
+
+bool SessionScheduler::ParkSatisfied(const Session& s) {
+  if (s.wait_pipeline != nullptr) {
+    return s.wait_pipeline->durable_lsn() >= s.wait_lsn ||
+           s.wait_pipeline->abort_epoch() != s.wait_epoch;
+  }
+  PHX_CHECK(s.ready_pred != nullptr);
+  return s.ready_pred();
+}
+
+bool SessionScheduler::TryGroupFlush() {
+  // Group parked durability waiters by pipeline, in session-index order so
+  // ties resolve deterministically.
+  std::vector<std::pair<CommitPipeline*, size_t>> groups;
+  for (const auto& up : sessions_) {
+    const Session& s = *up;
+    if (s.state != Session::State::kParked || s.wait_pipeline == nullptr) {
+      continue;
+    }
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == s.wait_pipeline; });
+    if (it == groups.end()) {
+      groups.emplace_back(s.wait_pipeline, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  if (groups.empty()) return false;
+  auto best = groups.begin();
+  for (auto it = groups.begin(); it != groups.end(); ++it) {
+    if (it->second > best->second) best = it;
+  }
+  best->first->GroupFlush(best->second);
+  return true;
+}
+
+void SessionScheduler::SessionMain(Session* s) {
+  tls_session = s;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    s->cv.wait(lock, [s] { return s->state == Session::State::kRunning; });
+  }
+  s->body();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    s->state = Session::State::kDone;
+  }
+  sched_cv_.notify_one();
+}
+
+void SessionScheduler::Run(std::vector<std::function<void()>> bodies) {
+  PHX_CHECK(tls_session == nullptr);  // no nesting
+  PHX_CHECK(sessions_.empty());
+  if (bodies.empty()) return;
+  sessions_.reserve(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    auto s = std::make_unique<Session>();
+    s->index = static_cast<int>(i);
+    s->owner = this;
+    s->body = std::move(bodies[i]);
+    sessions_.push_back(std::move(s));
+  }
+  for (auto& s : sessions_) {
+    s->thread = std::thread([this, sp = s.get()] { SessionMain(sp); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      std::vector<Session*> ready;
+      size_t done = 0;
+      for (auto& up : sessions_) {
+        Session* s = up.get();
+        switch (s->state) {
+          case Session::State::kDone:
+            ++done;
+            break;
+          case Session::State::kReady:
+            ready.push_back(s);
+            break;
+          case Session::State::kParked:
+            if (ParkSatisfied(*s)) ready.push_back(s);
+            break;
+          case Session::State::kRunning:
+            PHX_CHECK(false && "scheduler saw a running session");
+        }
+      }
+      if (done == sessions_.size()) break;
+      if (ready.empty()) {
+        // Everyone is stalled. If any chain is stalled on durability this
+        // is the group-commit harvest point; otherwise the workload
+        // deadlocked (e.g. two sessions parked on each other's contexts).
+        PHX_CHECK(TryGroupFlush() && "session deadlock: no runnable session");
+        continue;
+      }
+      Session* next =
+          ready.size() == 1
+              ? ready.front()
+              : ready[static_cast<size_t>(rng_.Uniform(ready.size()))];
+      next->state = Session::State::kRunning;
+      next->wait_pipeline = nullptr;
+      next->ready_pred = nullptr;
+      next->cv.notify_one();
+      sched_cv_.wait(lock, [next] {
+        return next->state != Session::State::kRunning;
+      });
+    }
+  }
+
+  for (auto& s : sessions_) s->thread.join();
+  sessions_.clear();
+}
+
+void SessionScheduler::ParkLocked(std::unique_lock<std::mutex>& lock,
+                                  Session* s) {
+  s->state = Session::State::kParked;
+  sched_cv_.notify_one();
+  s->cv.wait(lock, [s] { return s->state == Session::State::kRunning; });
+}
+
+bool SessionScheduler::ParkUntilDurable(CommitPipeline* pipeline,
+                                        uint64_t lsn) {
+  Session* s = tls_session;
+  if (s == nullptr || s->owner != this) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  s->wait_pipeline = pipeline;
+  s->wait_lsn = lsn;
+  s->wait_epoch = pipeline->abort_epoch();
+  ParkLocked(lock, s);
+  return true;
+}
+
+bool SessionScheduler::ParkUntil(std::function<bool()> ready) {
+  Session* s = tls_session;
+  if (s == nullptr || s->owner != this) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  s->ready_pred = std::move(ready);
+  ParkLocked(lock, s);
+  return true;
+}
+
+int SessionScheduler::current_session() const {
+  Session* s = tls_session;
+  return (s != nullptr && s->owner == this) ? s->index : -1;
+}
+
+std::vector<Context*>* SessionScheduler::current_context_stack() {
+  Session* s = tls_session;
+  return (s != nullptr && s->owner == this) ? &s->context_stack : nullptr;
+}
+
+}  // namespace phoenix

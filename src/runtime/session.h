@@ -1,0 +1,108 @@
+#ifndef PHOENIX_RUNTIME_SESSION_H_
+#define PHOENIX_RUNTIME_SESSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "wal/commit_pipeline.h"
+
+namespace phoenix {
+
+class Context;
+
+// Cooperative overlapping call chains ("sessions") for one simulation.
+//
+// The simulator's call model is depth-first C++ recursion: one chain of
+// nested RouteCall frames. To give group commit concurrency to harvest
+// without giving up determinism, the scheduler runs N session bodies on
+// real threads but passes a single baton — exactly one thread executes at
+// any instant, and the only yield points are explicit parks:
+//
+//  - ParkUntilDurable: a chain reached a durability wait (WaitDurable with
+//    group commit on) and suspends until the pipeline's durable horizon
+//    passes its LSN;
+//  - ParkUntil: a chain hit a busy context (single-threaded contexts,
+//    §3.2.1) and suspends until the predicate holds.
+//
+// When no session is runnable, every live chain is stalled on durability —
+// that is the group-commit harvest point: the scheduler flushes the
+// pipeline with the most parked waiters, satisfying the whole batch with
+// one disk write, and wakes them.
+//
+// Determinism: one runnable thread at a time, parks only at fixed program
+// points, and the choice among ready sessions drawn from a seeded PRNG —
+// so a given (seed, workload) always produces the same interleaving, the
+// same batches, and byte-identical metrics.
+class SessionScheduler : public CommitPipeline::Scheduler {
+ public:
+  explicit SessionScheduler(uint64_t seed) : rng_(seed) {}
+  ~SessionScheduler() override;
+
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+
+  // Runs every body to completion, interleaving at park points. Blocking;
+  // must be called from the driver thread (not from inside a session).
+  void Run(std::vector<std::function<void()>> bodies);
+
+  // CommitPipeline::Scheduler. Returns false when the calling thread is
+  // not one of this scheduler's sessions (the caller then flushes inline).
+  bool ParkUntilDurable(CommitPipeline* pipeline, uint64_t lsn) override;
+
+  // Suspends the calling session until `ready()` holds. Returns false (and
+  // does nothing) off session threads. The predicate is evaluated by the
+  // scheduler while all sessions are quiesced, so it may read any
+  // simulation state without synchronization.
+  bool ParkUntil(std::function<bool()> ready);
+
+  // Index of the session the calling thread is running, or -1.
+  int current_session() const;
+
+  // The calling session's execution-context stack, or nullptr off session
+  // threads. Simulation::PushContext/PopContext delegate here so each
+  // chain tracks its own nesting.
+  std::vector<Context*>* current_context_stack();
+
+  // Internal per-chain bookkeeping; public only so the thread-local
+  // current-session pointer in session.cc can name the type.
+  struct Session {
+    int index = 0;
+    SessionScheduler* owner = nullptr;
+    std::function<void()> body;
+    std::thread thread;
+    std::condition_variable cv;
+    enum class State { kReady, kRunning, kParked, kDone };
+    State state = State::kReady;
+    // Exactly one of these describes a park: a durability wait...
+    CommitPipeline* wait_pipeline = nullptr;
+    uint64_t wait_lsn = 0;
+    uint64_t wait_epoch = 0;
+    // ...or a generic predicate.
+    std::function<bool()> ready_pred;
+    std::vector<Context*> context_stack;
+  };
+
+ private:
+  static bool ParkSatisfied(const Session& s);
+  // Picks the pipeline with the most parked durability waiters and batch-
+  // flushes it. Returns false when nobody is parked on durability.
+  bool TryGroupFlush();
+  void SessionMain(Session* s);
+  // Parks the calling session (already holding mu_) until rescheduled.
+  void ParkLocked(std::unique_lock<std::mutex>& lock, Session* s);
+
+  Random rng_;
+  std::mutex mu_;
+  std::condition_variable sched_cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RUNTIME_SESSION_H_

@@ -178,6 +178,42 @@ void Simulation::RecordNetworkDrop(const std::string& src,
                    obs::Arg("dst", dst)});
 }
 
+std::vector<Context*>& Simulation::CurrentContextStack() {
+  if (session_scheduler_ != nullptr) {
+    if (std::vector<Context*>* stack =
+            session_scheduler_->current_context_stack()) {
+      return *stack;
+    }
+  }
+  return context_stack_;
+}
+
+const std::vector<Context*>& Simulation::CurrentContextStack() const {
+  return const_cast<Simulation*>(this)->CurrentContextStack();
+}
+
+void Simulation::RunSessions(std::vector<std::function<void()>> sessions) {
+  PHX_CHECK(session_scheduler_ == nullptr);  // no nesting
+  // A distinct stream from the network/retry/disk seeds so adding
+  // sessions never perturbs their draws.
+  SessionScheduler scheduler(params_.seed * 77003 + 13);
+  session_scheduler_ = &scheduler;
+  // Processes started (or restarted by recovery) while the scheduler is
+  // active pick it up in Process::Start; wire the ones already running.
+  for (const auto& [name, machine] : machines_) {
+    for (const auto& [pid, process] : machine->processes()) {
+      process->log().pipeline().SetScheduler(&scheduler);
+    }
+  }
+  scheduler.Run(std::move(sessions));
+  session_scheduler_ = nullptr;
+  for (const auto& [name, machine] : machines_) {
+    for (const auto& [pid, process] : machine->processes()) {
+      process->log().pipeline().SetScheduler(nullptr);
+    }
+  }
+}
+
 uint64_t Simulation::TotalForces() const {
   uint64_t total = 0;
   for (const auto& [name, machine] : machines_) {
@@ -206,6 +242,16 @@ uint64_t Simulation::TotalBytesForced() const {
     }
   }
   return total;
+}
+
+void Simulation::CaptureBench(obs::BenchVariant& variant) const {
+  variant.SetMetric("forces", TotalForces());
+  variant.SetMetric("appends", TotalAppends());
+  variant.SetMetric("bytes_forced", TotalBytesForced());
+  variant.SetMetric("sim_time_ms", clock_.NowMs());
+  variant.SetMetric("calls_routed",
+                    metrics_.CounterTotal("phoenix.call.routed"));
+  variant.SetLatency(metrics_.MergedHistogram("phoenix.call.latency_ms"));
 }
 
 }  // namespace phoenix

@@ -1,6 +1,7 @@
 #ifndef PHOENIX_RUNTIME_SIMULATION_H_
 #define PHOENIX_RUNTIME_SIMULATION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,11 +10,13 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "core/options.h"
+#include "obs/bench_reporter.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/component.h"
 #include "runtime/machine.h"
 #include "runtime/message.h"
+#include "runtime/session.h"
 #include "sim/cost_model.h"
 #include "sim/failure_injector.h"
 #include "sim/network_model.h"
@@ -88,17 +91,38 @@ class Simulation {
   // unknown).
   Process* ResolveProcess(const std::string& uri);
 
-  // --- execution-context tracking (single-threaded call stack) ---
+  // --- overlapping sessions ---
+
+  // Runs `sessions` as overlapping cooperative call chains (see
+  // runtime/session.h): deterministic seeded interleaving, yielding only
+  // at durability waits and busy contexts. Blocks until all complete.
+  // While active, processes route their durability waits through the
+  // session scheduler, so group commit (RuntimeOptions.group_commit) has
+  // concurrent waiters to coalesce.
+  void RunSessions(std::vector<std::function<void()>> sessions);
+
+  // Non-null only inside RunSessions.
+  SessionScheduler* session_scheduler() const { return session_scheduler_; }
+
+  // --- execution-context tracking (one call stack per chain) ---
   Context* current_context() const {
-    return context_stack_.empty() ? nullptr : context_stack_.back();
+    const std::vector<Context*>& stack = CurrentContextStack();
+    return stack.empty() ? nullptr : stack.back();
   }
-  void PushContext(Context* ctx) { context_stack_.push_back(ctx); }
-  void PopContext() { context_stack_.pop_back(); }
+  void PushContext(Context* ctx) { CurrentContextStack().push_back(ctx); }
+  void PopContext() { CurrentContextStack().pop_back(); }
 
   // --- aggregate statistics (benchmarks read deltas) ---
   uint64_t TotalForces() const;
   uint64_t TotalAppends() const;
   uint64_t TotalBytesForced() const;
+
+  // Copies this run's aggregate log counters and per-call latency
+  // distribution into a bench-report variant (obs/bench_reporter.h). The
+  // Total*() counters sum the *live* writers — they reset when recovery
+  // recreates a process — matching what the paper's tables charge to a
+  // workload. Call after the workload, before the Simulation dies.
+  void CaptureBench(obs::BenchVariant& variant) const;
 
  private:
   // The un-instrumented transport path; RouteCall wraps it with metrics and
@@ -108,6 +132,11 @@ class Simulation {
 
   void RecordNetworkDrop(const std::string& src, const std::string& dst,
                          const std::string& method, NetLeg leg);
+
+  // The calling chain's context stack: the session's own stack on session
+  // threads, the driver stack otherwise.
+  std::vector<Context*>& CurrentContextStack();
+  const std::vector<Context*>& CurrentContextStack() const;
 
   RuntimeOptions options_;
   SimulationParams params_;
@@ -122,6 +151,7 @@ class Simulation {
   std::vector<Context*> context_stack_;
   Random retry_rng_{0};
   uint64_t next_disk_seed_ = 101;
+  SessionScheduler* session_scheduler_ = nullptr;
 };
 
 }  // namespace phoenix

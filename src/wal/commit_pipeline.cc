@@ -1,0 +1,76 @@
+#include "wal/commit_pipeline.h"
+
+namespace phoenix {
+namespace {
+
+// Batch sizes are small integers; log-spaced decade buckets would smear
+// every interesting batch into one bucket.
+const std::vector<double>& BatchBounds() {
+  static const std::vector<double> bounds = {1,  2,  3,  4,  6,  8,
+                                             12, 16, 24, 32, 48, 64};
+  return bounds;
+}
+
+}  // namespace
+
+void CommitPipeline::BindObs(obs::MetricsRegistry* metrics,
+                             obs::Tracer* tracer, std::string component) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  component_ = std::move(component);
+}
+
+Status CommitPipeline::WaitDurable(uint64_t up_to_lsn, ForcePoint reason,
+                                   bool allow_park) {
+  if (durable_lsn() >= up_to_lsn) return Status::OK();
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("phoenix.wal.waits",
+                     obs::LabelSet{{"process", component_},
+                                   {"reason", ForcePointName(reason)}})
+        .Increment();
+  }
+  if (group_commit_ && scheduler_ != nullptr && allow_park) {
+    if (scheduler_->ParkUntilDurable(this, up_to_lsn)) {
+      if (durable_lsn() >= up_to_lsn) return Status::OK();
+      // Woken by OnCrash: the tail we were waiting on no longer exists.
+      return Status::Crashed("process crashed before durability wait");
+    }
+    // Not on a parkable chain — flush inline like the non-group path.
+  }
+  FlushNow(reason);
+  PHX_CHECK(durable_lsn() >= up_to_lsn);
+  return Status::OK();
+}
+
+void CommitPipeline::FlushNow(ForcePoint reason) {
+  if (!writer_->has_buffered()) return;
+  clock_->AdvanceMs(costs_->force_dispatch_ms);
+  writer_->Force(reason);
+}
+
+void CommitPipeline::GroupFlush(size_t batch_size) {
+  uint64_t flushed_up_to = appended_lsn();
+  FlushNow(ForcePoint::kGroupCommit);
+  if (metrics_ != nullptr) {
+    obs::LabelSet labels{{"process", component_}};
+    metrics_
+        ->GetHistogram("phoenix.wal.group_commit.batch_size", labels,
+                       BatchBounds())
+        .Record(static_cast<double>(batch_size));
+    metrics_->GetCounter("phoenix.wal.group_commit.flushes", labels)
+        .Increment();
+    if (batch_size > 1) {
+      // Forces that would have been issued separately without batching.
+      metrics_->GetCounter("phoenix.wal.group_commit.coalesced", labels)
+          .Increment(static_cast<uint64_t>(batch_size - 1));
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("log", "group_flush", component_,
+                     {obs::Arg("batch", static_cast<uint64_t>(batch_size)),
+                      obs::Arg("durable_lsn", flushed_up_to)});
+  }
+}
+
+}  // namespace phoenix

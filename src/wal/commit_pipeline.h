@@ -1,0 +1,110 @@
+#ifndef PHOENIX_WAL_COMMIT_PIPELINE_H_
+#define PHOENIX_WAL_COMMIT_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "sim/cost_model.h"
+#include "sim/sim_clock.h"
+#include "wal/force_point.h"
+#include "wal/log_writer.h"
+
+namespace phoenix {
+
+// The durability half of the log: "append" puts bytes in the writer's
+// buffer, the commit pipeline decides when those bytes spin the disk.
+// Callers never force directly any more — they declare *what must be
+// durable* (an LSN) and *why* (a ForcePoint), via WaitDurable.
+//
+// Two modes:
+//  - Inline (default): WaitDurable behaves exactly like the old
+//    LogManager::Force() — a no-op when the horizon is already durable,
+//    otherwise one dispatch charge plus one sequential disk write. This
+//    keeps every single-session benchmark byte-identical.
+//  - Group commit (RuntimeOptions.group_commit + an installed Scheduler):
+//    WaitDurable parks the calling session; when the scheduler runs out of
+//    runnable sessions it flushes the pipeline with the most parked
+//    waiters, satisfying the whole batch with one disk write
+//    (GroupFlush). Batch sizes land in the
+//    phoenix.wal.group_commit.batch_size histogram.
+//
+// The durable horizon is exclusive: WaitDurable(lsn) returns once every
+// byte *below* `lsn` is stable, so callers pass `next_lsn()` to mean
+// "everything appended so far".
+class CommitPipeline {
+ public:
+  // A cooperative session runtime that can suspend the calling chain.
+  // Implemented by runtime/session.h; the pipeline only knows the
+  // interface so wal/ stays below runtime/ in the layering.
+  class Scheduler {
+   public:
+    virtual ~Scheduler() = default;
+    // Parks the current chain until pipeline->durable_lsn() >= lsn or the
+    // pipeline aborts (process crash). Returns false when the caller is
+    // not running on a parkable chain (main thread, recovery), in which
+    // case WaitDurable falls back to an inline flush.
+    virtual bool ParkUntilDurable(CommitPipeline* pipeline, uint64_t lsn) = 0;
+  };
+
+  CommitPipeline(LogWriter* writer, SimClock* clock, const CostModel* costs)
+      : writer_(writer), clock_(clock), costs_(costs) {}
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  void SetGroupCommit(bool enabled) { group_commit_ = enabled; }
+  bool group_commit() const { return group_commit_; }
+  void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
+  Scheduler* scheduler() const { return scheduler_; }
+
+  // Blocks (cooperatively, or inline) until everything below `up_to_lsn`
+  // is on stable storage. `reason` attributes the wait in metrics.
+  // `allow_park` is false on chains that must not yield (recovery,
+  // manual/test forces). Returns Crashed when the process died and took
+  // the unforced tail with it before the wait was satisfied.
+  Status WaitDurable(uint64_t up_to_lsn, ForcePoint reason,
+                     bool allow_park = true);
+
+  // One dispatch charge + one disk write covering every parked waiter of
+  // this pipeline; `batch_size` is how many waits the write satisfies.
+  // Called by the scheduler, never by client chains.
+  void GroupFlush(size_t batch_size);
+
+  // First LSN not yet durable (exclusive horizon).
+  uint64_t durable_lsn() const { return writer_->stable_bytes(); }
+  // LSN the next append will receive; durable_lsn() <= appended_lsn().
+  uint64_t appended_lsn() const { return writer_->next_lsn(); }
+
+  // Crash notification: the unforced tail is gone, so parked waiters can
+  // never be satisfied — they wake, observe the epoch change, and their
+  // WaitDurable returns Crashed.
+  void OnCrash() { ++abort_epoch_; }
+  uint64_t abort_epoch() const { return abort_epoch_; }
+
+  void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+               std::string component);
+
+ private:
+  // The old LogManager::Force() body, verbatim in behavior: no-op when
+  // nothing is buffered, else dispatch charge + writer force.
+  void FlushNow(ForcePoint reason);
+
+  LogWriter* writer_;
+  SimClock* clock_;
+  const CostModel* costs_;
+  bool group_commit_ = false;
+  Scheduler* scheduler_ = nullptr;
+  uint64_t abort_epoch_ = 0;
+
+  // Observability sinks (unowned; null until BindObs).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::string component_;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_COMMIT_PIPELINE_H_

@@ -1,0 +1,51 @@
+#ifndef PHOENIX_WAL_FORCE_POINT_H_
+#define PHOENIX_WAL_FORCE_POINT_H_
+
+namespace phoenix {
+
+// Why the log had to become durable. The paper's Algorithms 1-5 are, at
+// bottom, a table of *which sends must wait for which LSNs*; tagging every
+// durability wait (and every resulting disk force) with its reason makes
+// that table visible in metrics and log dumps, and lets a buffer-full
+// force inside the writer be told apart from a policy force.
+enum class ForcePoint {
+  // Interceptor wait sites (Algorithms 1-5).
+  kIncomingLogged,  // message 1 logged before dispatch (force-all / external)
+  kReplySend,       // reply record durable before the reply externalizes
+  kOutgoingSend,    // outgoing-call record durable before the send
+  kReplyReceived,   // reply-received record durable (force-all discipline)
+  // Non-interceptor durability points.
+  kCheckpoint,   // checkpoint publish / well-known-file consistency
+  kRecovery,     // recovery-time log repair
+  kBufferFull,   // writer buffer overflow; not a policy decision
+  kGroupCommit,  // batched flush issued by the commit pipeline scheduler
+  kManual,       // tests, tools, direct Force() calls
+};
+
+inline const char* ForcePointName(ForcePoint point) {
+  switch (point) {
+    case ForcePoint::kIncomingLogged:
+      return "incoming_logged";
+    case ForcePoint::kReplySend:
+      return "reply_send";
+    case ForcePoint::kOutgoingSend:
+      return "outgoing_send";
+    case ForcePoint::kReplyReceived:
+      return "reply_received";
+    case ForcePoint::kCheckpoint:
+      return "checkpoint";
+    case ForcePoint::kRecovery:
+      return "recovery";
+    case ForcePoint::kBufferFull:
+      return "buffer_full";
+    case ForcePoint::kGroupCommit:
+      return "group_commit";
+    case ForcePoint::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_FORCE_POINT_H_

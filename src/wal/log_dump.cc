@@ -131,7 +131,10 @@ std::string DescribeRecord(const LogRecord& record) {
   return std::visit(DescribeVisitor{}, record);
 }
 
-std::string DumpLog(const LogView& view) {
+namespace {
+
+std::string DumpLogImpl(const LogView& view,
+                        const std::vector<ForceMark>* marks) {
   std::string out;
   if (view.base > 0) {
     out += StrCat("  (head truncated below lsn ", view.base, ")\n");
@@ -139,6 +142,17 @@ std::string DumpLog(const LogView& view) {
   LogReader reader(view, view.base);
   reader.EnableSalvage();
   size_t printed_skips = 0;
+  size_t next_mark = 0;
+  // Durability boundaries at or below `lsn` print before the record there.
+  auto emit_marks_below = [&](uint64_t lsn) {
+    if (marks == nullptr) return;
+    while (next_mark < marks->size() && (*marks)[next_mark].end_lsn <= lsn) {
+      const ForceMark& mark = (*marks)[next_mark++];
+      if (mark.end_lsn < view.base) continue;  // pre-truncation history
+      out += StrCat("  (forced up to lsn ", mark.end_lsn, ": ",
+                    ForcePointName(mark.reason), ")\n");
+    }
+  };
   while (auto parsed = reader.Next()) {
     // Interleave any unreadable region the reader just skipped over.
     while (printed_skips < reader.skipped_ranges().size()) {
@@ -146,6 +160,7 @@ std::string DumpLog(const LogView& view) {
       out += StrCat("  (unreadable: ", range.to_lsn - range.from_lsn,
                     " byte(s) skipped at lsn ", range.from_lsn, ")\n");
     }
+    emit_marks_below(parsed->lsn);
     out += StrCat("  lsn ", parsed->lsn, "  ",
                   DescribeRecord(parsed->record), "\n");
   }
@@ -154,6 +169,7 @@ std::string DumpLog(const LogView& view) {
     out += StrCat("  (unreadable: ", range.to_lsn - range.from_lsn,
                   " byte(s) skipped at lsn ", range.from_lsn, ")\n");
   }
+  emit_marks_below(view.base + view.bytes->size());
   if (reader.tail_torn()) {
     uint64_t log_end = view.base + view.bytes->size();
     out += StrCat("  (torn tail: first bad frame at lsn ",
@@ -161,6 +177,17 @@ std::string DumpLog(const LogView& view) {
                   log_end - reader.torn_offset(), " byte(s) unreadable)\n");
   }
   return out;
+}
+
+}  // namespace
+
+std::string DumpLog(const LogView& view) {
+  return DumpLogImpl(view, nullptr);
+}
+
+std::string DumpLog(const LogView& view,
+                    const std::vector<ForceMark>& marks) {
+  return DumpLogImpl(view, &marks);
 }
 
 }  // namespace phoenix

@@ -2,9 +2,11 @@
 #define PHOENIX_WAL_LOG_DUMP_H_
 
 #include <string>
+#include <vector>
 
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
+#include "wal/log_writer.h"
 
 namespace phoenix {
 
@@ -19,6 +21,12 @@ std::string DescribeRecord(const LogRecord& record);
 // record, plus a torn-tail note when the scan stops early. For debugging
 // and the trace tool.
 std::string DumpLog(const LogView& view);
+
+// Same, interleaving the writer's force marks: after the last record each
+// force covered, a "(forced up to lsn <n>: <reason>)" line shows where the
+// durability boundary fell and which ForcePoint paid for it. Marks from a
+// previous process incarnation (below the view's range) are elided.
+std::string DumpLog(const LogView& view, const std::vector<ForceMark>& marks);
 
 }  // namespace phoenix
 

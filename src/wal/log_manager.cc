@@ -10,6 +10,7 @@ LogManager::LogManager(std::string log_name, StableStorage* storage,
       clock_(clock),
       costs_(costs),
       writer_(log_name, storage, disk, clock),
+      pipeline_(&writer_, clock, costs),
       well_known_name_(log_name + ".wkf") {}
 
 uint64_t LogManager::Append(const LogRecord& record) {
@@ -19,10 +20,10 @@ uint64_t LogManager::Append(const LogRecord& record) {
   return writer_.AppendPayload(enc.buffer());
 }
 
-void LogManager::Force() {
+void LogManager::Force(ForcePoint reason) {
   if (!writer_.has_buffered()) return;
   clock_->AdvanceMs(costs_->force_dispatch_ms);
-  writer_.Force();
+  writer_.Force(reason);
 }
 
 const std::vector<uint8_t>& LogManager::StableLog() const {
@@ -87,6 +88,7 @@ void LogManager::BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
   metrics_ = metrics;
   tracer_ = tracer;
   component_ = component;
+  pipeline_.BindObs(metrics, tracer, component);
   writer_.BindObs(metrics, tracer, std::move(component));
 }
 

@@ -9,6 +9,8 @@
 #include "sim/disk_model.h"
 #include "sim/sim_clock.h"
 #include "sim/stable_storage.h"
+#include "wal/commit_pipeline.h"
+#include "wal/force_point.h"
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
 #include "wal/log_writer.h"
@@ -33,16 +35,35 @@ class LogManager {
   // and returns its LSN. Does NOT force.
   uint64_t Append(const LogRecord& record);
 
-  // Forces all buffered records to disk (no-op if none).
-  void Force();
+  // Durability wait: returns once everything below `up_to_lsn` is stable,
+  // flushing inline or parking on the commit pipeline's group-commit path.
+  // Callers pass next_lsn() to mean "everything appended so far".
+  Status WaitDurable(uint64_t up_to_lsn, ForcePoint reason,
+                     bool allow_park = true) {
+    return pipeline_.WaitDurable(up_to_lsn, reason, allow_park);
+  }
+
+  // Forces all buffered records to disk (no-op if none). Always inline —
+  // the manual escape hatch for tests and tools; runtime code goes
+  // through WaitDurable so the wait can be attributed and batched.
+  void Force(ForcePoint reason = ForcePoint::kManual);
 
   // True if everything up to and including `lsn` is stable.
   bool IsStable(uint64_t lsn) const { return writer_.IsStable(lsn); }
 
   uint64_t next_lsn() const { return writer_.next_lsn(); }
 
-  // Crash: the unforced buffer is gone.
-  void DropBuffer() { writer_.DropBuffer(); }
+  // First LSN not yet durable (== stable_end_lsn(); pipeline vocabulary).
+  uint64_t durable_lsn() const { return writer_.stable_bytes(); }
+
+  // The durability half of the log (group-commit wiring lives here).
+  CommitPipeline& pipeline() { return pipeline_; }
+
+  // Crash: the unforced buffer is gone, and pipeline waiters abort.
+  void DropBuffer() {
+    writer_.DropBuffer();
+    pipeline_.OnCrash();
+  }
 
   // Read-only image of the stable log (for recovery and tests).
   const std::vector<uint8_t>& StableLog() const;
@@ -90,6 +111,11 @@ class LogManager {
   uint64_t num_forces() const { return writer_.num_forces(); }
   uint64_t bytes_forced() const { return writer_.bytes_forced(); }
 
+  // Per-force attribution (start/end LSN + ForcePoint), in issue order.
+  const std::vector<ForceMark>& force_marks() const {
+    return writer_.force_marks();
+  }
+
   const std::string& log_name() const { return writer_.log_name(); }
 
  private:
@@ -98,6 +124,7 @@ class LogManager {
   SimClock* clock_;
   const CostModel* costs_;
   LogWriter writer_;
+  CommitPipeline pipeline_;
   std::string well_known_name_;
 
   // Observability sinks (unowned; null until BindObs).

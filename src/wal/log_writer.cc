@@ -24,7 +24,7 @@ void LogWriter::BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
 uint64_t LogWriter::AppendPayload(const std::vector<uint8_t>& payload) {
   if (buffer_.size() + payload.size() + 8 > buffer_capacity_ &&
       !buffer_.empty()) {
-    Force();
+    Force(ForcePoint::kBufferFull);
   }
   uint64_t lsn = next_lsn();
   uint32_t len = static_cast<uint32_t>(payload.size());
@@ -48,15 +48,18 @@ uint64_t LogWriter::AppendPayload(const std::vector<uint8_t>& payload) {
   return lsn;
 }
 
-size_t LogWriter::Force() {
+size_t LogWriter::Force(ForcePoint reason) {
   if (buffer_.empty()) return 0;
   size_t bytes = buffer_.size();
   obs::Tracer::Span span;
   if (tracer_ != nullptr && tracer_->enabled()) {
     span = tracer_->StartSpan("log", "force", component_,
-                              {obs::Arg("bytes", static_cast<uint64_t>(bytes))});
+                              {obs::Arg("bytes", static_cast<uint64_t>(bytes)),
+                               obs::Arg("reason", ForcePointName(reason))});
   }
   storage_->AppendLog(log_name_, buffer_);
+  force_marks_.push_back(ForceMark{stable_bytes_, stable_bytes_ + bytes,
+                                   reason});
   stable_bytes_ += bytes;
   buffer_.clear();
   double latency = disk_->WriteLatencyMs(clock_->NowMs(), bytes);
@@ -65,7 +68,9 @@ size_t LogWriter::Force() {
   bytes_forced_ += bytes;
   const DiskModel::WriteBreakdown& bd = disk_->last_breakdown();
   if (metrics_ != nullptr) {
-    metrics_->GetCounter("phoenix.log.forces", labels_).Increment();
+    obs::LabelSet force_labels = labels_;
+    force_labels.emplace_back("reason", ForcePointName(reason));
+    metrics_->GetCounter("phoenix.log.forces", force_labels).Increment();
     metrics_->GetCounter("phoenix.log.bytes_forced", labels_)
         .Increment(static_cast<uint64_t>(bytes));
     metrics_->GetHistogram("phoenix.log.force_latency_ms", labels_)

@@ -10,8 +10,18 @@
 #include "sim/disk_model.h"
 #include "sim/sim_clock.h"
 #include "sim/stable_storage.h"
+#include "wal/force_point.h"
 
 namespace phoenix {
+
+// One physical force: which byte range it made stable and why it was
+// issued. log_dump interleaves these with the records so a dump shows
+// where the durability boundaries fell.
+struct ForceMark {
+  uint64_t start_lsn;  // first byte made stable by this force
+  uint64_t end_lsn;    // one past the last byte made stable
+  ForcePoint reason;
+};
 
 // Buffered, forced, append-only log writer (one per process). Records
 // accumulate in an in-memory buffer and reach stable storage only at a
@@ -36,7 +46,8 @@ class LogWriter {
   // Writes all buffered frames to stable storage as one sequential disk
   // write, advancing the simulated clock by the disk latency. No-op (and
   // not counted) when nothing is buffered. Returns bytes made stable.
-  size_t Force();
+  // `reason` attributes the force in metrics and force_marks().
+  size_t Force(ForcePoint reason = ForcePoint::kManual);
 
   // LSN the next append will receive.
   uint64_t next_lsn() const { return stable_bytes_ + buffer_.size(); }
@@ -72,6 +83,9 @@ class LogWriter {
   uint64_t num_forces() const { return num_forces_; }
   uint64_t bytes_forced() const { return bytes_forced_; }
 
+  // Every force this writer issued, in order, with its attribution.
+  const std::vector<ForceMark>& force_marks() const { return force_marks_; }
+
  private:
   std::string log_name_;
   StableStorage* storage_;
@@ -84,6 +98,7 @@ class LogWriter {
   uint64_t num_appends_ = 0;
   uint64_t num_forces_ = 0;
   uint64_t bytes_forced_ = 0;
+  std::vector<ForceMark> force_marks_;
 
   // Observability sinks (unowned; null until BindObs).
   obs::MetricsRegistry* metrics_ = nullptr;

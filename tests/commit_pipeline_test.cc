@@ -1,0 +1,252 @@
+#include "wal/commit_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "runtime/session.h"
+#include "wal/log_dump.h"
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+namespace {
+
+LogRecord CallRecord(uint64_t ctx, const std::string& method) {
+  IncomingCallRecord rec;
+  rec.context_id = ctx;
+  rec.method = method;
+  return LogRecord(rec);
+}
+
+class CommitPipelineTest : public ::testing::Test {
+ protected:
+  CommitPipelineTest()
+      : disk_(DiskParams{}, 1),
+        manager_("m/p1.log", &storage_, &disk_, &clock_, &costs_) {}
+
+  StableStorage storage_;
+  DiskModel disk_;
+  SimClock clock_;
+  CostModel costs_;
+  LogManager manager_;
+};
+
+TEST_F(CommitPipelineTest, WaitDurableFlushesInline) {
+  uint64_t lsn = manager_.Append(CallRecord(1, "Go"));
+  uint64_t horizon = manager_.next_lsn();
+  EXPECT_FALSE(manager_.IsStable(lsn));
+
+  ASSERT_TRUE(manager_.WaitDurable(horizon, ForcePoint::kReplySend).ok());
+  EXPECT_TRUE(manager_.IsStable(lsn));
+  EXPECT_EQ(manager_.durable_lsn(), horizon);
+  EXPECT_EQ(manager_.num_forces(), 1u);
+
+  // A satisfied horizon is a free no-op, exactly like the old empty Force.
+  double before = clock_.NowMs();
+  ASSERT_TRUE(manager_.WaitDurable(horizon, ForcePoint::kReplySend).ok());
+  EXPECT_EQ(clock_.NowMs(), before);
+  EXPECT_EQ(manager_.num_forces(), 1u);
+}
+
+TEST_F(CommitPipelineTest, GroupFlagWithoutSchedulerStaysInline) {
+  manager_.pipeline().SetGroupCommit(true);  // no scheduler installed
+  manager_.Append(CallRecord(1, "Go"));
+  uint64_t horizon = manager_.next_lsn();
+  ASSERT_TRUE(manager_.WaitDurable(horizon, ForcePoint::kOutgoingSend).ok());
+  EXPECT_GE(manager_.durable_lsn(), horizon);
+  EXPECT_EQ(manager_.num_forces(), 1u);
+}
+
+// durable_lsn <= appended_lsn always, and both move monotonically, under a
+// seeded random mix of appends and durability waits.
+TEST_F(CommitPipelineTest, DurableTrailsAppendedMonotonically) {
+  Random rng(42);
+  uint64_t last_appended = 0;
+  uint64_t last_durable = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (rng.Bernoulli(0.7)) {
+      manager_.Append(CallRecord(i, StrCat("m", i)));
+    } else {
+      ASSERT_TRUE(
+          manager_.WaitDurable(manager_.next_lsn(), ForcePoint::kManual)
+              .ok());
+    }
+    CommitPipeline& pipe = manager_.pipeline();
+    EXPECT_LE(pipe.durable_lsn(), pipe.appended_lsn());
+    EXPECT_GE(pipe.appended_lsn(), last_appended);
+    EXPECT_GE(pipe.durable_lsn(), last_durable);
+    last_appended = pipe.appended_lsn();
+    last_durable = pipe.durable_lsn();
+  }
+}
+
+// A crash loses exactly the unforced tail: the stable image holds every
+// record below the durable horizon, nothing above it.
+TEST_F(CommitPipelineTest, CrashDropsExactlyTheUnforcedTail) {
+  manager_.Append(CallRecord(1, "a"));
+  manager_.Append(CallRecord(1, "b"));
+  ASSERT_TRUE(
+      manager_.WaitDurable(manager_.next_lsn(), ForcePoint::kReplySend).ok());
+  uint64_t durable = manager_.durable_lsn();
+  uint64_t epoch = manager_.pipeline().abort_epoch();
+
+  manager_.Append(CallRecord(1, "c"));
+  manager_.Append(CallRecord(1, "d"));
+  EXPECT_GT(manager_.next_lsn(), durable);
+
+  manager_.DropBuffer();  // process crash
+  EXPECT_EQ(manager_.durable_lsn(), durable);
+  EXPECT_EQ(manager_.next_lsn(), durable);  // writer realigned
+  EXPECT_EQ(manager_.pipeline().abort_epoch(), epoch + 1);
+
+  std::vector<std::string> methods;
+  LogReader reader(manager_.StableLog(), 0);
+  while (auto parsed = reader.Next()) {
+    methods.push_back(std::get<IncomingCallRecord>(parsed->record).method);
+  }
+  EXPECT_EQ(methods, (std::vector<std::string>{"a", "b"}));
+}
+
+// Every force is attributed: marks carry the ForcePoint, cover contiguous
+// LSN ranges, and the log dump renders the durability boundaries.
+TEST_F(CommitPipelineTest, ForceMarksAttributeEveryFlush) {
+  manager_.Append(CallRecord(1, "a"));
+  ASSERT_TRUE(
+      manager_.WaitDurable(manager_.next_lsn(), ForcePoint::kIncomingLogged)
+          .ok());
+  manager_.Append(CallRecord(1, "b"));
+  ASSERT_TRUE(
+      manager_.WaitDurable(manager_.next_lsn(), ForcePoint::kCheckpoint)
+          .ok());
+
+  const std::vector<ForceMark>& marks = manager_.force_marks();
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_EQ(marks[0].reason, ForcePoint::kIncomingLogged);
+  EXPECT_EQ(marks[1].reason, ForcePoint::kCheckpoint);
+  EXPECT_EQ(marks[0].start_lsn, 0u);
+  EXPECT_EQ(marks[0].end_lsn, marks[1].start_lsn);
+  EXPECT_EQ(marks[1].end_lsn, manager_.durable_lsn());
+
+  std::string dump = DumpLog(manager_.StableView(), marks);
+  EXPECT_NE(dump.find("forced up to lsn"), std::string::npos);
+  EXPECT_NE(dump.find("incoming_logged"), std::string::npos);
+  EXPECT_NE(dump.find("checkpoint"), std::string::npos);
+}
+
+// Property: under group commit with overlapping sessions, a waiter that
+// wakes successfully always finds its horizon durable — a group flush never
+// externalizes ("wakes") a wait below the batch it covered. And batching
+// must actually coalesce: far fewer forces than waits.
+TEST(CommitPipelineGroupTest, WakeImpliesWaiterHorizonDurable) {
+  for (uint64_t seed : {1u, 7u, 12345u}) {
+    StableStorage storage;
+    DiskModel disk(DiskParams{}, 1);
+    SimClock clock;
+    CostModel costs;
+    LogManager manager("m/p1.log", &storage, &disk, &clock, &costs);
+    manager.pipeline().SetGroupCommit(true);
+    SessionScheduler scheduler(seed);
+    manager.pipeline().SetScheduler(&scheduler);
+
+    const int kSessions = 8;
+    const int kWaitsPerSession = 6;
+    int violations = 0;
+    std::vector<std::function<void()>> bodies;
+    for (int s = 0; s < kSessions; ++s) {
+      bodies.push_back([&, s] {
+        for (int k = 0; k < kWaitsPerSession; ++k) {
+          manager.Append(CallRecord(s, StrCat("m", s, "_", k)));
+          uint64_t horizon = manager.next_lsn();
+          Status status =
+              manager.WaitDurable(horizon, ForcePoint::kOutgoingSend);
+          if (!status.ok() || manager.durable_lsn() < horizon) ++violations;
+        }
+      });
+    }
+    scheduler.Run(std::move(bodies));
+    manager.pipeline().SetScheduler(nullptr);
+
+    EXPECT_EQ(violations, 0) << "seed " << seed;
+    EXPECT_LE(manager.durable_lsn(), manager.next_lsn());
+    // 48 waits must not mean 48 disk forces.
+    EXPECT_LT(manager.num_forces(),
+              static_cast<uint64_t>(kSessions * kWaitsPerSession))
+        << "seed " << seed;
+    for (const ForceMark& mark : manager.force_marks()) {
+      EXPECT_EQ(mark.reason, ForcePoint::kGroupCommit);
+    }
+  }
+}
+
+// Same seed, same workload -> identical interleaving: force marks (the
+// batching decisions) are byte-identical across runs.
+TEST(CommitPipelineGroupTest, SchedulingIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    StableStorage storage;
+    DiskModel disk(DiskParams{}, 1);
+    SimClock clock;
+    CostModel costs;
+    LogManager manager("m/p1.log", &storage, &disk, &clock, &costs);
+    manager.pipeline().SetGroupCommit(true);
+    SessionScheduler scheduler(seed);
+    manager.pipeline().SetScheduler(&scheduler);
+    std::vector<std::function<void()>> bodies;
+    for (int s = 0; s < 6; ++s) {
+      bodies.push_back([&, s] {
+        for (int k = 0; k < 4; ++k) {
+          manager.Append(CallRecord(s, StrCat("x", s, "_", k)));
+          (void)manager.WaitDurable(manager.next_lsn(),
+                                    ForcePoint::kReplySend);
+        }
+      });
+    }
+    scheduler.Run(std::move(bodies));
+    std::vector<std::pair<uint64_t, uint64_t>> spans;
+    for (const ForceMark& m : manager.force_marks()) {
+      spans.emplace_back(m.start_lsn, m.end_lsn);
+    }
+    return spans;
+  };
+  EXPECT_EQ(run(99), run(99));
+}
+
+// A crash while sessions are parked wakes them with Crashed instead of
+// leaving them stranded (the tail they were waiting on is gone).
+TEST(CommitPipelineGroupTest, CrashWhileParkedReturnsCrashed) {
+  StableStorage storage;
+  DiskModel disk(DiskParams{}, 1);
+  SimClock clock;
+  CostModel costs;
+  LogManager manager("m/p1.log", &storage, &disk, &clock, &costs);
+  manager.pipeline().SetGroupCommit(true);
+  SessionScheduler scheduler(17);
+  manager.pipeline().SetScheduler(&scheduler);
+
+  Status waiter_status = Status::OK();
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&] {
+    manager.Append(CallRecord(1, "doomed"));
+    waiter_status =
+        manager.WaitDurable(manager.next_lsn(), ForcePoint::kReplySend);
+  });
+  bodies.push_back([&] {
+    // Wait until the other session has appended (so it is parked on the
+    // tail), then crash the process out from under it.
+    scheduler.ParkUntil([&] { return manager.next_lsn() > 0; });
+    manager.DropBuffer();
+  });
+  scheduler.Run(std::move(bodies));
+
+  EXPECT_TRUE(waiter_status.IsCrashed());
+  EXPECT_EQ(manager.durable_lsn(), 0u);
+  EXPECT_EQ(manager.num_forces(), 0u);  // nothing was externalized
+}
+
+}  // namespace
+}  // namespace phoenix

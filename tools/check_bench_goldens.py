@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Diff single-session bench force counts against checked-in goldens.
+
+The commit-pipeline refactor must keep fault-free single-session runs
+byte-identical to the pre-refactor numbers: same forces, same appends, same
+simulated time. This script pins that property in CI. It reads one or more
+BENCH_*.json reports (phoenix.bench.v1) and compares every metric listed in
+tools/bench_goldens.json exactly — these are deterministic simulations, so
+even the floating-point timings must match to the last digit.
+
+Usage:
+    check_bench_goldens.py [--goldens=tools/bench_goldens.json] BENCH_x.json...
+
+To regenerate the goldens after an intentional change:
+    check_bench_goldens.py --update --goldens=tools/bench_goldens.json \
+        BENCH_x.json...
+(then review the diff like any other source change).
+"""
+
+import json
+import sys
+
+# Metrics pinned per variant. Timings and counters only; latency summaries
+# are derived from the same data.
+PINNED = ("forces", "appends", "bytes_forced", "sim_time_ms", "calls_routed",
+          "per_call_ms", "per_iteration_ms", "forces_per_call", "ms_per_call")
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    variants = {}
+    for variant in report.get("variants", []):
+        metrics = variant.get("metrics", {})
+        variants[variant["name"]] = {
+            k: metrics[k] for k in PINNED if k in metrics
+        }
+    return report["bench"], variants
+
+
+def main(argv):
+    goldens_path = "tools/bench_goldens.json"
+    update = False
+    reports = []
+    for arg in argv[1:]:
+        if arg.startswith("--goldens="):
+            goldens_path = arg.split("=", 1)[1]
+        elif arg == "--update":
+            update = True
+        else:
+            reports.append(arg)
+    if not reports:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    observed = {}
+    for path in reports:
+        bench, variants = load_report(path)
+        observed[bench] = variants
+
+    if update:
+        with open(goldens_path, "w") as f:
+            json.dump(observed, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {goldens_path}: "
+              f"{sum(len(v) for v in observed.values())} variant(s) across "
+              f"{len(observed)} bench(es)")
+        return 0
+
+    with open(goldens_path) as f:
+        goldens = json.load(f)
+
+    failures = []
+    checked = 0
+    for bench, variants in observed.items():
+        golden_bench = goldens.get(bench)
+        if golden_bench is None:
+            failures.append(f"{bench}: no golden recorded")
+            continue
+        for name, golden in golden_bench.items():
+            ours = variants.get(name)
+            if ours is None:
+                failures.append(f"{bench}/{name}: variant missing from report")
+                continue
+            for metric, want in golden.items():
+                got = ours.get(metric)
+                checked += 1
+                if got != want:
+                    failures.append(
+                        f"{bench}/{name}/{metric}: got {got!r}, want {want!r}")
+
+    if failures:
+        print(f"bench goldens: {len(failures)} mismatch(es) "
+              f"({checked} value(s) checked)", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench goldens OK: {checked} value(s) match exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

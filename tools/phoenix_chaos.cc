@@ -16,12 +16,19 @@
 // masking them, and only undercounts or inconsistent inventory are
 // violations.
 //
+// With --overlap=N > 1 the campaign also sweeps *concurrent* shopping
+// sessions: a seeded subset of runs executes its sessions in overlapping
+// waves (Simulation::RunSessions) of 2..N chains, half of them with group
+// commit enabled, so exactly-once is checked while durability waits park,
+// coalesce, and abort across crashes. The oracle is unchanged — concurrency
+// must never change what got sold.
+//
 // Every decision flows from --seed through split Random streams, so a rerun
 // with the same flags emits a byte-identical phoenix.chaos.v1 report.
 //
 // Usage:
-//   phoenix_chaos [--runs=N] [--seed=S] [--sessions=N] [--out=FILE]
-//                 [--verbose]
+//   phoenix_chaos [--runs=N] [--seed=S] [--sessions=N] [--overlap=N]
+//                 [--out=FILE] [--verbose]
 
 #include <cstdio>
 #include <cstring>
@@ -44,6 +51,10 @@ struct CampaignOptions {
   int runs = 500;
   uint64_t seed = 42;
   int sessions = 6;
+  // Maximum overlapping sessions per wave. 1 = every session sequential
+  // (the pre-session-scheduler harness, byte-identical draws); > 1 lets a
+  // seeded subset of runs overlap their sessions and flip group commit on.
+  int overlap = 4;
   std::string out;  // empty: BenchReporter default (BENCH_<name>.json)
   bool verbose = false;
 };
@@ -121,6 +132,8 @@ struct RunConfig {
   double torn_p = 0.0;      // torn-tail probability per crash
   bool bitrot_state = false;  // mid-run bit-rot on the newest state record
   bool bitrot_wkf = false;    // mid-run bit-rot on the well-known file
+  int overlap = 1;          // sessions per concurrent wave (1 = sequential)
+  bool group_commit = false;  // coalesce durability waits across the wave
 };
 
 RunConfig MakeRunConfig(const CampaignOptions& campaign, int run) {
@@ -162,6 +175,14 @@ RunConfig MakeRunConfig(const CampaignOptions& campaign, int run) {
   }
   cfg.bitrot_state = rng.Bernoulli(0.25);
   cfg.bitrot_wkf = rng.Bernoulli(0.15);
+  // Draws gated on the flag so --overlap=1 replays the sequential
+  // harness's exact decision stream.
+  if (campaign.overlap > 1 && rng.Bernoulli(0.6)) {
+    cfg.overlap =
+        2 + static_cast<int>(rng.Uniform(
+                static_cast<uint64_t>(campaign.overlap - 1)));
+    cfg.group_commit = rng.Bernoulli(0.5);
+  }
   return cfg;
 }
 
@@ -183,6 +204,11 @@ struct CampaignStats {
   uint64_t salvage_state_fallback = 0;
   uint64_t dedupe_hits = 0;
   uint64_t retries = 0;
+  // Concurrent-session sweep.
+  uint64_t concurrent_runs = 0;
+  uint64_t group_commit_runs = 0;
+  uint64_t group_flushes = 0;
+  uint64_t group_coalesced = 0;
   // Per-topology breakdown.
   uint64_t topo_runs[3] = {0, 0, 0};
   uint64_t topo_violations[3] = {0, 0, 0};
@@ -229,6 +255,7 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
   // oracle assumes; the per-call budget is an availability knob, so the
   // campaign runs unbounded.
   runtime.call_retry_budget_ms = 0.0;
+  runtime.group_commit = cfg.group_commit;
 
   SimulationParams params;
   params.seed = cfg.sim_seed;
@@ -280,18 +307,23 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
   }
 
   ExternalClient admin(&sim, "client");
-  std::string agent_uri;
+  // One agent per wave slot (just one when sequential): overlapping chains
+  // each own an agent context, so they serialize only at the seller and
+  // their force-on-send waits can coalesce on the agent process's log.
+  std::vector<std::string> agent_uris;
   if (cfg.topology != Topology::kExternalDirect) {
     Process& agent_proc = cfg.topology == Topology::kRemoteAgent
                               ? client_machine.CreateProcess()
                               : server_machine.CreateProcess();
-    auto agent = admin.CreateComponent(agent_proc, "ShoppingAgent", "agent",
-                                       ComponentKind::kPersistent,
-                                       MakeArgs(deployment->seller_uri));
-    if (!agent.ok()) {
-      return "agent creation failed: " + agent.status().ToString();
+    for (int a = 0; a < cfg.overlap; ++a) {
+      auto agent = admin.CreateComponent(
+          agent_proc, "ShoppingAgent", StrCat("agent", a),
+          ComponentKind::kPersistent, MakeArgs(deployment->seller_uri));
+      if (!agent.ok()) {
+        return "agent creation failed: " + agent.status().ToString();
+      }
+      agent_uris.push_back(*agent);
     }
-    agent_uri = *agent;
   }
 
   std::vector<int> expected_store(cfg.stores, 0);
@@ -299,41 +331,84 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
                                               std::vector<int>(11, 0));
   Random workload(cfg.sim_seed * 31 + 1);
   std::string failure;
-  for (int i = 0; i < sessions; ++i) {
-    int store = static_cast<int>(workload.Uniform(cfg.stores));
-    int book = static_cast<int>(workload.Uniform(10)) + 1;
+
+  // One shopping session's call chain. Each chain drives its own external
+  // client so overlapping waves never share driver state.
+  auto run_session = [&](int i, int store, int book) -> Status {
     std::string buyer = "buyer" + std::to_string(i);
-    Status status = Status::OK();
+    ExternalClient driver(&sim, "client");
     if (cfg.topology == Topology::kExternalDirect) {
-      auto add = admin.Call(deployment->seller_uri, "AddToBasket",
-                            MakeArgs(buyer, deployment->store_uris[store],
-                                     int64_t{book}));
-      status = add.status();
-      if (status.ok()) {
-        auto total = admin.Call(deployment->seller_uri, "Checkout",
-                                MakeArgs(buyer, std::string("WA")));
-        status = total.status();
-      }
-    } else {
-      auto r = admin.Call(agent_uri, "Session",
-                          MakeArgs(buyer, deployment->store_uris[store],
-                                   int64_t{book}));
-      status = r.status();
+      auto add = driver.Call(deployment->seller_uri, "AddToBasket",
+                             MakeArgs(buyer, deployment->store_uris[store],
+                                      int64_t{book}));
+      if (!add.ok()) return add.status();
+      return driver
+          .Call(deployment->seller_uri, "Checkout",
+                MakeArgs(buyer, std::string("WA")))
+          .status();
     }
+    return driver
+        .Call(agent_uris[i % agent_uris.size()], "Session",
+              MakeArgs(buyer, deployment->store_uris[store], int64_t{book}))
+        .status();
+  };
+  auto account = [&](int i, int store, int book, const Status& status) {
     if (!status.ok()) {
-      failure = StrCat("session ", i, " failed: ", status.ToString());
-      break;
+      if (failure.empty()) {
+        failure = StrCat("session ", i, " failed: ", status.ToString());
+      }
+      return;
     }
     ++expected_store[store];
     ++expected_book[store][book];
     ++stats.sessions_total;
+  };
 
-    if (i + 1 == sessions / 2 && (cfg.bitrot_state || cfg.bitrot_wkf)) {
+  // The storage attack fires once, halfway through — between waves when
+  // sessions overlap, so no chain is parked inside the process it kills.
+  int attack_at = (cfg.bitrot_state || cfg.bitrot_wkf) && sessions >= 2
+                      ? sessions / 2
+                      : sessions;
+  int next = 0;
+  while (next < sessions && failure.empty()) {
+    int segment_end = next < attack_at ? attack_at : sessions;
+    if (cfg.overlap <= 1) {
+      int i = next++;
+      int store = static_cast<int>(workload.Uniform(cfg.stores));
+      int book = static_cast<int>(workload.Uniform(10)) + 1;
+      account(i, store, book, run_session(i, store, book));
+    } else {
+      int wave_end = std::min(next + cfg.overlap, segment_end);
+      struct Plan {
+        int i;
+        int store;
+        int book;
+        Status status = Status::OK();
+      };
+      std::vector<Plan> wave;
+      for (int i = next; i < wave_end; ++i) {
+        // Drawn before the wave runs, so what the oracle expects never
+        // depends on how the chains interleave.
+        wave.push_back({i, static_cast<int>(workload.Uniform(cfg.stores)),
+                        static_cast<int>(workload.Uniform(10)) + 1});
+      }
+      std::vector<std::function<void()>> bodies;
+      for (Plan& plan : wave) {
+        bodies.push_back([&run_session, p = &plan] {
+          p->status = run_session(p->i, p->store, p->book);
+        });
+      }
+      sim.RunSessions(std::move(bodies));
+      for (const Plan& plan : wave) {
+        account(plan.i, plan.store, plan.book, plan.status);
+      }
+      next = wave_end;
+    }
+    if (next == attack_at && attack_at < sessions && failure.empty()) {
       Status attack =
           ApplyStorageAttack(cfg, sim, server_machine, server_proc);
       if (!attack.ok()) {
         failure = "recovery after bit-rot failed: " + attack.ToString();
-        break;
       }
     }
   }
@@ -344,11 +419,17 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
   if (failure.empty()) {
     bool external = cfg.topology == Topology::kExternalDirect;
     if (!external) {
-      auto done = admin.Call(agent_uri, "SessionsDone", {});
-      if (!done.ok()) {
-        failure = "SessionsDone failed: " + done.status().ToString();
-      } else if (done->AsInt() != sessions) {
-        failure = StrCat("SessionsDone=", done->AsInt(), " want ", sessions);
+      int64_t done_total = 0;
+      for (const std::string& agent_uri : agent_uris) {
+        auto done = admin.Call(agent_uri, "SessionsDone", {});
+        if (!done.ok()) {
+          failure = "SessionsDone failed: " + done.status().ToString();
+          break;
+        }
+        done_total += done->AsInt();
+      }
+      if (failure.empty() && done_total != sessions) {
+        failure = StrCat("SessionsDone=", done_total, " want ", sessions);
       }
     }
     ExternalClient probe(&sim, "client");
@@ -416,6 +497,10 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
   stats.dedupe_hits +=
       sim.metrics().CounterTotal("phoenix.intercept.dedupe_hits");
   stats.retries += sim.metrics().CounterTotal("phoenix.intercept.retries");
+  stats.group_flushes +=
+      sim.metrics().CounterTotal("phoenix.wal.group_commit.flushes");
+  stats.group_coalesced +=
+      sim.metrics().CounterTotal("phoenix.wal.group_commit.coalesced");
   return failure;
 }
 
@@ -425,6 +510,8 @@ int RunCampaign(const CampaignOptions& campaign) {
     RunConfig cfg = MakeRunConfig(campaign, run);
     std::string violation = RunOne(cfg, campaign.sessions, stats);
     ++stats.runs;
+    if (cfg.overlap > 1) ++stats.concurrent_runs;
+    if (cfg.group_commit) ++stats.group_commit_runs;
     int topo = static_cast<int>(cfg.topology);
     ++stats.topo_runs[topo];
     if (!violation.empty()) {
@@ -464,7 +551,12 @@ int RunCampaign(const CampaignOptions& campaign) {
       .SetMetric("salvage_state_record_fallbacks",
                  stats.salvage_state_fallback)
       .SetMetric("dedupe_hits", stats.dedupe_hits)
-      .SetMetric("interceptor_retries", stats.retries);
+      .SetMetric("interceptor_retries", stats.retries)
+      .SetMetric("max_overlap", static_cast<uint64_t>(campaign.overlap))
+      .SetMetric("concurrent_runs", stats.concurrent_runs)
+      .SetMetric("group_commit_runs", stats.group_commit_runs)
+      .SetMetric("group_commit_flushes", stats.group_flushes)
+      .SetMetric("group_commit_coalesced", stats.group_coalesced);
   for (int t = 0; t < 3; ++t) {
     obs::BenchVariant& v =
         reporter.AddVariant(TopologyName(static_cast<Topology>(t)));
@@ -488,6 +580,8 @@ int RunCampaign(const CampaignOptions& campaign) {
       "%llu full-scan fallback(s), %llu range(s) skipped, "
       "%llu state-record fallback(s)\n"
       "  masking: %llu dedupe hit(s), %llu retry(ies)\n"
+      "  overlap: %llu concurrent run(s), %llu with group commit, "
+      "%llu group flush(es) coalescing %llu wait(s)\n"
       "report: %s\n",
       static_cast<unsigned long long>(stats.runs),
       static_cast<unsigned long long>(stats.violations),
@@ -503,7 +597,12 @@ int RunCampaign(const CampaignOptions& campaign) {
       static_cast<unsigned long long>(stats.salvage_ranges_skipped),
       static_cast<unsigned long long>(stats.salvage_state_fallback),
       static_cast<unsigned long long>(stats.dedupe_hits),
-      static_cast<unsigned long long>(stats.retries), written->c_str());
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.concurrent_runs),
+      static_cast<unsigned long long>(stats.group_commit_runs),
+      static_cast<unsigned long long>(stats.group_flushes),
+      static_cast<unsigned long long>(stats.group_coalesced),
+      written->c_str());
   return stats.violations > 0 ? 1 : 0;
 }
 
@@ -526,6 +625,8 @@ int Main(int argc, char** argv) {
       campaign.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "sessions", &value)) {
       campaign.sessions = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "overlap", &value)) {
+      campaign.overlap = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "out", &value)) {
       campaign.out = value;
     } else if (arg == "--verbose") {
@@ -533,13 +634,14 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--seed=S] [--sessions=N] "
-                   "[--out=FILE] [--verbose]\n",
+                   "[--overlap=N] [--out=FILE] [--verbose]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (campaign.runs <= 0 || campaign.sessions <= 0) {
-    std::fprintf(stderr, "--runs and --sessions must be positive\n");
+  if (campaign.runs <= 0 || campaign.sessions <= 0 || campaign.overlap <= 0) {
+    std::fprintf(stderr,
+                 "--runs, --sessions and --overlap must be positive\n");
     return 2;
   }
   return RunCampaign(campaign);

@@ -267,7 +267,9 @@ int Run(const Options& opts) {
 
   if (opts.dump_log) {
     std::printf("\nrecovery log of %s:\n%s", proc.log_name().c_str(),
-                phoenix::DumpLog(proc.log().StableView()).c_str());
+                phoenix::DumpLog(proc.log().StableView(),
+                                 proc.log().force_marks())
+                    .c_str());
   }
   if (opts.dump_tables) DumpTables(proc);
 
