@@ -32,6 +32,12 @@ struct SessionsResult {
   uint64_t group_coalesced = 0;
   double batch_mean = 0;
   double batch_max = 0;
+  // Durability-wait attribution (phoenix.wal.park_ms /
+  // phoenix.wal.own_force_wait_ms): where the waits went per mode — parked
+  // behind a shared group flush vs dispatching the chain's own force.
+  uint64_t park_waits = 0;
+  double park_ms_total = 0;
+  double own_force_ms_total = 0;
 };
 
 constexpr int kCallsPerSession = 24;
@@ -94,6 +100,11 @@ SessionsResult RunSessionsBench(obs::BenchVariant& variant, LoggingMode mode,
       sim.metrics().MergedHistogram("phoenix.wal.group_commit.batch_size"));
   result.batch_mean = batches.mean;
   result.batch_max = batches.max;
+  obs::Histogram parks = sim.metrics().MergedHistogram("phoenix.wal.park_ms");
+  result.park_waits = parks.count();
+  result.park_ms_total = parks.sum();
+  result.own_force_ms_total =
+      sim.metrics().GaugeTotal("phoenix.wal.own_force_wait_ms");
 
   sim.CaptureBench(variant);
   variant.SetMetric("sessions", static_cast<uint64_t>(sessions));
@@ -104,6 +115,12 @@ SessionsResult RunSessionsBench(obs::BenchVariant& variant, LoggingMode mode,
   variant.SetMetric("group_coalesced", result.group_coalesced);
   variant.SetMetric("group_batch_mean", result.batch_mean);
   variant.SetMetric("group_batch_max", result.batch_max);
+  variant.SetMetric("park_waits", result.park_waits);
+  variant.SetMetric("park_ms_total", result.park_ms_total);
+  variant.SetMetric("park_ms_per_call", result.park_ms_total / calls);
+  variant.SetMetric("own_force_wait_ms_total", result.own_force_ms_total);
+  variant.SetMetric("own_force_wait_ms_per_call",
+                    result.own_force_ms_total / calls);
   return result;
 }
 
@@ -119,11 +136,13 @@ void Run() {
   for (const auto& mode : kModes) {
     std::printf(
         "\nConcurrent sessions, %s logging "
-        "(batch = mean forces coalesced per group flush)\n",
+        "(batch = mean forces coalesced per group flush;\n"
+        " park/own = durability wait ms per call spent parked in group "
+        "commit vs forcing inline)\n",
         mode.name);
-    std::printf("%10s %16s %16s %14s %14s %8s\n", "sessions",
+    std::printf("%10s %16s %16s %14s %14s %8s %10s %10s\n", "sessions",
                 "forces/call off", "forces/call on", "ms/call off",
-                "ms/call on", "batch");
+                "ms/call on", "batch", "park/call", "own/call");
     for (int n : kSessionCounts) {
       obs::BenchVariant& off = reporter.AddVariant(
           StrCat(mode.name, "_group_off_s", n));
@@ -131,9 +150,12 @@ void Run() {
       obs::BenchVariant& on = reporter.AddVariant(
           StrCat(mode.name, "_group_on_s", n));
       SessionsResult r_on = RunSessionsBench(on, mode.mode, true, n);
-      std::printf("%10d %16.3f %16.3f %14.3f %14.3f %8.2f\n", n,
-                  r_off.forces_per_call, r_on.forces_per_call,
-                  r_off.ms_per_call, r_on.ms_per_call, r_on.batch_mean);
+      double calls = static_cast<double>(n) * kCallsPerSession;
+      std::printf("%10d %16.3f %16.3f %14.3f %14.3f %8.2f %10.3f %10.3f\n",
+                  n, r_off.forces_per_call, r_on.forces_per_call,
+                  r_off.ms_per_call, r_on.ms_per_call, r_on.batch_mean,
+                  r_on.park_ms_total / calls,
+                  r_on.own_force_ms_total / calls);
     }
   }
 
@@ -150,7 +172,8 @@ void Run() {
 }  // namespace
 }  // namespace phoenix::bench
 
-int main() {
+int main(int argc, char** argv) {
+  phoenix::obs::InitBenchMain(argc, argv);
   phoenix::bench::Run();
   return 0;
 }

@@ -72,7 +72,8 @@ void Run() {
 }  // namespace
 }  // namespace phoenix::bench
 
-int main() {
+int main(int argc, char** argv) {
+  phoenix::obs::InitBenchMain(argc, argv);
   phoenix::bench::Run();
   return 0;
 }

@@ -167,6 +167,7 @@ void WriteDeterministicReport() {
 // Custom main instead of benchmark_main: run the wall-clock benchmarks, then
 // emit the deterministic sim-time JSON report.
 int main(int argc, char** argv) {
+  phoenix::obs::InitBenchMain(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -116,7 +116,8 @@ void Run() {
 }  // namespace
 }  // namespace phoenix::bench
 
-int main() {
+int main(int argc, char** argv) {
+  phoenix::obs::InitBenchMain(argc, argv);
   phoenix::bench::Run();
   return 0;
 }

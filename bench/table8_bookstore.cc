@@ -90,7 +90,8 @@ void Main() {
 }  // namespace
 }  // namespace phoenix::bench
 
-int main() {
+int main(int argc, char** argv) {
+  phoenix::obs::InitBenchMain(argc, argv);
   phoenix::bench::Main();
   return 0;
 }

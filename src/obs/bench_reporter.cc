@@ -1,8 +1,50 @@
 #include "obs/bench_reporter.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 
 namespace phoenix::obs {
+namespace {
+
+// "" means unset; resolution falls through to PHOENIX_BENCH_DIR, then cwd.
+std::string& OutDirOverride() {
+  static std::string dir;
+  return dir;
+}
+
+}  // namespace
+
+void SetBenchOutDir(std::string dir) { OutDirOverride() = std::move(dir); }
+
+std::string ResolveBenchPath(const std::string& filename) {
+  if (!filename.empty() && filename.front() == '/') return filename;
+  std::string dir = OutDirOverride();
+  if (dir.empty()) {
+    const char* env = std::getenv("PHOENIX_BENCH_DIR");
+    if (env != nullptr) dir = env;
+  }
+  if (dir.empty()) return filename;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  return dir + "/" + filename;
+}
+
+void InitBenchMain(int& argc, char** argv) {
+  constexpr char kPrefix[] = "--out-dir=";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      SetBenchOutDir(argv[i] + sizeof(kPrefix) - 1);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+}
 
 BenchVariant& BenchVariant::SetMetric(const std::string& metric,
                                       double value) {
@@ -19,6 +61,12 @@ BenchVariant& BenchVariant::SetMetric(const std::string& metric,
 BenchVariant& BenchVariant::SetMetric(const std::string& metric,
                                       int64_t value) {
   metrics_[metric] = JsonNumber(value);
+  return *this;
+}
+
+BenchVariant& BenchVariant::SetInfo(const std::string& key,
+                                    std::string value) {
+  info_[key] = std::move(value);
   return *this;
 }
 
@@ -40,6 +88,13 @@ void BenchVariant::WriteJson(JsonWriter& w) const {
     w.Key(metric).Raw(value);
   }
   w.EndObject();
+  if (!info_.empty()) {
+    w.Key("info").BeginObject();
+    for (const auto& [key, value] : info_) {
+      w.Key(key).String(value);
+    }
+    w.EndObject();
+  }
   if (has_latency_) {
     w.Key("latency_ms").BeginObject();
     WriteLatencySummaryJson(w, latency_);
@@ -68,7 +123,8 @@ std::string BenchReporter::ToJson() const {
 }
 
 Result<std::string> BenchReporter::WriteFile(const std::string& path) const {
-  std::string target = path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+  std::string target =
+      ResolveBenchPath(path.empty() ? "BENCH_" + bench_name_ + ".json" : path);
   std::FILE* f = std::fopen(target.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open " + target + " for writing");

@@ -44,6 +44,10 @@ class BenchVariant {
   BenchVariant& SetMetric(const std::string& metric, uint64_t value);
   BenchVariant& SetMetric(const std::string& metric, int64_t value);
 
+  // Non-numeric annotation (e.g. the flight-recorder dump attached to a
+  // violating chaos run). Emitted as an "info" object, sorted by key.
+  BenchVariant& SetInfo(const std::string& key, std::string value);
+
   // Per-call latency distribution for this variant.
   BenchVariant& SetLatency(const Histogram& histogram);
   BenchVariant& SetLatency(const LatencySummary& summary);
@@ -53,6 +57,7 @@ class BenchVariant {
  private:
   std::string name_;
   std::map<std::string, std::string> metrics_;  // name -> formatted number
+  std::map<std::string, std::string> info_;     // key -> free-form string
   bool has_latency_ = false;
   LatencySummary latency_;
 };
@@ -86,6 +91,27 @@ class BenchReporter {
   std::string schema_;
   std::vector<BenchVariant> variants_;
 };
+
+// --- artifact placement ---
+//
+// Bench binaries historically wrote BENCH_<name>.json into whatever the
+// current directory happened to be. Relative artifact paths now resolve
+// against an output directory chosen in this order: SetBenchOutDir (the
+// --out-dir flag), the PHOENIX_BENCH_DIR environment variable, the current
+// directory. Absolute paths pass through untouched.
+
+// Explicit override; wins over PHOENIX_BENCH_DIR. Empty resets to the
+// environment/cwd default.
+void SetBenchOutDir(std::string dir);
+
+// Resolves a report/trace/flight-dump filename against the output
+// directory, creating the directory on first use.
+std::string ResolveBenchPath(const std::string& filename);
+
+// Standard bench prologue: consumes --out-dir=DIR from the command line,
+// removing it from argv (other arguments are left for the bench — or a
+// wrapped framework like google-benchmark — to parse).
+void InitBenchMain(int& argc, char** argv);
 
 // Writes the report (WriteFile) and names the artifact on stdout so the
 // human-readable table and the JSON stay associated. The single exit path

@@ -147,6 +147,14 @@ uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
   return total;
 }
 
+double MetricsRegistry::GaugeTotal(const std::string& name) const {
+  double total = 0;
+  for (const auto& [key, slot] : gauges_) {
+    if (slot.entry.name == name) total += slot.metric.value();
+  }
+  return total;
+}
+
 Histogram MetricsRegistry::MergedHistogram(const std::string& name) const {
   Histogram merged;
   bool first = true;

@@ -120,6 +120,10 @@ class MetricsRegistry {
   // Sum of a counter across all label sets sharing `name`.
   uint64_t CounterTotal(const std::string& name) const;
 
+  // Sum of a gauge across all label sets sharing `name` (0 when none
+  // exist). Meaningful for accumulating gauges like attribution sums.
+  double GaugeTotal(const std::string& name) const;
+
   // Merge of every histogram registered under `name` (all label sets).
   // Returns an empty histogram when none exist.
   Histogram MergedHistogram(const std::string& name) const;

@@ -40,7 +40,18 @@ const char* TracePhaseName(TracePhase phase) {
   return "?";
 }
 
+void Tracer::EnableFlightRecorder(size_t events_per_component) {
+  flight_capacity_ = events_per_component;
+  if (flight_capacity_ == 0) flight_.clear();
+}
+
 void Tracer::Record(TraceEvent event) {
+  if (flight_capacity_ > 0) {
+    auto& ring = flight_[event.component];
+    ring.emplace_back(flight_seq_++, event);
+    if (ring.size() > flight_capacity_) ring.pop_front();
+  }
+  if (!enabled_) return;
   if (events_.size() >= kMaxEvents) {
     ++dropped_events_;
     return;
@@ -50,23 +61,33 @@ void Tracer::Record(TraceEvent event) {
 
 void Tracer::Instant(std::string_view category, std::string_view name,
                      std::string_view component, std::vector<TraceArg> args) {
-  if (!enabled_) return;
+  Instant(category, name, component, SpanLink{}, std::move(args));
+}
+
+void Tracer::Instant(std::string_view category, std::string_view name,
+                     std::string_view component, SpanLink link,
+                     std::vector<TraceArg> args) {
+  if (!enabled()) return;
   TraceEvent event;
   event.ts_ms = clock_->NowMs();
   event.phase = TracePhase::kInstant;
   event.category = category;
   event.name = name;
   event.component = component;
+  event.trace_id = link.trace_id;
+  event.parent_span_id = link.parent_id;
   event.args = std::move(args);
   Record(std::move(event));
 }
 
 Tracer::Span::Span(Tracer* tracer, std::string category, std::string name,
-                   std::string component)
+                   std::string component, uint64_t trace_id, uint64_t span_id)
     : tracer_(tracer),
       category_(std::move(category)),
       name_(std::move(name)),
-      component_(std::move(component)) {}
+      component_(std::move(component)),
+      trace_id_(trace_id),
+      span_id_(span_id) {}
 
 Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
   if (this != &other) {
@@ -75,6 +96,8 @@ Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
     category_ = std::move(other.category_);
     name_ = std::move(other.name_);
     component_ = std::move(other.component_);
+    trace_id_ = other.trace_id_;
+    span_id_ = other.span_id_;
     end_args_ = std::move(other.end_args_);
     other.tracer_ = nullptr;
   }
@@ -94,6 +117,8 @@ void Tracer::Span::End() {
   event.category = std::move(category_);
   event.name = std::move(name_);
   event.component = std::move(component_);
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
   event.args = std::move(end_args_);
   tracer_->Record(std::move(event));
   tracer_ = nullptr;
@@ -103,22 +128,37 @@ Tracer::Span Tracer::StartSpan(std::string_view category,
                                std::string_view name,
                                std::string_view component,
                                std::vector<TraceArg> args) {
-  if (!enabled_) return Span();
+  return StartSpan(category, name, component, SpanLink{}, std::move(args));
+}
+
+Tracer::Span Tracer::StartSpan(std::string_view category,
+                               std::string_view name,
+                               std::string_view component, SpanLink link,
+                               std::vector<TraceArg> args) {
+  if (!enabled()) return Span();
+  uint64_t span_id = next_span_id_++;
   TraceEvent event;
   event.ts_ms = clock_->NowMs();
   event.phase = TracePhase::kBegin;
   event.category = category;
   event.name = name;
   event.component = component;
+  event.trace_id = link.trace_id;
+  event.span_id = span_id;
+  event.parent_span_id = link.parent_id;
   event.args = std::move(args);
   Record(std::move(event));
   return Span(this, std::string(category), std::string(name),
-              std::string(component));
+              std::string(component), link.trace_id, span_id);
 }
 
 void Tracer::Clear() {
   events_.clear();
   dropped_events_ = 0;
+  flight_.clear();
+  flight_seq_ = 0;
+  next_trace_id_ = 1;
+  next_span_id_ = 1;
 }
 
 namespace {
@@ -136,38 +176,85 @@ void WriteArgsObject(JsonWriter& w, const std::vector<TraceArg>& args) {
   w.EndObject();
 }
 
+void AppendJsonlLine(std::string& out, const TraceEvent& event) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts_ms").Number(event.ts_ms);
+  w.Key("ph").String(TracePhaseName(event.phase));
+  w.Key("cat").String(event.category);
+  w.Key("name").String(event.name);
+  w.Key("comp").String(event.component);
+  if (event.trace_id != 0) w.Key("trace").Number(event.trace_id);
+  if (event.span_id != 0) w.Key("span").Number(event.span_id);
+  if (event.parent_span_id != 0) w.Key("parent").Number(event.parent_span_id);
+  WriteArgsObject(w, event.args);
+  w.EndObject();
+  out += w.str();
+  out.push_back('\n');
+}
+
 }  // namespace
 
 std::string Tracer::ExportJsonl() const {
   std::string out;
-  for (const TraceEvent& event : events_) {
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("ts_ms").Number(event.ts_ms);
-    w.Key("ph").String(TracePhaseName(event.phase));
-    w.Key("cat").String(event.category);
-    w.Key("name").String(event.name);
-    w.Key("comp").String(event.component);
-    WriteArgsObject(w, event.args);
-    w.EndObject();
-    out += w.str();
-    out.push_back('\n');
+  for (const TraceEvent& event : events_) AppendJsonlLine(out, event);
+  return out;
+}
+
+std::string Tracer::ExportFlightRecorder() const {
+  // Merge the per-component rings back into global record order. The
+  // sequence numbers are allocated deterministically, so the dump is
+  // byte-identical across same-seed runs.
+  std::vector<const std::pair<uint64_t, TraceEvent>*> merged;
+  for (const auto& [comp, ring] : flight_) {
+    for (const auto& entry : ring) merged.push_back(&entry);
   }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::string out;
+  for (const auto* entry : merged) AppendJsonlLine(out, entry->second);
   return out;
 }
 
 std::string Tracer::ExportChromeTrace() const {
-  // Stable component -> pid mapping in first-appearance order.
+  // Stable component -> pid mapping in first-appearance order, and a
+  // per-chain tid so overlapping sessions (parked chains) render as
+  // separate tracks instead of corrupting each other's B/E nesting.
+  // tid 0 is reserved for chain-less (component-scoped) events.
   std::map<std::string, int> pids;
   std::vector<std::string> order;
+  std::map<uint64_t, int> tids;
   for (const TraceEvent& event : events_) {
     if (pids.emplace(event.component, 0).second) {
       order.push_back(event.component);
+    }
+    if (event.trace_id != 0 && tids.find(event.trace_id) == tids.end()) {
+      int next_tid = static_cast<int>(tids.size()) + 1;
+      tids[event.trace_id] = next_tid;
     }
   }
   int next = 1;
   std::map<std::string, int> assigned;
   for (const std::string& comp : order) assigned[comp] = next++;
+  auto tid_of = [&tids](const TraceEvent& event) {
+    if (event.trace_id == 0) return 0;
+    return tids.at(event.trace_id);
+  };
+
+  // Where each span begins, for flow arrows between processes.
+  struct SpanSite {
+    int pid = 0;
+    int tid = 0;
+    double ts_ms = 0;
+  };
+  std::map<uint64_t, SpanSite> begin_site;
+  for (const TraceEvent& event : events_) {
+    if (event.phase == TracePhase::kBegin && event.span_id != 0) {
+      begin_site.emplace(
+          event.span_id,
+          SpanSite{assigned[event.component], tid_of(event), event.ts_ms});
+    }
+  }
 
   JsonWriter w;
   w.BeginObject();
@@ -183,19 +270,48 @@ std::string Tracer::ExportChromeTrace() const {
     w.EndObject();
   }
   for (const TraceEvent& event : events_) {
+    const int pid = assigned[event.component];
+    const int tid = tid_of(event);
     w.BeginObject();
     // Chrome wants "i" for instants; B/E pass through.
     w.Key("ph").String(event.phase == TracePhase::kInstant
                            ? "i"
                            : TracePhaseName(event.phase));
     w.Key("ts").Number(event.ts_ms * 1000.0);  // microseconds
-    w.Key("pid").Number(static_cast<int64_t>(assigned[event.component]));
-    w.Key("tid").Number(0);
+    w.Key("pid").Number(static_cast<int64_t>(pid));
+    w.Key("tid").Number(static_cast<int64_t>(tid));
     w.Key("cat").String(event.category);
     w.Key("name").String(event.name);
     if (event.phase == TracePhase::kInstant) w.Key("s").String("p");
     WriteArgsObject(w, event.args);
     w.EndObject();
+    // A span beginning under a parent on another track gets a flow arrow
+    // from the parent's begin to this begin, so Perfetto draws the
+    // cross-process (or cross-chain-track) call chain.
+    if (event.phase == TracePhase::kBegin && event.parent_span_id != 0) {
+      auto parent = begin_site.find(event.parent_span_id);
+      if (parent == begin_site.end()) continue;
+      if (parent->second.pid == pid && parent->second.tid == tid) continue;
+      w.BeginObject();
+      w.Key("ph").String("s");
+      w.Key("id").Number(static_cast<int64_t>(event.span_id));
+      w.Key("ts").Number(parent->second.ts_ms * 1000.0);
+      w.Key("pid").Number(static_cast<int64_t>(parent->second.pid));
+      w.Key("tid").Number(static_cast<int64_t>(parent->second.tid));
+      w.Key("cat").String("flow");
+      w.Key("name").String(event.name);
+      w.EndObject();
+      w.BeginObject();
+      w.Key("ph").String("f");
+      w.Key("bp").String("e");
+      w.Key("id").Number(static_cast<int64_t>(event.span_id));
+      w.Key("ts").Number(event.ts_ms * 1000.0);
+      w.Key("pid").Number(static_cast<int64_t>(pid));
+      w.Key("tid").Number(static_cast<int64_t>(tid));
+      w.Key("cat").String("flow");
+      w.Key("name").String(event.name);
+      w.EndObject();
+    }
   }
   w.EndArray();
   w.EndObject();
@@ -232,6 +348,15 @@ Result<std::vector<TraceEvent>> ParseTraceJsonl(std::string_view text) {
     if (const JsonValue* comp = v.Find("comp")) {
       event.component = comp->AsString();
     }
+    if (const JsonValue* trace = v.Find("trace")) {
+      event.trace_id = static_cast<uint64_t>(trace->AsNumber());
+    }
+    if (const JsonValue* span = v.Find("span")) {
+      event.span_id = static_cast<uint64_t>(span->AsNumber());
+    }
+    if (const JsonValue* parent = v.Find("parent")) {
+      event.parent_span_id = static_cast<uint64_t>(parent->AsNumber());
+    }
     if (const JsonValue* args = v.Find("args");
         args != nullptr && args->kind() == JsonValue::Kind::kObject) {
       for (const auto& [key, value] : args->AsObject()) {
@@ -253,13 +378,15 @@ Result<std::vector<TraceEvent>> ParseTraceJsonl(std::string_view text) {
 
 std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
                                     std::string_view component,
-                                    double from_ms, double to_ms) {
+                                    std::string_view category, double from_ms,
+                                    double to_ms) {
   std::vector<TraceEvent> out;
   for (const TraceEvent& event : events) {
     if (!component.empty() &&
         event.component.find(component) == std::string::npos) {
       continue;
     }
+    if (!category.empty() && event.category != category) continue;
     if (event.ts_ms < from_ms || event.ts_ms >= to_ms) continue;
     out.push_back(event);
   }

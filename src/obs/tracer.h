@@ -7,10 +7,18 @@
 // formats: our JSONL schema (one event per line, easy to grep and diff) and
 // the Chrome trace_event JSON that chrome://tracing / Perfetto load.
 //
+// Events carry an optional causal identity: a trace id (one per end-to-end
+// call chain), a span id (one per begin/end pair) and a parent span id.
+// The runtime threads these across process boundaries on every Message, so
+// the per-process spans join into one call tree that phoenix_prof can
+// reconstruct and the Chrome export can draw flow arrows between.
+//
 // Timestamps come exclusively from the SimClock, so two runs with the same
 // seed produce byte-identical traces.
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,12 +49,36 @@ enum class TracePhase : uint8_t { kBegin, kEnd, kInstant };
 // "B" / "E" / "I".
 const char* TracePhaseName(TracePhase phase);
 
+// The causal position a new span or instant attaches under: which call
+// chain it belongs to and which span is its parent. A zero trace_id means
+// "not part of any chain" (component-scoped events like group flushes).
+struct SpanLink {
+  uint64_t trace_id = 0;
+  uint64_t parent_id = 0;
+};
+
+// A stack of span links per execution chain. The Simulation implements this
+// over its per-session stacks; the WAL layer consumes it abstractly so
+// `wal/` never depends on `runtime/` (same pattern as
+// CommitPipeline::Scheduler).
+class TraceScope {
+ public:
+  virtual ~TraceScope() = default;
+  // The link new child spans of the running chain should attach under.
+  virtual SpanLink Current() const = 0;
+  virtual void Push(SpanLink link) = 0;
+  virtual void Pop() = 0;
+};
+
 struct TraceEvent {
   double ts_ms = 0;
   TracePhase phase = TracePhase::kInstant;
   std::string category;  // "call", "log", "disk", "checkpoint", "recovery"...
   std::string name;
   std::string component;  // the acting process/component, e.g. "ma/1"
+  uint64_t trace_id = 0;        // call chain this event belongs to (0 = none)
+  uint64_t span_id = 0;         // begin/end pairing id (0 = legacy/untracked)
+  uint64_t parent_span_id = 0;  // causal parent span (0 = root / none)
   std::vector<TraceArg> args;
 };
 
@@ -57,13 +89,29 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  // Disabled by default: recording is a no-op so the hot paths stay cheap
-  // and long test workloads do not accumulate memory.
-  bool enabled() const { return enabled_; }
+  // True when events are being recorded anywhere: the full in-memory trace
+  // and/or the bounded flight-recorder rings. Call sites use this to skip
+  // building args on the hot path.
+  bool enabled() const { return enabled_ || flight_capacity_ > 0; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Flight recorder: always-on-cheap post-mortem buffer. Keeps the last
+  // `events_per_component` events per component in a ring; a crash dump
+  // (ExportFlightRecorder) then shows what each process was doing right
+  // before the failure, even when full tracing is off. 0 disables.
+  void EnableFlightRecorder(size_t events_per_component);
+  size_t flight_recorder_capacity() const { return flight_capacity_; }
 
   void Instant(std::string_view category, std::string_view name,
                std::string_view component, std::vector<TraceArg> args = {});
+  // Instant attached to a chain: carries the link's trace id and records
+  // the linked span as its causal parent.
+  void Instant(std::string_view category, std::string_view name,
+               std::string_view component, SpanLink link,
+               std::vector<TraceArg> args = {});
+
+  // Fresh chain identity for a root call entering the system.
+  uint64_t NewTraceId() { return next_trace_id_++; }
 
   // RAII span: records a begin event now and the matching end event when the
   // handle dies (including on early error returns). End-time arguments can
@@ -83,22 +131,33 @@ class Tracer {
     // Ends the span now (idempotent).
     void End();
 
+    // Identity handed to children of this span. Inert spans return {0,0}.
+    SpanLink link() const { return SpanLink{trace_id_, span_id_}; }
+    uint64_t span_id() const { return span_id_; }
+    uint64_t trace_id() const { return trace_id_; }
+
    private:
     friend class Tracer;
     Span(Tracer* tracer, std::string category, std::string name,
-         std::string component);
+         std::string component, uint64_t trace_id, uint64_t span_id);
 
     Tracer* tracer_ = nullptr;
     std::string category_;
     std::string name_;
     std::string component_;
+    uint64_t trace_id_ = 0;
+    uint64_t span_id_ = 0;
     std::vector<TraceArg> end_args_;
   };
 
   // Starts a span; `args` go on the begin event. On a disabled tracer the
-  // returned handle is inert.
+  // returned handle is inert. The link-taking overload attaches the span
+  // under a chain (trace id + parent span).
   Span StartSpan(std::string_view category, std::string_view name,
                  std::string_view component, std::vector<TraceArg> args = {});
+  Span StartSpan(std::string_view category, std::string_view name,
+                 std::string_view component, SpanLink link,
+                 std::vector<TraceArg> args = {});
 
   const std::vector<TraceEvent>& events() const { return events_; }
   // Events discarded after the in-memory cap was reached.
@@ -107,13 +166,21 @@ class Tracer {
 
   // One JSON object per line:
   //   {"ts_ms":3.25,"ph":"B","cat":"log","name":"force","comp":"ma/1",
-  //    "args":{"bytes":512}}
+  //    "trace":7,"span":12,"parent":9,"args":{"bytes":512}}
+  // The trace/span/parent keys appear only when nonzero.
   std::string ExportJsonl() const;
 
   // Chrome trace_event format ({"traceEvents":[...]}), loadable in
   // chrome://tracing and Perfetto. Components map to pids via metadata
-  // events; timestamps are microseconds.
+  // events; each call chain gets its own tid so interleaved (parked)
+  // chains nest correctly, and cross-process parent->child edges are
+  // emitted as flow arrows ("s"/"f" events). Timestamps are microseconds.
   std::string ExportChromeTrace() const;
+
+  // The flight-recorder rings merged back into one deterministic JSONL
+  // stream (global record order, same schema as ExportJsonl). Empty when
+  // the recorder is disabled.
+  std::string ExportFlightRecorder() const;
 
  private:
   void Record(TraceEvent event);
@@ -122,19 +189,28 @@ class Tracer {
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
   uint64_t dropped_events_ = 0;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  // Flight recorder: per-component rings of (global sequence, event).
+  size_t flight_capacity_ = 0;
+  uint64_t flight_seq_ = 0;
+  std::map<std::string, std::deque<std::pair<uint64_t, TraceEvent>>> flight_;
   // Keeps a runaway workload from exhausting memory; generous for every
   // bench/tool run we ship.
   static constexpr size_t kMaxEvents = 4u << 20;  // ~4M events
 };
 
-// Parses a JSONL trace produced by ExportJsonl (phoenix_trace dump mode).
+// Parses a JSONL trace produced by ExportJsonl (phoenix_trace dump mode,
+// phoenix_prof).
 Result<std::vector<TraceEvent>> ParseTraceJsonl(std::string_view text);
 
-// Dump-mode filter: keeps events whose component contains `component`
-// (empty matches all) with from_ms <= ts < to_ms.
+// Dump-mode filter: keeps events whose component contains `component` and
+// whose category equals `category` (empty matches all for both) with
+// from_ms <= ts < to_ms.
 std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
                                     std::string_view component,
-                                    double from_ms, double to_ms);
+                                    std::string_view category, double from_ms,
+                                    double to_ms);
 
 }  // namespace phoenix::obs
 

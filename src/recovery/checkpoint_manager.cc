@@ -65,7 +65,7 @@ Result<uint64_t> CheckpointManager::SaveContextState(Context& ctx) {
       .GetCounter("phoenix.checkpoint.state_saves",
                   obs::LabelSet{{"process", label}})
       .Increment();
-  sim->tracer().Instant("checkpoint", "state_save", label,
+  sim->tracer().Instant("checkpoint", "state_save", label, sim->Current(),
                         {obs::Arg("context", static_cast<uint64_t>(ctx.id())),
                          obs::Arg("lsn", lsn)});
   return lsn;
@@ -97,8 +97,9 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
   Process& proc = *process_;
   Simulation* sim = proc.simulation();
   std::string label = ProcLabel(&proc);
-  obs::Tracer::Span span =
-      sim->tracer().StartSpan("checkpoint", "process_checkpoint", label);
+  obs::Tracer::Span span = sim->tracer().StartSpan(
+      "checkpoint", "process_checkpoint", label, sim->Current());
+  TraceFrameScope trace_frame(sim, span);
 
   // Begin/end records bracket the table dump so readers can tell a complete
   // checkpoint from one cut short by a crash (§4.3).
@@ -168,7 +169,7 @@ void CheckpointManager::MaybePublishCheckpoint() {
       .GetCounter("phoenix.checkpoint.published",
                   obs::LabelSet{{"process", label}})
       .Increment();
-  sim->tracer().Instant("checkpoint", "publish", label,
+  sim->tracer().Instant("checkpoint", "publish", label, sim->Current(),
                         {obs::Arg("begin_lsn", published_lsn)});
   if (process_->simulation()->options().auto_truncate_log) {
     GarbageCollect();
@@ -207,7 +208,7 @@ uint64_t CheckpointManager::GarbageCollect() {
       .GetCounter("phoenix.checkpoint.bytes_reclaimed",
                   obs::LabelSet{{"process", label}})
       .Increment(reclaimed);
-  sim->tracer().Instant("checkpoint", "trim", label,
+  sim->tracer().Instant("checkpoint", "trim", label, sim->Current(),
                         {obs::Arg("head", point), obs::Arg("bytes", reclaimed)});
   return reclaimed;
 }

@@ -33,6 +33,17 @@ std::string ProcLabel(Process* proc) {
   return StrCat(proc->machine_name(), "/", proc->pid());
 }
 
+// A recovery is its own causal chain: root it in a fresh trace unless the
+// triggering chain (a retry that restarted the server) is already on the
+// stack.
+obs::SpanLink RecoveryRoot(Simulation* sim) {
+  obs::SpanLink parent = sim->Current();
+  if (sim->tracer().enabled() && parent.trace_id == 0) {
+    parent = obs::SpanLink{sim->tracer().NewTraceId(), 0};
+  }
+  return parent;
+}
+
 }  // namespace
 
 RecoveryManager::RecoveryManager(Process* process) : process_(process) {}
@@ -60,8 +71,9 @@ Status RecoverContextFailure(Process* process, uint64_t context_id) {
                   obs::LabelSet{{"process", obs_label}})
       .Increment();
   obs::Tracer::Span obs_span = sim->tracer().StartSpan(
-      "recovery", "context_failure", obs_label,
+      "recovery", "context_failure", obs_label, RecoveryRoot(sim),
       {obs::Arg("context", context_id), obs::Arg("origin", origin)});
+  TraceFrameScope trace_frame(sim, obs_span);
 
   proc.set_recovering(true);
   ctx->ClearMembers();
@@ -156,7 +168,9 @@ Status RecoveryManager::Recover() {
   double t0 = sim->clock().NowMs();
   sim->metrics().GetCounter("phoenix.recovery.recoveries", labels).Increment();
   obs::Tracer::Span recover_span =
-      sim->tracer().StartSpan("recovery", "recover", label);
+      sim->tracer().StartSpan("recovery", "recover", label,
+                              RecoveryRoot(sim));
+  TraceFrameScope recover_frame(sim, recover_span);
 
   // Start point: the published checkpoint, or the whole retained log —
   // after validating the well-known LSN and salvaging storage damage.
@@ -166,7 +180,9 @@ Status RecoveryManager::Recover() {
   // global tables (§4.4's first pass).
   {
     obs::Tracer::Span span = sim->tracer().StartSpan(
-        "recovery", "analysis", label, {obs::Arg("start_lsn", start_lsn)});
+        "recovery", "analysis", label, recover_span.link(),
+        {obs::Arg("start_lsn", start_lsn)});
+    TraceFrameScope frame(sim, span);
     PHX_RETURN_IF_ERROR(PassOne(start_lsn));
     span.AddArg(obs::Arg("records_scanned", stats_.records_scanned));
     span.AddArg(
@@ -180,8 +196,9 @@ Status RecoveryManager::Recover() {
 
   // Redo phase: reinstall saved context states and the rebuilt tables.
   {
-    obs::Tracer::Span span =
-        sim->tracer().StartSpan("recovery", "redo", label);
+    obs::Tracer::Span span = sim->tracer().StartSpan(
+        "recovery", "redo", label, recover_span.link());
+    TraceFrameScope frame(sim, span);
     PHX_RETURN_IF_ERROR(RestoreContextStates());
     InstallTables();
     span.AddArg(obs::Arg("contexts_restored_from_state",
@@ -201,8 +218,9 @@ Status RecoveryManager::Recover() {
   // Replay phase: re-execute each context forward from its origin (§4.4's
   // second pass).
   {
-    obs::Tracer::Span span =
-        sim->tracer().StartSpan("recovery", "replay", label);
+    obs::Tracer::Span span = sim->tracer().StartSpan(
+        "recovery", "replay", label, recover_span.link());
+    TraceFrameScope frame(sim, span);
     PHX_RETURN_IF_ERROR(PassTwo());
     span.AddArg(obs::Arg("calls_replayed", stats_.calls_replayed));
     span.AddArg(obs::Arg("creations_replayed", stats_.creations_replayed));

@@ -88,10 +88,16 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
       .GetCounter("phoenix.intercept.incoming",
                   obs::LabelSet{{"process", obs_label}})
       .Increment();
+  std::vector<obs::TraceArg> in_args = {
+      obs::Arg("target", msg.target_uri),
+      obs::Arg("context", static_cast<uint64_t>(id_))};
+  if (msg.has_call_id && sim->tracer().enabled()) {
+    in_args.push_back(obs::Arg("call_id", msg.call_id.ToString()));
+  }
   obs::Tracer::Span obs_span = sim->tracer().StartSpan(
       "intercept", StrCat("in:", msg.method), obs_label,
-      {obs::Arg("target", msg.target_uri),
-       obs::Arg("context", static_cast<uint64_t>(id_))});
+      obs::SpanLink{msg.trace_id, msg.parent_span}, std::move(in_args));
+  TraceFrameScope trace_frame(sim, obs_span);
 
   ComponentSlot* slot = parent_slot();
   const MethodEntry* method_entry = slot->methods.Find(msg.method);
@@ -341,10 +347,17 @@ Result<Value> Context::OutgoingCall(Component* from,
       .GetCounter("phoenix.intercept.outgoing",
                   obs::LabelSet{{"process", obs_label}})
       .Increment();
+  // Attach under the chain's current frame (the enclosing in:/call span);
+  // a chain-less caller (a driver or background session) roots a new trace.
+  obs::SpanLink out_parent = sim->Current();
+  if (sim->tracer().enabled() && out_parent.trace_id == 0) {
+    out_parent = obs::SpanLink{sim->tracer().NewTraceId(), 0};
+  }
   obs::Tracer::Span obs_span = sim->tracer().StartSpan(
-      "intercept", StrCat("out:", method), obs_label,
+      "intercept", StrCat("out:", method), obs_label, out_parent,
       {obs::Arg("server", server_uri),
        obs::Arg("context", static_cast<uint64_t>(id_))});
+  TraceFrameScope trace_frame(sim, obs_span);
 
   const RemoteTypeInfo* info = proc->remote_types().Lookup(server_uri);
   bool server_known = info != nullptr;
@@ -367,6 +380,9 @@ Result<Value> Context::OutgoingCall(Component* from,
   uint64_t seq = ++last_outgoing_seq_;
   CallId call_id{ClientKey{proc->machine_name(), proc->pid(), parent_id_},
                  seq};
+  if (obs_span.span_id() != 0) {
+    obs_span.AddArg(obs::Arg("call_id", call_id.ToString()));
+  }
 
   // Replay suppression (Figure 5): answer from the log when we have the
   // logged reply for this sequence number.
@@ -425,6 +441,13 @@ Result<Value> Context::OutgoingCall(Component* from,
     out.sender_kind = client_kind;
     out.sender_type_name = parent()->type_name();
     out.client_knows_server = server_known;
+  }
+  if (obs_span.span_id() != 0) {
+    // The receiver's spans (and each retry's call span) parent under this
+    // out: span. Not part of the modeled wire size — see message.h.
+    out.has_trace = true;
+    out.trace_id = obs_span.trace_id();
+    out.parent_span = obs_span.span_id();
   }
 
   Result<ReplyMessage> sent = SendWithRetry(std::move(out));
@@ -496,6 +519,11 @@ Result<ReplyMessage> Context::SendWithRetry(CallMessage msg) {
         .GetCounter("phoenix.intercept.retries",
                     obs::LabelSet{{"process", ProcLabel(proc)}})
         .Increment();
+    sim->tracer().Instant("intercept", "retry", ProcLabel(proc),
+                          sim->Current(),
+                          {obs::Arg("method", msg.method),
+                           obs::Arg("attempt", attempt + 1),
+                           obs::Arg("backoff_ms", delay)});
     sim->clock().AdvanceMs(delay);
     Process* target = sim->ResolveProcess(msg.target_uri);
     if (target != nullptr) {
@@ -516,6 +544,13 @@ Result<ReplyMessage> Context::ReplayIncoming(const CallMessage& msg,
   Process* proc = process_;
   Simulation* sim = proc->simulation();
   sim->clock().AdvanceMs(sim->costs().recovery_replay_call_ms);
+
+  // Replayed calls join the causal tree under the recovery manager's
+  // replay-phase span (pushed onto the chain stack by RecoveryManager).
+  obs::Tracer::Span obs_span = sim->tracer().StartSpan(
+      "intercept", StrCat("replay:", msg.method), ProcLabel(proc),
+      sim->Current(), {obs::Arg("context", static_cast<uint64_t>(id_))});
+  TraceFrameScope trace_frame(sim, obs_span);
 
   replaying_ = true;
   replay_feed_ = &feed;

@@ -34,6 +34,16 @@ struct CallMessage {
   // server omit its own attachment in the reply (§5.2.3's optimization).
   bool client_knows_server = false;
 
+  // Causal trace identity (obs/tracer.h): the call chain this message
+  // belongs to and the sender-side span that emitted it, so the receiver's
+  // spans attach under the right parent across the process boundary.
+  // Deliberately excluded from EncodedSizeHint: instrumentation must not
+  // change the modeled wire cost, or tracing would perturb the paper's
+  // numbers and the pinned bench goldens.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+
   // Approximate wire size, for network-transfer costs.
   size_t EncodedSizeHint() const;
 };

@@ -121,8 +121,12 @@ void Process::Kill() {
   sim->metrics()
       .GetCounter("phoenix.process.crashes", obs::LabelSet{{"process", label}})
       .Increment();
-  sim->tracer().Instant("process", "crash", label,
+  sim->tracer().Instant("process", "crash", label, sim->Current(),
                         {obs::Arg("crash_count", crash_count_)});
+  // Post-mortem: the flight recorder's last events per component, written
+  // out while they still exist (the rings survive in the tracer, but a
+  // later crash would overwrite the file with fresher context anyway).
+  sim->DumpFlightRecorderOnCrash();
   machine_->recovery_service().NotifyCrashed(pid_);
 }
 
@@ -162,6 +166,7 @@ void Process::Start() {
   // own per-instance stats do not).
   log_->BindObs(&sim->metrics(), &sim->tracer(),
                 StrCat(machine_name(), "/", pid_));
+  log_->SetTraceScope(sim);
   log_->pipeline().SetGroupCommit(sim->options().group_commit);
   log_->pipeline().SetScheduler(sim->session_scheduler());
   // Everything stable at (re)start is conservatively treated as already

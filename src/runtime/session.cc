@@ -169,4 +169,9 @@ std::vector<Context*>* SessionScheduler::current_context_stack() {
   return (s != nullptr && s->owner == this) ? &s->context_stack : nullptr;
 }
 
+std::vector<obs::SpanLink>* SessionScheduler::current_trace_stack() {
+  Session* s = tls_session;
+  return (s != nullptr && s->owner == this) ? &s->trace_stack : nullptr;
+}
+
 }  // namespace phoenix

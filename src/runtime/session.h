@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "obs/tracer.h"
 #include "wal/commit_pipeline.h"
 
 namespace phoenix {
@@ -69,6 +70,10 @@ class SessionScheduler : public CommitPipeline::Scheduler {
   // chain tracks its own nesting.
   std::vector<Context*>* current_context_stack();
 
+  // The calling session's trace-span stack (the chain's current causal
+  // position, obs::SpanLink), or nullptr off session threads.
+  std::vector<obs::SpanLink>* current_trace_stack();
+
   // Internal per-chain bookkeeping; public only so the thread-local
   // current-session pointer in session.cc can name the type.
   struct Session {
@@ -86,6 +91,7 @@ class SessionScheduler : public CommitPipeline::Scheduler {
     // ...or a generic predicate.
     std::function<bool()> ready_pred;
     std::vector<Context*> context_stack;
+    std::vector<obs::SpanLink> trace_stack;
   };
 
  private:

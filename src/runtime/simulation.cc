@@ -1,5 +1,7 @@
 #include "runtime/simulation.h"
 
+#include <fstream>
+
 #include "common/macros.h"
 #include "common/strings.h"
 #include "runtime/context.h"
@@ -15,6 +17,9 @@ Simulation::Simulation(RuntimeOptions options, SimulationParams params)
   network_.SeedFaults(params_.seed * 6271 + 17);
   retry_rng_ = Random(params_.seed * 9973 + 29);
   tracer_.set_enabled(params_.trace_enabled);
+  if (params_.flight_recorder_events > 0) {
+    tracer_.EnableFlightRecorder(params_.flight_recorder_events);
+  }
   if (!params_.persistence_dir.empty()) {
     PHX_CHECK_OK(storage_.EnablePersistence(params_.persistence_dir));
   }
@@ -55,12 +60,35 @@ Result<ReplyMessage> Simulation::RouteCall(const std::string& source_machine,
           : "unroutable";
 
   double t0 = clock_.NowMs();
-  obs::Tracer::Span span = tracer_.StartSpan(
-      "call", msg.method, label,
-      {obs::Arg("target", msg.target_uri),
-       obs::Arg("source", source_machine.empty() ? "external"
-                                                 : source_machine)});
-  Result<ReplyMessage> result = RouteCallInner(source_machine, msg);
+  Result<ReplyMessage> result = [&]() -> Result<ReplyMessage> {
+    if (!tracer_.enabled()) return RouteCallInner(source_machine, msg);
+    // Causal identity: join the sender's chain when the message carries
+    // one, otherwise this is a root call entering the system and gets a
+    // fresh trace id. The span's own id rides on the message so the
+    // receiving interceptor parents under it across the process boundary.
+    obs::SpanLink parent = msg.has_trace
+                               ? obs::SpanLink{msg.trace_id, msg.parent_span}
+                               : obs::SpanLink{tracer_.NewTraceId(), 0};
+    std::vector<obs::TraceArg> begin_args = {
+        obs::Arg("target", msg.target_uri),
+        obs::Arg("source",
+                 source_machine.empty() ? "external" : source_machine)};
+    if (msg.has_call_id) {
+      begin_args.push_back(obs::Arg("call_id", msg.call_id.ToString()));
+    }
+    obs::Tracer::Span span = tracer_.StartSpan("call", msg.method, label,
+                                               parent, std::move(begin_args));
+    CallMessage traced = msg;
+    traced.has_trace = true;
+    traced.trace_id = span.trace_id();
+    traced.parent_span = span.span_id();
+    Push(span.link());
+    Result<ReplyMessage> inner = RouteCallInner(source_machine, traced);
+    Pop();
+    span.AddArg(obs::Arg("elapsed_ms", clock_.NowMs() - t0));
+    span.AddArg(obs::Arg("ok", inner.ok() ? "true" : "false"));
+    return inner;
+  }();
   double elapsed = clock_.NowMs() - t0;
 
   obs::LabelSet labels{{"process", label}};
@@ -69,8 +97,6 @@ Result<ReplyMessage> Simulation::RouteCall(const std::string& source_machine,
     metrics_.GetCounter("phoenix.call.errors", labels).Increment();
   }
   metrics_.GetHistogram("phoenix.call.latency_ms", labels).Record(elapsed);
-  span.AddArg(obs::Arg("elapsed_ms", elapsed));
-  span.AddArg(obs::Arg("ok", result.ok() ? "true" : "false"));
   return result;
 }
 
@@ -92,7 +118,18 @@ Result<ReplyMessage> Simulation::RouteCallInner(
   bool cross_machine =
       !source_machine.empty() && source_machine != target->machine_name();
   bool duplicate_call = false;
+  // The chain position the message carries; net legs and fault instants
+  // attach under the sender's call span.
+  obs::SpanLink chain{msg.trace_id, msg.parent_span};
   if (cross_machine) {
+    obs::Tracer::Span net_span;
+    if (tracer_.enabled()) {
+      net_span = tracer_.StartSpan(
+          "net", "xfer", "network", chain,
+          {obs::Arg("leg", "call"), obs::Arg("method", msg.method),
+           obs::Arg("bytes",
+                    static_cast<uint64_t>(msg.EncodedSizeHint()))});
+    }
     clock_.AdvanceMs(network_.TransferLatencyMs(msg.EncodedSizeHint()));
     network_.CountMessage();
     if (network_.faults_enabled()) {
@@ -101,10 +138,12 @@ Result<ReplyMessage> Simulation::RouteCallInner(
       if (d.extra_delay_ms > 0.0) {
         clock_.AdvanceMs(d.extra_delay_ms);
         metrics_.GetGauge("phoenix.net.jitter_delay_ms").Add(d.extra_delay_ms);
+        net_span.AddArg(obs::Arg("jitter_ms", d.extra_delay_ms));
       }
       if (d.drop) {
+        net_span.AddArg(obs::Arg("outcome", "dropped"));
         RecordNetworkDrop(source_machine, target->machine_name(), msg.method,
-                          NetLeg::kCall);
+                          NetLeg::kCall, chain);
         return Status::Unavailable("network dropped call " + msg.method +
                                    " to " + msg.target_uri);
       }
@@ -133,7 +172,7 @@ Result<ReplyMessage> Simulation::RouteCallInner(
     // the duplicate's reply is discarded — the caller already has one in
     // flight.
     metrics_.GetCounter("phoenix.net.duplicated").Increment();
-    tracer_.Instant("net", "duplicate", "network",
+    tracer_.Instant("net", "duplicate", "network", chain,
                     {obs::Arg("method", msg.method),
                      obs::Arg("target", msg.target_uri)});
     clock_.AdvanceMs(network_.TransferLatencyMs(msg.EncodedSizeHint()));
@@ -143,6 +182,14 @@ Result<ReplyMessage> Simulation::RouteCallInner(
   }
 
   if (cross_machine) {
+    obs::Tracer::Span net_span;
+    if (tracer_.enabled()) {
+      net_span = tracer_.StartSpan(
+          "net", "xfer", "network", chain,
+          {obs::Arg("leg", "reply"), obs::Arg("method", msg.method),
+           obs::Arg("bytes",
+                    static_cast<uint64_t>(reply->EncodedSizeHint()))});
+    }
     clock_.AdvanceMs(network_.TransferLatencyMs(reply->EncodedSizeHint()));
     network_.CountMessage();
     if (network_.faults_enabled()) {
@@ -152,13 +199,15 @@ Result<ReplyMessage> Simulation::RouteCallInner(
       if (d.extra_delay_ms > 0.0) {
         clock_.AdvanceMs(d.extra_delay_ms);
         metrics_.GetGauge("phoenix.net.jitter_delay_ms").Add(d.extra_delay_ms);
+        net_span.AddArg(obs::Arg("jitter_ms", d.extra_delay_ms));
       }
       if (d.drop) {
         // The server already executed and logged the call; losing the reply
         // forces the caller to retry with the same call ID, exercising the
         // duplicate-elimination path end to end.
+        net_span.AddArg(obs::Arg("outcome", "dropped"));
         RecordNetworkDrop(target->machine_name(), source_machine, msg.method,
-                          NetLeg::kReply);
+                          NetLeg::kReply, chain);
         return Status::Unavailable("network dropped reply for " + msg.method +
                                    " from " + msg.target_uri);
       }
@@ -169,10 +218,11 @@ Result<ReplyMessage> Simulation::RouteCallInner(
 
 void Simulation::RecordNetworkDrop(const std::string& src,
                                    const std::string& dst,
-                                   const std::string& method, NetLeg leg) {
+                                   const std::string& method, NetLeg leg,
+                                   obs::SpanLink link) {
   metrics_.GetCounter("phoenix.net.dropped", {{"leg", NetLegName(leg)}})
       .Increment();
-  tracer_.Instant("net", "drop", "network",
+  tracer_.Instant("net", "drop", "network", link,
                   {obs::Arg("leg", NetLegName(leg)),
                    obs::Arg("method", method), obs::Arg("src", src),
                    obs::Arg("dst", dst)});
@@ -190,6 +240,31 @@ std::vector<Context*>& Simulation::CurrentContextStack() {
 
 const std::vector<Context*>& Simulation::CurrentContextStack() const {
   return const_cast<Simulation*>(this)->CurrentContextStack();
+}
+
+std::vector<obs::SpanLink>& Simulation::CurrentTraceStack() {
+  if (session_scheduler_ != nullptr) {
+    if (std::vector<obs::SpanLink>* stack =
+            session_scheduler_->current_trace_stack()) {
+      return *stack;
+    }
+  }
+  return trace_stack_;
+}
+
+const std::vector<obs::SpanLink>& Simulation::CurrentTraceStack() const {
+  return const_cast<Simulation*>(this)->CurrentTraceStack();
+}
+
+void Simulation::DumpFlightRecorderOnCrash() {
+  if (params_.flight_dump_path.empty() ||
+      tracer_.flight_recorder_capacity() == 0) {
+    return;
+  }
+  std::ofstream out(params_.flight_dump_path,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return;
+  out << tracer_.ExportFlightRecorder();
 }
 
 void Simulation::RunSessions(std::vector<std::function<void()>> sessions) {

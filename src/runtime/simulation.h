@@ -38,17 +38,27 @@ struct SimulationParams {
   // Record structured trace events (src/obs/tracer.h). Metrics are always
   // collected; tracing is opt-in because events accumulate in memory.
   bool trace_enabled = false;
+  // Flight recorder: keep the last N trace events per component in a
+  // bounded ring even when full tracing is off (0 disables). Cheap enough
+  // to leave on in chaos campaigns; dumped post-mortem on crash.
+  size_t flight_recorder_events = 0;
+  // Non-empty: every Process::Kill rewrites this file with the flight
+  // recorder's merged ring contents, so the last pre-crash events survive
+  // the run for triage.
+  std::string flight_dump_path;
 };
 
 // The root object: the whole distributed system under test. Owns the clock,
 // stable storage, failure injector, network, every machine, the component
 // factory registry and the runtime option switches — and implements the
-// transport that routes call messages between contexts.
-class Simulation {
+// transport that routes call messages between contexts. Also implements
+// obs::TraceScope: the per-chain stack of causal span links that parents
+// every span a chain creates (including WAL-layer forces and parks).
+class Simulation : public obs::TraceScope {
  public:
   explicit Simulation(RuntimeOptions options = {},
                       SimulationParams params = {});
-  ~Simulation();
+  ~Simulation() override;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -112,6 +122,21 @@ class Simulation {
   void PushContext(Context* ctx) { CurrentContextStack().push_back(ctx); }
   void PopContext() { CurrentContextStack().pop_back(); }
 
+  // --- obs::TraceScope: the calling chain's causal span stack ---
+  obs::SpanLink Current() const override {
+    const std::vector<obs::SpanLink>& stack = CurrentTraceStack();
+    return stack.empty() ? obs::SpanLink{} : stack.back();
+  }
+  void Push(obs::SpanLink link) override {
+    CurrentTraceStack().push_back(link);
+  }
+  void Pop() override { CurrentTraceStack().pop_back(); }
+
+  // Writes the flight-recorder rings to params.flight_dump_path (no-op when
+  // either knob is unset). Process::Kill calls this so every crash —
+  // injected or scripted — leaves a post-mortem file.
+  void DumpFlightRecorderOnCrash();
+
   // --- aggregate statistics (benchmarks read deltas) ---
   uint64_t TotalForces() const;
   uint64_t TotalAppends() const;
@@ -131,12 +156,15 @@ class Simulation {
                                       const CallMessage& msg);
 
   void RecordNetworkDrop(const std::string& src, const std::string& dst,
-                         const std::string& method, NetLeg leg);
+                         const std::string& method, NetLeg leg,
+                         obs::SpanLink link);
 
   // The calling chain's context stack: the session's own stack on session
   // threads, the driver stack otherwise.
   std::vector<Context*>& CurrentContextStack();
   const std::vector<Context*>& CurrentContextStack() const;
+  std::vector<obs::SpanLink>& CurrentTraceStack();
+  const std::vector<obs::SpanLink>& CurrentTraceStack() const;
 
   RuntimeOptions options_;
   SimulationParams params_;
@@ -149,9 +177,32 @@ class Simulation {
   ComponentFactoryRegistry factories_;
   std::map<std::string, std::unique_ptr<Machine>> machines_;
   std::vector<Context*> context_stack_;
+  std::vector<obs::SpanLink> trace_stack_;
   Random retry_rng_{0};
   uint64_t next_disk_seed_ = 101;
   SessionScheduler* session_scheduler_ = nullptr;
+};
+
+// Pushes a span onto the chain's causal stack (Simulation::TraceScope) for
+// the enclosing scope, so everything the scope does — nested calls, log
+// appends/forces, durability parks — parents under the span. Inert when
+// the span is inert (tracer disabled).
+class TraceFrameScope {
+ public:
+  TraceFrameScope(Simulation* sim, const obs::Tracer::Span& span) {
+    if (span.span_id() != 0) {
+      sim_ = sim;
+      sim_->Push(span.link());
+    }
+  }
+  ~TraceFrameScope() {
+    if (sim_ != nullptr) sim_->Pop();
+  }
+  TraceFrameScope(const TraceFrameScope&) = delete;
+  TraceFrameScope& operator=(const TraceFrameScope&) = delete;
+
+ private:
+  Simulation* sim_ = nullptr;
 };
 
 }  // namespace phoenix

@@ -23,22 +23,63 @@ void CommitPipeline::BindObs(obs::MetricsRegistry* metrics,
 Status CommitPipeline::WaitDurable(uint64_t up_to_lsn, ForcePoint reason,
                                    bool allow_park) {
   if (durable_lsn() >= up_to_lsn) return Status::OK();
+  obs::LabelSet wait_labels{{"process", component_},
+                            {"reason", ForcePointName(reason)}};
   if (metrics_ != nullptr) {
-    metrics_
-        ->GetCounter("phoenix.wal.waits",
-                     obs::LabelSet{{"process", component_},
-                                   {"reason", ForcePointName(reason)}})
-        .Increment();
+    metrics_->GetCounter("phoenix.wal.waits", wait_labels).Increment();
   }
+
+  // Attribution: everything from here until the horizon is durable is
+  // durability-wait time on this chain — either its own inline force or
+  // time parked while group commit coalesces it into a shared flush.
+  double t0 = clock_->NowMs();
+  bool traced = tracer_ != nullptr && tracer_->enabled();
+  obs::Tracer::Span wait_span;
+  if (traced) {
+    wait_span = tracer_->StartSpan(
+        "wal", "wait", component_,
+        scope_ != nullptr ? scope_->Current() : obs::SpanLink{},
+        {obs::Arg("reason", ForcePointName(reason)),
+         obs::Arg("up_to_lsn", up_to_lsn)});
+    if (scope_ != nullptr) scope_->Push(wait_span.link());
+  }
+  // Every return below must pop the frame pushed above (before the span's
+  // end event fires is fine — popping records nothing).
+  struct FramePop {
+    obs::TraceScope* scope = nullptr;
+    ~FramePop() {
+      if (scope != nullptr) scope->Pop();
+    }
+  } frame_pop{traced && scope_ != nullptr ? scope_ : nullptr};
+
   if (group_commit_ && scheduler_ != nullptr && allow_park) {
     if (scheduler_->ParkUntilDurable(this, up_to_lsn)) {
-      if (durable_lsn() >= up_to_lsn) return Status::OK();
+      double park_ms = clock_->NowMs() - t0;
+      if (metrics_ != nullptr) {
+        metrics_->GetHistogram("phoenix.wal.park_ms", wait_labels)
+            .Record(park_ms);
+      }
+      if (traced) wait_span.AddArg(obs::Arg("park_ms", park_ms));
+      if (durable_lsn() >= up_to_lsn) {
+        if (traced) wait_span.AddArg(obs::Arg("outcome", "parked"));
+        return Status::OK();
+      }
       // Woken by OnCrash: the tail we were waiting on no longer exists.
+      if (traced) wait_span.AddArg(obs::Arg("outcome", "crashed"));
       return Status::Crashed("process crashed before durability wait");
     }
     // Not on a parkable chain — flush inline like the non-group path.
   }
   FlushNow(reason);
+  double own_force_ms = clock_->NowMs() - t0;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("phoenix.wal.own_force_wait_ms", wait_labels)
+        .Add(own_force_ms);
+  }
+  if (traced) {
+    wait_span.AddArg(obs::Arg("outcome", "inline"));
+    wait_span.AddArg(obs::Arg("own_force_ms", own_force_ms));
+  }
   PHX_CHECK(durable_lsn() >= up_to_lsn);
   return Status::OK();
 }
@@ -51,7 +92,9 @@ void CommitPipeline::FlushNow(ForcePoint reason) {
 
 void CommitPipeline::GroupFlush(size_t batch_size) {
   uint64_t flushed_up_to = appended_lsn();
+  double t0 = clock_->NowMs();
   FlushNow(ForcePoint::kGroupCommit);
+  double flush_ms = clock_->NowMs() - t0;
   if (metrics_ != nullptr) {
     obs::LabelSet labels{{"process", component_}};
     metrics_
@@ -69,7 +112,8 @@ void CommitPipeline::GroupFlush(size_t batch_size) {
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Instant("log", "group_flush", component_,
                      {obs::Arg("batch", static_cast<uint64_t>(batch_size)),
-                      obs::Arg("durable_lsn", flushed_up_to)});
+                      obs::Arg("durable_lsn", flushed_up_to),
+                      obs::Arg("flush_ms", flush_ms)});
   }
 }
 

@@ -87,6 +87,13 @@ class CommitPipeline {
   void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
                std::string component);
 
+  // The calling chain's causal span stack (implemented by Simulation).
+  // When set, every actual wait becomes a "wal"/"wait" span under the
+  // chain's current frame, and the inline flush's force span nests inside
+  // it — so latency attribution can split durability time into own-force
+  // vs parked-in-group-commit.
+  void SetTraceScope(obs::TraceScope* scope) { scope_ = scope; }
+
  private:
   // The old LogManager::Force() body, verbatim in behavior: no-op when
   // nothing is buffered, else dispatch charge + writer force.
@@ -102,6 +109,7 @@ class CommitPipeline {
   // Observability sinks (unowned; null until BindObs).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::TraceScope* scope_ = nullptr;
   std::string component_;
 };
 

@@ -106,6 +106,14 @@ class LogManager {
   void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
                std::string component);
 
+  // Per-chain causal stack (implemented by Simulation): lets WAL-layer
+  // spans — appends, forces, durability waits — attach under the call
+  // chain that caused them.
+  void SetTraceScope(obs::TraceScope* scope) {
+    writer_.SetTraceScope(scope);
+    pipeline_.SetTraceScope(scope);
+  }
+
   // --- statistics ---
   uint64_t num_appends() const { return writer_.num_appends(); }
   uint64_t num_forces() const { return writer_.num_forces(); }

@@ -42,6 +42,7 @@ uint64_t LogWriter::AppendPayload(const std::vector<uint8_t>& payload) {
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Instant("log", "append", component_,
+                     scope_ != nullptr ? scope_->Current() : obs::SpanLink{},
                      {obs::Arg("lsn", lsn),
                       obs::Arg("bytes", static_cast<uint64_t>(payload.size()))});
   }
@@ -54,6 +55,8 @@ size_t LogWriter::Force(ForcePoint reason) {
   obs::Tracer::Span span;
   if (tracer_ != nullptr && tracer_->enabled()) {
     span = tracer_->StartSpan("log", "force", component_,
+                              scope_ != nullptr ? scope_->Current()
+                                                : obs::SpanLink{},
                               {obs::Arg("bytes", static_cast<uint64_t>(bytes)),
                                obs::Arg("reason", ForcePointName(reason))});
   }
@@ -83,6 +86,7 @@ size_t LogWriter::Force(ForcePoint reason) {
     metrics_->GetGauge("phoenix.disk.transfer_ms", labels_).Add(bd.transfer_ms);
   }
   span.AddArg(obs::Arg("latency_ms", latency));
+  span.AddArg(obs::Arg("seek_ms", bd.seek_ms + bd.settle_ms));
   span.AddArg(obs::Arg("rotational_wait_ms", bd.rotational_wait_ms));
   span.AddArg(obs::Arg("transfer_ms", bd.transfer_ms));
   return bytes;

@@ -78,6 +78,11 @@ class LogWriter {
   void BindObs(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
                std::string component);
 
+  // The calling chain's causal span stack (implemented by Simulation).
+  // When set, appends and force spans attach under the chain that caused
+  // them, so phoenix_prof can charge disk time to the right call tree.
+  void SetTraceScope(obs::TraceScope* scope) { scope_ = scope; }
+
   // --- statistics (benchmarks read deltas of these) ---
   uint64_t num_appends() const { return num_appends_; }
   uint64_t num_forces() const { return num_forces_; }
@@ -103,6 +108,7 @@ class LogWriter {
   // Observability sinks (unowned; null until BindObs).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::TraceScope* scope_ = nullptr;
   std::string component_;
   obs::LabelSet labels_;
 };

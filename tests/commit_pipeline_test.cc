@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "runtime/session.h"
 #include "wal/log_dump.h"
 #include "wal/log_manager.h"
@@ -214,6 +215,62 @@ TEST(CommitPipelineGroupTest, SchedulingIsDeterministic) {
     return spans;
   };
   EXPECT_EQ(run(99), run(99));
+}
+
+// Durability-wait attribution: an inline force charges the whole wait to
+// phoenix.wal.own_force_wait_ms and records nothing in the park histogram —
+// nobody parked, so there is no park time to report.
+TEST_F(CommitPipelineTest, InlineWaitRecordsNoParkTime) {
+  obs::MetricsRegistry metrics;
+  manager_.BindObs(&metrics, nullptr, "m/p1");
+
+  manager_.Append(CallRecord(1, "Go"));
+  ASSERT_TRUE(
+      manager_.WaitDurable(manager_.next_lsn(), ForcePoint::kReplySend).ok());
+
+  obs::Histogram parks = metrics.MergedHistogram("phoenix.wal.park_ms");
+  EXPECT_EQ(parks.count(), 0u);
+  EXPECT_EQ(parks.sum(), 0.0);
+  EXPECT_GT(metrics.GaugeTotal("phoenix.wal.own_force_wait_ms"), 0.0);
+}
+
+// Under group commit, coalesced waiters park: the park histogram gains one
+// positive sample per harvested wait, and those waits charge nothing to the
+// own-force gauge (the flush was someone else's dispatch).
+TEST(CommitPipelineGroupTest, ParkedWaitsRecordPositiveParkTime) {
+  StableStorage storage;
+  DiskModel disk(DiskParams{}, 1);
+  SimClock clock;
+  CostModel costs;
+  LogManager manager("m/p1.log", &storage, &disk, &clock, &costs);
+  obs::MetricsRegistry metrics;
+  manager.BindObs(&metrics, nullptr, "m/p1");
+  manager.pipeline().SetGroupCommit(true);
+  SessionScheduler scheduler(5);
+  manager.pipeline().SetScheduler(&scheduler);
+
+  const int kSessions = 4;
+  std::vector<std::function<void()>> bodies;
+  for (int s = 0; s < kSessions; ++s) {
+    bodies.push_back([&, s] {
+      manager.Append(CallRecord(s, StrCat("m", s)));
+      ASSERT_TRUE(
+          manager.WaitDurable(manager.next_lsn(), ForcePoint::kReplySend)
+              .ok());
+    });
+  }
+  scheduler.Run(std::move(bodies));
+  manager.pipeline().SetScheduler(nullptr);
+
+  obs::Histogram parks = metrics.MergedHistogram("phoenix.wal.park_ms");
+  EXPECT_GT(parks.count(), 0u);
+  EXPECT_GT(parks.sum(), 0.0);
+  EXPECT_GT(parks.min(), 0.0);
+  // Every wait either parked or forced inline — together they cover all
+  // sessions, and the parked share is the coalesced majority.
+  uint64_t waits = metrics.CounterTotal("phoenix.wal.waits");
+  EXPECT_EQ(waits, static_cast<uint64_t>(kSessions));
+  EXPECT_LT(manager.num_forces(), static_cast<uint64_t>(kSessions));
 }
 
 // A crash while sessions are parked wakes them with Crashed instead of

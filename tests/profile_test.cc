@@ -1,0 +1,163 @@
+// Profile reconstruction: hand-built span trees attribute self time exactly,
+// and a traced end-to-end simulation yields chains whose phase breakdowns
+// sum to their measured latency. Also pins the report's determinism: same
+// events in, byte-identical text and JSON out.
+
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/tracer.h"
+#include "runtime/simulation.h"
+#include "tests/test_components.h"
+
+namespace phoenix::obs {
+namespace {
+
+double PhaseSum(const ChainProfile& chain) {
+  double sum = 0;
+  for (const auto& [phase, ms] : chain.phase_ms) sum += ms;
+  return sum;
+}
+
+// A synthetic chain with exact timings: a 10 ms call span containing a 4 ms
+// network span and a 3 ms wal wait that parked. Self times must partition
+// the 10 ms: execution 3, network 4, durability.park 3.
+TEST(ProfileTest, SelfTimePartitionsTheChainExactly) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+
+  SpanLink root_link{tracer.NewTraceId(), 0};
+  Tracer::Span call =
+      tracer.StartSpan("call", "Buy", "ma/1", root_link,
+                       {Arg("method", "Buy")});
+  clock.AdvanceMs(1.0);
+  {
+    Tracer::Span net = tracer.StartSpan("net", "xfer", "ma/1", call.link());
+    clock.AdvanceMs(4.0);
+  }
+  clock.AdvanceMs(1.0);
+  {
+    Tracer::Span wait = tracer.StartSpan("wal", "wait", "ma/1", call.link());
+    clock.AdvanceMs(3.0);
+    wait.AddArg(Arg("outcome", "parked"));
+  }
+  clock.AdvanceMs(1.0);
+  call.End();
+
+  ProfileReport report = BuildProfile(tracer.events());
+  ASSERT_EQ(report.chains.size(), 1u);
+  const ChainProfile& chain = report.chains[0];
+  EXPECT_EQ(chain.method, "Buy");
+  EXPECT_DOUBLE_EQ(chain.dur_ms, 10.0);
+  EXPECT_EQ(chain.span_count, 3u);
+  EXPECT_DOUBLE_EQ(chain.phase_ms.at("execution"), 3.0);
+  EXPECT_DOUBLE_EQ(chain.phase_ms.at("network"), 4.0);
+  EXPECT_DOUBLE_EQ(chain.phase_ms.at("durability.park"), 3.0);
+  EXPECT_DOUBLE_EQ(PhaseSum(chain), chain.dur_ms);
+
+  // Critical path: root, then the longest child (network, 4 ms).
+  ASSERT_EQ(chain.critical_path.size(), 2u);
+  EXPECT_EQ(report.nodes[chain.critical_path[0]].category, "call");
+  EXPECT_EQ(report.nodes[chain.critical_path[1]].category, "net");
+}
+
+// A begin with no matching end (crash mid-span) still yields a node, marked
+// truncated, closed at the trace's last timestamp.
+TEST(ProfileTest, UnterminatedSpanIsTruncatedAtTraceEnd) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_enabled(true);
+
+  SpanLink root_link{tracer.NewTraceId(), 0};
+  Tracer::Span call = tracer.StartSpan("call", "Doomed", "ma/1", root_link);
+  clock.AdvanceMs(2.0);
+  tracer.Instant("process", "crash", "ma/1");
+  // No call.End(): simulate the process dying mid-chain.
+  std::vector<TraceEvent> events = tracer.events();
+  call.End();  // keep the tracer's own invariants tidy; not in `events`
+
+  ProfileReport report = BuildProfile(events);
+  ASSERT_EQ(report.chains.size(), 1u);
+  const ProfileNode& root = report.nodes[report.chains[0].root];
+  EXPECT_TRUE(root.truncated);
+  EXPECT_DOUBLE_EQ(root.dur_ms, 2.0);
+}
+
+// End-to-end: profile a real traced simulation. Every chain's phase
+// breakdown must sum to its duration, and the forest must account for every
+// span in the trace.
+TEST(ProfileTest, SimulationChainsSumToEndToEndLatency) {
+  SimulationParams params;
+  params.trace_enabled = true;
+  Simulation sim({}, params);
+  phoenix::testing::RegisterTestComponents(sim.factories());
+  Machine& ma = sim.AddMachine("ma");
+  Machine& mb = sim.AddMachine("mb");
+  Process& server_proc = ma.CreateProcess();
+  (void)mb;
+  ExternalClient client(&sim, "mb");
+  auto counter = client.CreateComponent(server_proc, "Counter", "ctr",
+                                        ComponentKind::kPersistent, {});
+  ASSERT_TRUE(counter.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.Call(*counter, "Add", MakeArgs(int64_t{1})).ok());
+  }
+
+  ProfileReport report = BuildProfile(sim.tracer().events());
+  ASSERT_FALSE(report.chains.empty());
+  size_t chained_spans = 0;
+  for (const ChainProfile& chain : report.chains) {
+    EXPECT_NEAR(PhaseSum(chain), chain.dur_ms, 1e-6)
+        << "chain " << chain.trace_id << " (" << chain.method << ")";
+    EXPECT_GT(chain.span_count, 0u);
+    chained_spans += chain.span_count;
+    // Critical path is a real root-to-leaf walk.
+    ASSERT_FALSE(chain.critical_path.empty());
+    EXPECT_EQ(chain.critical_path[0], chain.root);
+  }
+  EXPECT_LE(chained_spans, report.span_count);
+
+  // Totals are the per-chain sums.
+  double total = 0;
+  for (const auto& [phase, ms] : report.total_phase_ms) total += ms;
+  double chains_total = 0;
+  for (const ChainProfile& chain : report.chains) {
+    chains_total += PhaseSum(chain);
+  }
+  EXPECT_NEAR(total, chains_total, 1e-6);
+}
+
+// Same events -> byte-identical text and JSON reports.
+TEST(ProfileTest, ReportsAreDeterministic) {
+  auto run = [] {
+    SimulationParams params;
+    params.trace_enabled = true;
+    Simulation sim({}, params);
+    phoenix::testing::RegisterTestComponents(sim.factories());
+    Machine& ma = sim.AddMachine("ma");
+    Process& proc = ma.CreateProcess();
+    ExternalClient client(&sim, "ma");
+    auto counter = client.CreateComponent(proc, "Counter", "ctr",
+                                          ComponentKind::kPersistent, {});
+    EXPECT_TRUE(counter.ok());
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(client.Call(*counter, "Add", MakeArgs(int64_t{1})).ok());
+    }
+    ProfileReport report = BuildProfile(sim.tracer().events());
+    return std::make_pair(RenderProfileText(report, 3),
+                          ProfileToJson(report));
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.second.find("\"schema\": \"phoenix.prof.v1\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace phoenix::obs

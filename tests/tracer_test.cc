@@ -74,10 +74,24 @@ TEST(TracerTest, JsonlRoundTripsThroughParser) {
   SimClock clock;
   Tracer tracer(&clock);
   tracer.set_enabled(true);
+  // Escaped strings, nested linked spans and a linked instant all have to
+  // survive the export -> parse round trip, including the causal ids.
   tracer.Instant("log", "append", "ma/1",
-                 {Arg("lsn", uint64_t{7}), Arg("note", "first")});
+                 {Arg("lsn", uint64_t{7}), Arg("note", "quote\"back\\slash"),
+                  Arg("ctl", std::string("tab\there\nand\x01nul"))});
   clock.AdvanceMs(1.0);
-  { Tracer::Span span = tracer.StartSpan("recovery", "redo", "mb/2"); }
+  {
+    uint64_t trace = tracer.NewTraceId();
+    Tracer::Span outer =
+        tracer.StartSpan("call", "Buy", "driver", SpanLink{trace, 0});
+    clock.AdvanceMs(1.0);
+    {
+      Tracer::Span inner =
+          tracer.StartSpan("recovery", "redo", "mb/2", outer.link());
+      tracer.Instant("intercept", "retry", "mb/2", inner.link());
+      clock.AdvanceMs(1.0);
+    }
+  }
 
   std::string jsonl = tracer.ExportJsonl();
   auto parsed = ParseTraceJsonl(jsonl);
@@ -91,33 +105,96 @@ TEST(TracerTest, JsonlRoundTripsThroughParser) {
     EXPECT_EQ(out.category, in.category);
     EXPECT_EQ(out.name, in.name);
     EXPECT_EQ(out.component, in.component);
+    EXPECT_EQ(out.trace_id, in.trace_id);
+    EXPECT_EQ(out.span_id, in.span_id);
+    EXPECT_EQ(out.parent_span_id, in.parent_span_id);
     ASSERT_EQ(out.args.size(), in.args.size());
     for (size_t k = 0; k < out.args.size(); ++k) {
       EXPECT_EQ(out.args[k].key, in.args[k].key);
       EXPECT_EQ(out.args[k].value, in.args[k].value);
     }
   }
+  // The nesting is reflected in the ids: inner.parent == outer.span, both on
+  // the same trace, and the instant hangs off the inner span.
+  const auto& events = *parsed;
+  ASSERT_EQ(events.size(), 6u);
+  const TraceEvent& outer_b = events[1];
+  const TraceEvent& inner_b = events[2];
+  const TraceEvent& retry = events[3];
+  ASSERT_NE(outer_b.span_id, 0u);
+  EXPECT_EQ(outer_b.parent_span_id, 0u);
+  EXPECT_EQ(inner_b.trace_id, outer_b.trace_id);
+  EXPECT_EQ(inner_b.parent_span_id, outer_b.span_id);
+  EXPECT_EQ(retry.parent_span_id, inner_b.span_id);
+  EXPECT_EQ(retry.span_id, 0u);
 }
 
-TEST(TracerTest, FilterTraceByComponentAndTime) {
+TEST(TracerTest, FilterTraceByComponentCategoryAndTime) {
   SimClock clock;
   Tracer tracer(&clock);
   tracer.set_enabled(true);
   tracer.Instant("a", "e0", "ma/1");
   clock.AdvanceMs(10);
-  tracer.Instant("a", "e1", "mb/1");
+  tracer.Instant("b", "e1", "mb/1");
   clock.AdvanceMs(10);
   tracer.Instant("a", "e2", "ma/1");
 
-  auto by_component = FilterTrace(tracer.events(), "ma/", 0,
+  auto by_component = FilterTrace(tracer.events(), "ma/", "", 0,
                                   std::numeric_limits<double>::infinity());
   ASSERT_EQ(by_component.size(), 2u);
   EXPECT_EQ(by_component[0].name, "e0");
   EXPECT_EQ(by_component[1].name, "e2");
 
-  auto by_time = FilterTrace(tracer.events(), "", 5.0, 15.0);
+  auto by_time = FilterTrace(tracer.events(), "", "", 5.0, 15.0);
   ASSERT_EQ(by_time.size(), 1u);
   EXPECT_EQ(by_time[0].name, "e1");
+
+  // Category matches exactly (no substring semantics).
+  auto by_category = FilterTrace(tracer.events(), "", "b", 0,
+                                 std::numeric_limits<double>::infinity());
+  ASSERT_EQ(by_category.size(), 1u);
+  EXPECT_EQ(by_category[0].name, "e1");
+  EXPECT_TRUE(FilterTrace(tracer.events(), "", "ab", 0,
+                          std::numeric_limits<double>::infinity())
+                  .empty());
+
+  // Filters compose: category + component together.
+  auto combined = FilterTrace(tracer.events(), "mb/", "a", 0,
+                              std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(combined.empty());
+}
+
+TEST(TracerTest, FlightRecorderKeepsLastEventsPerComponent) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.EnableFlightRecorder(3);
+  // The recorder alone turns instrumentation on, but the full in-memory
+  // trace stays empty.
+  EXPECT_TRUE(tracer.enabled());
+  for (int i = 0; i < 10; ++i) {
+    clock.AdvanceMs(1);
+    tracer.Instant("log", "append", "ma/1", {Arg("i", int64_t{i})});
+  }
+  tracer.Instant("log", "append", "mb/1", {Arg("i", int64_t{99})});
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.ExportJsonl(), "");
+
+  auto dumped = ParseTraceJsonl(tracer.ExportFlightRecorder());
+  ASSERT_TRUE(dumped.ok()) << dumped.status().ToString();
+  // ma/1 kept its last 3 of 10; mb/1 kept its only event.
+  ASSERT_EQ(dumped->size(), 4u);
+  size_t ma_count = 0;
+  for (const TraceEvent& ev : *dumped) {
+    if (ev.component == "ma/1") {
+      ++ma_count;
+      EXPECT_GE(ev.ts_ms, 8.0);  // events 0..6 were evicted
+    }
+  }
+  EXPECT_EQ(ma_count, 3u);
+  // Global record order survives the per-component rings.
+  for (size_t i = 1; i < dumped->size(); ++i) {
+    EXPECT_GE((*dumped)[i].ts_ms, (*dumped)[i - 1].ts_ms);
+  }
 }
 
 TEST(TracerTest, ChromeTraceIsValidJson) {
@@ -197,12 +274,40 @@ TEST(TracerDeterminismTest, WorkloadTraceCoversTheSubsystems) {
   EXPECT_TRUE(saw_crash);
 }
 
-// Tracing must not alter the simulation: same workload, tracer on vs off,
-// identical sim time and metrics.
+TEST(TracerDeterminismTest, FlightRecorderDumpIsByteIdentical) {
+  auto run = []() {
+    SimulationParams params;
+    params.flight_recorder_events = 64;
+    Simulation sim({}, params);
+    phoenix::testing::RegisterTestComponents(sim.factories());
+    Machine& ma = sim.AddMachine("ma");
+    Process& proc = ma.CreateProcess();
+    ExternalClient client(&sim, "ma");
+    auto counter = client.CreateComponent(proc, "Counter", "ctr",
+                                          ComponentKind::kPersistent, {});
+    EXPECT_TRUE(counter.ok());
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(client.Call(*counter, "Add", MakeArgs(int64_t{1})).ok());
+    }
+    proc.Kill();
+    return sim.tracer().ExportFlightRecorder();
+  };
+  std::string a = run();
+  std::string b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The ring captured the crash itself.
+  EXPECT_NE(a.find("\"crash\""), std::string::npos);
+}
+
+// Instrumentation must not alter the simulation: same workload with the
+// tracer off / fully on / flight-recorder-only, identical sim time and
+// metrics.
 TEST(TracerDeterminismTest, TracingDoesNotPerturbTheRun) {
-  auto run = [](bool trace) {
+  auto run = [](bool trace, size_t flight_events = 0) {
     SimulationParams params;
     params.trace_enabled = trace;
+    params.flight_recorder_events = flight_events;
     Simulation sim({}, params);
     phoenix::testing::RegisterTestComponents(sim.factories());
     Machine& ma = sim.AddMachine("ma");
@@ -220,8 +325,11 @@ TEST(TracerDeterminismTest, TracingDoesNotPerturbTheRun) {
   };
   auto traced = run(true);
   auto untraced = run(false);
+  auto flight_only = run(false, 32);
   EXPECT_DOUBLE_EQ(traced.first, untraced.first);
   EXPECT_EQ(traced.second, untraced.second);
+  EXPECT_DOUBLE_EQ(flight_only.first, untraced.first);
+  EXPECT_EQ(flight_only.second, untraced.second);
 }
 
 }  // namespace

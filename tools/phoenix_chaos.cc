@@ -245,9 +245,16 @@ Status ApplyStorageAttack(const RunConfig& cfg, Simulation& sim,
       server_proc.pid());
 }
 
+// Flight-recorder ring depth for every campaign run: cheap enough to keep
+// always-on, deep enough to show the last few calls before a violation.
+constexpr size_t kFlightEvents = 256;
+
 // Runs one configuration and checks the oracle. Returns a description of
-// the violation, or "" when the run came out exact.
-std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
+// the violation, or "" when the run came out exact. On a violation the
+// flight recorder's rings are dumped to *flight_file (resolved against the
+// bench out dir) before the sim dies, so the post-mortem context survives.
+std::string RunOne(const RunConfig& cfg, int run, int sessions,
+                   CampaignStats& stats, std::string* flight_file) {
   RuntimeOptions runtime = bookstore::OptionsForLevel(cfg.level);
   runtime.save_context_state_every = cfg.save_every;
   runtime.process_checkpoint_every = cfg.checkpoint_every;
@@ -259,6 +266,7 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
 
   SimulationParams params;
   params.seed = cfg.sim_seed;
+  params.flight_recorder_events = kFlightEvents;
   Simulation sim(runtime, params);
   bookstore::RegisterBookstoreComponents(sim.factories());
   sim.factories().Register<ShoppingAgent>("ShoppingAgent");
@@ -501,14 +509,34 @@ std::string RunOne(const RunConfig& cfg, int sessions, CampaignStats& stats) {
       sim.metrics().CounterTotal("phoenix.wal.group_commit.flushes");
   stats.group_coalesced +=
       sim.metrics().CounterTotal("phoenix.wal.group_commit.coalesced");
+
+  if (!failure.empty()) {
+    std::string path =
+        obs::ResolveBenchPath(StrCat("chaos_flight_run", run, ".jsonl"));
+    std::string dump = sim.tracer().ExportFlightRecorder();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+      *flight_file = path;
+    }
+  }
   return failure;
 }
 
 int RunCampaign(const CampaignOptions& campaign) {
   CampaignStats stats;
+  struct ViolationRecord {
+    int run;
+    std::string description;
+    std::string flight_file;
+  };
+  std::vector<ViolationRecord> violations;
   for (int run = 0; run < campaign.runs; ++run) {
     RunConfig cfg = MakeRunConfig(campaign, run);
-    std::string violation = RunOne(cfg, campaign.sessions, stats);
+    std::string flight_file;
+    std::string violation =
+        RunOne(cfg, run, campaign.sessions, stats, &flight_file);
     ++stats.runs;
     if (cfg.overlap > 1) ++stats.concurrent_runs;
     if (cfg.group_commit) ++stats.group_commit_runs;
@@ -517,11 +545,15 @@ int RunCampaign(const CampaignOptions& campaign) {
     if (!violation.empty()) {
       ++stats.violations;
       ++stats.topo_violations[topo];
+      violations.push_back({run, violation, flight_file});
       std::fprintf(stderr,
-                   "VIOLATION run %d (%s, %s, save=%u, %d store(s)): %s\n",
+                   "VIOLATION run %d (%s, %s, save=%u, %d store(s)): %s\n"
+                   "  flight recorder: %s\n",
                    run, TopologyName(cfg.topology),
                    bookstore::OptLevelName(cfg.level), cfg.save_every,
-                   cfg.stores, violation.c_str());
+                   cfg.stores, violation.c_str(),
+                   flight_file.empty() ? "(write failed)"
+                                       : flight_file.c_str());
     } else if (campaign.verbose) {
       std::printf("run %d ok (%s, %s, save=%u, crashes=%zu, drop=%.3f, "
                   "torn=%.2f)\n",
@@ -563,6 +595,17 @@ int RunCampaign(const CampaignOptions& campaign) {
     v.SetMetric("runs", stats.topo_runs[t])
         .SetMetric("violations", stats.topo_violations[t])
         .SetMetric("wov_duplicate_executions", stats.topo_wov[t]);
+  }
+  // Every violating run carries its post-mortem: the oracle failure and the
+  // flight-recorder dump showing what each process did right before it.
+  for (const ViolationRecord& rec : violations) {
+    obs::BenchVariant& v =
+        reporter.AddVariant(StrCat("violation_run", rec.run));
+    v.SetMetric("run", static_cast<uint64_t>(rec.run));
+    v.SetInfo("violation", rec.description);
+    if (!rec.flight_file.empty()) {
+      v.SetInfo("flight_recorder", rec.flight_file);
+    }
   }
   auto written = reporter.WriteFile(campaign.out);
   if (!written.ok()) {

@@ -1,0 +1,108 @@
+// phoenix_prof — causal call-tree profiler over recorded traces.
+//
+// Reads a JSONL trace written by phoenix_trace --trace-jsonl (or any
+// Simulation export), reconstructs the cross-process call tree from the
+// trace/span/parent identity the runtime threads through every message, and
+// attributes each chain's end-to-end latency to phases: execution, network
+// transfer, disk (seek / rotational wait / transfer), and durability wait
+// split into own-force dispatch vs time parked in group commit. Per-chain
+// phase breakdowns sum to the chain's wall-clock latency.
+//
+// Usage:
+//   phoenix_prof --trace=FILE [--top=N] [--json=FILE]
+//
+// Examples:
+//   phoenix_trace --sessions=2 --trace-jsonl=run.jsonl
+//   phoenix_prof --trace=run.jsonl --top=5
+//   phoenix_prof --trace=run.jsonl --json=run.prof.json   # phoenix.prof.v1
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "obs/profile.h"
+#include "obs/tracer.h"
+
+namespace phoenix::tools {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --trace=FILE [--top=N] [--json=FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+int Main(int argc, char** argv) {
+  std::string trace_path;
+  std::string json_path;
+  size_t top_n = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "trace", &value)) {
+      trace_path = value;
+    } else if (ParseFlag(arg, "json", &value)) {
+      json_path = value;
+    } else if (ParseFlag(arg, "top", &value)) {
+      top_n = static_cast<size_t>(std::atoi(value.c_str()));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return Usage(argv[0]);
+
+  std::string content;
+  if (!ReadTextFile(trace_path, &content)) {
+    std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+  auto events = obs::ParseTraceJsonl(content);
+  if (!events.ok()) {
+    std::fprintf(stderr, "parse error in %s: %s\n", trace_path.c_str(),
+                 events.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::ProfileReport report = obs::BuildProfile(*events);
+  std::fputs(obs::RenderProfileText(report, top_n).c_str(), stdout);
+
+  if (!json_path.empty()) {
+    if (!WriteTextFile(json_path, obs::ProfileToJson(report) + "\n")) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nprofile json: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoenix::tools
+
+int main(int argc, char** argv) { return phoenix::tools::Main(argc, argv); }

@@ -14,15 +14,17 @@
 //                 [--multicall] [--dump-log] [--dump-tables]
 //                 [--trace-jsonl=FILE] [--trace-chrome=FILE]
 //                 [--metrics-json=FILE]
+//                 [--flight-events=N] [--flight-jsonl=FILE]
 //                 [--list-points]
-//   phoenix_trace --dump-trace=FILE [--component=SUBSTR]
+//   phoenix_trace --dump-trace=FILE [--component=SUBSTR] [--cat=CATEGORY]
 //                 [--from-ms=T0] [--to-ms=T1]
 //
 // Examples:
 //   phoenix_trace --level=specialized --sessions=2 --dump-log
 //   phoenix_trace --crash=before_reply_send:3 --dump-tables
 //   phoenix_trace --trace-jsonl=run.jsonl --trace-chrome=run.trace.json
-//   phoenix_trace --dump-trace=run.jsonl --component=server/1 --from-ms=100
+//   phoenix_trace --crash=during_checkpoint:1 --flight-jsonl=crash.jsonl
+//   phoenix_trace --dump-trace=run.jsonl --component=server/1 --cat=log
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +41,9 @@
 
 namespace phoenix::tools {
 namespace {
+
+// Ring depth when --flight-jsonl is given without --flight-events.
+constexpr size_t kDefaultFlightEvents = 256;
 
 struct Options {
   bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
@@ -59,10 +64,15 @@ struct Options {
   std::string trace_jsonl;   // write the run's trace as JSONL here
   std::string trace_chrome;  // write the run's Chrome trace_event JSON here
   std::string metrics_json;  // write the run's metrics snapshot here
+  // Flight recorder: bounded last-N-events-per-component ring; dumped to
+  // flight_jsonl on every crash (and at exit if no crash fired).
+  size_t flight_events = 0;
+  std::string flight_jsonl;
   // Trace dump mode: read a previously written JSONL trace instead of
   // running a scenario.
   std::string dump_trace;
   std::string component;  // substring filter on the component label
+  std::string category;   // exact-match filter on the event category
   double from_ms = 0;
   double to_ms = std::numeric_limits<double>::infinity();
 };
@@ -92,9 +102,10 @@ int Usage(const char* argv0) {
                "[--torn-tail=P] [--save-every=N] [--checkpoint-every=N] "
                "[--gc] [--multicall] [--dump-log] [--dump-tables] "
                "[--trace-jsonl=F] [--trace-chrome=F] [--metrics-json=F] "
+               "[--flight-events=N] [--flight-jsonl=F] "
                "[--list-points]\n"
-               "       %s --dump-trace=F [--component=S] [--from-ms=T] "
-               "[--to-ms=T]\n",
+               "       %s --dump-trace=F [--component=S] [--cat=C] "
+               "[--from-ms=T] [--to-ms=T]\n",
                argv0, argv0);
   return 2;
 }
@@ -144,17 +155,22 @@ int DumpTrace(const Options& opts) {
                  events.status().ToString().c_str());
     return 1;
   }
-  std::vector<obs::TraceEvent> filtered =
-      obs::FilterTrace(*events, opts.component, opts.from_ms, opts.to_ms);
+  std::vector<obs::TraceEvent> filtered = obs::FilterTrace(
+      *events, opts.component, opts.category, opts.from_ms, opts.to_ms);
   std::printf("%zu of %zu event(s) match\n", filtered.size(), events->size());
   for (const obs::TraceEvent& ev : filtered) {
+    std::string ids;
+    if (ev.trace_id != 0) ids += StrCat(" trace=", ev.trace_id);
+    if (ev.span_id != 0) ids += StrCat(" span=", ev.span_id);
+    if (ev.parent_span_id != 0) ids += StrCat(" parent=", ev.parent_span_id);
     std::string args;
     for (const obs::TraceArg& a : ev.args) {
       args += StrCat(" ", a.key, "=", a.value);
     }
-    std::printf("%12.3f ms  %s %-10s %-24s %-18s%s\n", ev.ts_ms,
+    std::printf("%12.3f ms  %s %-10s %-24s %-18s%s%s\n", ev.ts_ms,
                 obs::TracePhaseName(ev.phase), ev.category.c_str(),
-                ev.name.c_str(), ev.component.c_str(), args.c_str());
+                ev.name.c_str(), ev.component.c_str(), ids.c_str(),
+                args.c_str());
   }
   return 0;
 }
@@ -209,6 +225,11 @@ int Run(const Options& opts) {
   SimulationParams params;
   params.trace_enabled =
       !opts.trace_jsonl.empty() || !opts.trace_chrome.empty();
+  params.flight_recorder_events =
+      opts.flight_events > 0
+          ? opts.flight_events
+          : (opts.flight_jsonl.empty() ? 0 : kDefaultFlightEvents);
+  params.flight_dump_path = opts.flight_jsonl;
   Simulation sim(runtime, params);
   bookstore::RegisterBookstoreComponents(sim.factories());
   sim.AddMachine("client");
@@ -296,6 +317,17 @@ int Run(const Options& opts) {
       std::printf("metrics: %s\n", opts.metrics_json.c_str());
     }
   }
+  if (!opts.flight_jsonl.empty()) {
+    // Crashes already rewrote the file from Process::Kill; without one,
+    // write the final ring contents so the flag always yields a file.
+    if (sim.injector().crashes_fired() == 0) {
+      io_ok &=
+          WriteTextFile(opts.flight_jsonl, sim.tracer().ExportFlightRecorder());
+    }
+    std::printf("flight recorder: last %zu event(s)/component -> %s\n",
+                sim.tracer().flight_recorder_capacity(),
+                opts.flight_jsonl.c_str());
+  }
   return io_ok ? 0 : 1;
 }
 
@@ -345,10 +377,16 @@ int Main(int argc, char** argv) {
       opts.trace_chrome = value;
     } else if (ParseFlag(arg, "metrics-json", &value)) {
       opts.metrics_json = value;
+    } else if (ParseFlag(arg, "flight-events", &value)) {
+      opts.flight_events = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "flight-jsonl", &value)) {
+      opts.flight_jsonl = value;
     } else if (ParseFlag(arg, "dump-trace", &value)) {
       opts.dump_trace = value;
     } else if (ParseFlag(arg, "component", &value)) {
       opts.component = value;
+    } else if (ParseFlag(arg, "cat", &value)) {
+      opts.category = value;
     } else if (ParseFlag(arg, "from-ms", &value)) {
       opts.from_ms = std::atof(value.c_str());
     } else if (ParseFlag(arg, "to-ms", &value)) {
