@@ -43,10 +43,14 @@ struct SessionsResult {
 constexpr int kCallsPerSession = 24;
 
 SessionsResult RunSessionsBench(obs::BenchVariant& variant, LoggingMode mode,
-                                bool group_commit, int sessions) {
+                                bool group_commit, int sessions,
+                                double max_wait_ms = 0.0,
+                                uint32_t max_batch = 0) {
   RuntimeOptions options;
   options.logging_mode = mode;
   options.group_commit = group_commit;
+  options.group_commit_max_wait_ms = max_wait_ms;
+  options.group_commit_max_batch = max_batch;
   Simulation sim(options);
   RegisterBenchComponents(sim.factories());
   Machine& ma = sim.AddMachine("ma");
@@ -157,6 +161,40 @@ void Run() {
                   r_on.park_ms_total / calls,
                   r_on.own_force_ms_total / calls);
     }
+  }
+
+  // Batching-policy sweep (optimized logging, group commit on, 16
+  // sessions). max_batch flushes as soon as that many waits accumulate
+  // instead of waiting for the whole wave to stall, trading batch depth for
+  // latency; max_wait bounds how long the oldest parked waiter can sit
+  // before the scheduler flushes its pipeline anyway.
+  constexpr int kPolicySessions = 16;
+  std::printf(
+      "\nGroup-commit policy sweep, optimized logging, %d sessions\n"
+      "%20s %14s %10s %8s %10s\n",
+      kPolicySessions, "policy", "forces/call", "ms/call", "batch",
+      "park/call");
+  const struct {
+    const char* name;
+    double max_wait_ms;
+    uint32_t max_batch;
+  } kPolicies[] = {
+      {"unbounded", 0.0, 0},   {"batch2", 0.0, 2},   {"batch4", 0.0, 4},
+      {"batch8", 0.0, 8},      {"batch16", 0.0, 16}, {"wait0p05", 0.05, 0},
+      {"wait0p2", 0.2, 0},     {"wait1", 1.0, 0},    {"wait0p2_batch8", 0.2, 8},
+  };
+  for (const auto& policy : kPolicies) {
+    obs::BenchVariant& v = reporter.AddVariant(
+        StrCat("policy_", policy.name, "_s", kPolicySessions));
+    SessionsResult r =
+        RunSessionsBench(v, LoggingMode::kOptimized, true, kPolicySessions,
+                         policy.max_wait_ms, policy.max_batch);
+    v.SetMetric("max_wait_ms", policy.max_wait_ms);
+    v.SetMetric("max_batch", static_cast<uint64_t>(policy.max_batch));
+    double calls = static_cast<double>(kPolicySessions) * kCallsPerSession;
+    std::printf("%20s %14.3f %10.3f %8.2f %10.3f\n", policy.name,
+                r.forces_per_call, r.ms_per_call, r.batch_mean,
+                r.park_ms_total / calls);
   }
 
   std::printf(

@@ -81,6 +81,30 @@ struct RuntimeOptions {
   // nothing — so single-session runs keep the paper's exact force counts.
   bool group_commit = false;
 
+  // Group-commit batching policy. By default (both 0) the scheduler
+  // harvests a flush only when every session is stalled, maximizing batch
+  // size at the price of commit latency. `group_commit_max_wait_ms` bounds
+  // how long (sim time) the oldest parked waiter may sit before its
+  // pipeline is flushed even though runnable sessions remain;
+  // `group_commit_max_batch` flushes as soon as that many waiters have
+  // accumulated on one pipeline. Either knob trades forces for latency —
+  // bench/concurrent_sessions sweeps both.
+  double group_commit_max_wait_ms = 0.0;
+  uint32_t group_commit_max_batch = 0;
+
+  // Parallel replay (pass 2 of recovery): partition the log into
+  // per-context replay chains, then replay them as overlapping scheduler
+  // sessions bounded by the dependency critical path instead of total log
+  // length (recovery/replay_plan.h). Off by default: the sequential
+  // replayer is the reference semantics and keeps every pinned benchmark
+  // byte-identical. Recovery falls back to sequential replay on salvaged
+  // (ambiguous) logs, when recovery is triggered from inside a running
+  // session chain, or when the log holds fewer than two chains.
+  bool parallel_replay = false;
+
+  // How many overlapping replay sessions the parallel replayer uses.
+  uint32_t parallel_replay_sessions = 8;
+
   // Allow failure-injection hooks to fire while a process is recovering.
   // Recovery is idempotent (it only reads the stable log), so crashes during
   // recovery simply restart it; off by default to keep schedules simple.

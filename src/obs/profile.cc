@@ -159,7 +159,16 @@ std::string PhaseBucket(const ProfileNode& node) {
                                                        : "durability.park";
   }
   if (node.category == "checkpoint") return "checkpoint";
-  if (node.category == "recovery") return "recovery";
+  if (node.category == "recovery") {
+    // Replay-phase spans (sequential pass-two, the parallel engine and its
+    // per-chain spans) get their own bucket so recovery time splits into
+    // analysis/redo vs replay work.
+    if (node.name == "replay" || node.name == "parallel_replay" ||
+        node.name == "replay_chain") {
+      return "recovery.replay";
+    }
+    return "recovery";
+  }
   return "other";
 }
 

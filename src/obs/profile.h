@@ -85,8 +85,10 @@ struct ProfileReport {
 // Phase bucket a node's self time belongs to: "execution", "network",
 // "disk.seek" / "disk.rotational" / "disk.transfer" / "disk.other" (force
 // spans split by their recorded breakdown args), "durability.park",
-// "durability.dispatch", "checkpoint", "recovery", "other". Disk force
-// spans return "disk" here; BuildProfile does the arg-driven sub-split.
+// "durability.dispatch", "checkpoint", "recovery", "recovery.replay"
+// (replay-phase spans: pass two, the parallel engine, per-chain spans),
+// "other". Disk force spans return "disk" here; BuildProfile does the
+// arg-driven sub-split.
 std::string PhaseBucket(const ProfileNode& node);
 
 // Rebuilds the call forest and attributes every span's self time.

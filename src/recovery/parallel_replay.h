@@ -1,0 +1,113 @@
+#ifndef PHOENIX_RECOVERY_PARALLEL_REPLAY_H_
+#define PHOENIX_RECOVERY_PARALLEL_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/tracer.h"
+#include "recovery/replay_plan.h"
+
+namespace phoenix {
+
+class Process;
+
+// Executes the non-final units of a replay plan as overlapping scheduler
+// sessions (runtime/session.h): K replay workers pull ready units off a
+// shared dependency frontier, parking (SessionScheduler::ParkUntil) when
+// every remaining unit is blocked on one still in flight. Elapsed sim time
+// is the *makespan* of the overlapped lanes (SimClock parallel region):
+// each unit is charged to the earliest-available lane, starting when both
+// that lane and the unit's prerequisites are free — classic list
+// scheduling, so recovery cost is bounded by max(critical path, work / K)
+// instead of total log length. Which session thread happens to execute a
+// unit does not enter the timing model; the session interleaving decides
+// only the (dependency-legal) execution order.
+//
+// Only non-final units run here. They are provably complete — the context's
+// next incoming record is on the stable log, and the log is written in
+// prefix order, so every logged reply the unit needs precedes that record —
+// which makes their replay self-contained: outgoing calls are answered from
+// the feed (or re-executed against stateless functional components), and
+// nothing escapes the process. Complete units of different chains commute;
+// dependency edges (and the per-chain order) are honored so the schedule
+// and the timing model still follow causality. Each chain's *final* unit —
+// the only one that can run into live execution — is left to the caller,
+// which replays them with the sequential replayer's end-of-log flush loop
+// and demand flusher, preserving the reference semantics exactly.
+//
+// Determinism: one runnable session at a time, ready units popped in
+// start-LSN order, and the scheduler's choice among runnable workers drawn
+// from the simulation-seeded PRNG — a given (seed, log) always produces
+// the same schedule, lane times and metrics.
+class ParallelReplayEngine {
+ public:
+  // Replays one unit of `context_id` (RecoveryManager::ReplayUnit).
+  using UnitReplayFn =
+      std::function<Status(uint64_t context_id, PendingReplay unit)>;
+
+  // `plan` must outlive the engine; Run moves the non-final units' replay
+  // payloads out of it. `parent` is the span the per-chain spans (and all
+  // live work the replay does) nest under; `label` the process label for
+  // spans ("machine/pid").
+  ParallelReplayEngine(Process* process, ReplayPlan* plan, uint32_t sessions,
+                       obs::SpanLink parent, std::string label);
+
+  ParallelReplayEngine(const ParallelReplayEngine&) = delete;
+  ParallelReplayEngine& operator=(const ParallelReplayEngine&) = delete;
+
+  Status Run(const UnitReplayFn& replay);
+
+  // Makespan of the parallel region (0 when there was nothing to overlap).
+  double makespan_ms() const { return makespan_ms_; }
+  uint32_t sessions_used() const { return sessions_used_; }
+  uint64_t units_replayed() const { return units_replayed_; }
+
+ private:
+  // One schedulable unit: a chain's non-final unit plus dependency state.
+  struct Task {
+    uint64_t context_id = 0;
+    uint64_t start_lsn = 0;
+    uint32_t chain = 0;
+    PendingReplay unit;
+    std::vector<size_t> deps;        // task indices (chain order + edges)
+    std::vector<size_t> dependents;  // reverse
+    size_t unmet = 0;
+    bool done = false;
+    double finish_abs_ms = 0.0;  // absolute lane time at completion
+  };
+
+  void BuildTasks();
+  void WorkerLoop(const UnitReplayFn& replay);
+
+  Process* process_;
+  ReplayPlan* plan_;
+  uint32_t sessions_;
+  obs::SpanLink parent_;
+  std::string label_;
+
+  std::vector<Task> tasks_;
+  // Absolute time each modelled lane frees up (list-scheduling state).
+  std::vector<double> lane_avail_;
+  // Dependency frontier, ordered by start LSN for deterministic pops.
+  std::set<std::pair<uint64_t, size_t>> ready_;
+  size_t remaining_ = 0;
+  Status status_ = Status::OK();
+
+  // Per-chain span bookkeeping: non-final unit counts and the open span.
+  std::vector<size_t> chain_tasks_left_;
+  std::vector<std::optional<obs::Tracer::Span>> chain_spans_;
+
+  double makespan_ms_ = 0.0;
+  uint32_t sessions_used_ = 0;
+  uint64_t units_replayed_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RECOVERY_PARALLEL_REPLAY_H_

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "recovery/parallel_replay.h"
 #include "runtime/machine.h"
 #include "runtime/process.h"
 #include "runtime/simulation.h"
@@ -514,6 +515,14 @@ Status RecoveryManager::PassTwo() {
   }
   if (scan_start == kInvalidLsn) return Status::OK();  // nothing to recover
 
+  if (sim->options().parallel_replay) {
+    Status parallel_result = Status::OK();
+    if (TryParallelPassTwo(scan_start, &parallel_result)) {
+      return parallel_result;
+    }
+    // Fell back: the sequential scan below is the reference semantics.
+  }
+
   in_pass_two_ = true;
   // Live calls arriving mid-recovery (a peer's retry) force the target
   // context's pending replay to finish first.
@@ -579,25 +588,128 @@ Status RecoveryManager::PassTwo() {
   if (result.ok()) {
     // End of log: replay the remaining buffered calls — the last incoming
     // call of each context — oldest first.
-    while (result.ok() && !pending_.empty()) {
-      uint64_t best_ctx = 0;
-      uint64_t best_lsn = kInvalidLsn;
-      for (const auto& [context_id, unit] : pending_) {
-        if (unit.start_lsn < best_lsn) {
-          best_lsn = unit.start_lsn;
-          best_ctx = context_id;
-        }
-      }
-      result = FlushPending(best_ctx);
-      if (!proc.alive()) {
-        result = Status::Crashed("process died during recovery replay");
-      }
-    }
+    result = FlushAllPendingOldestFirst();
   }
 
   proc.SetPendingFlusher(nullptr);
   in_pass_two_ = false;
   return result;
+}
+
+Status RecoveryManager::FlushAllPendingOldestFirst() {
+  Process& proc = *process_;
+  Status result = Status::OK();
+  while (result.ok() && !pending_.empty()) {
+    uint64_t best_ctx = 0;
+    uint64_t best_lsn = kInvalidLsn;
+    for (const auto& [context_id, unit] : pending_) {
+      if (unit.start_lsn < best_lsn) {
+        best_lsn = unit.start_lsn;
+        best_ctx = context_id;
+      }
+    }
+    result = FlushPending(best_ctx);
+    if (!proc.alive()) {
+      result = Status::Crashed("process died during recovery replay");
+    }
+  }
+  return result;
+}
+
+bool RecoveryManager::TryParallelPassTwo(uint64_t scan_start,
+                                         Status* result) {
+  Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  std::string label = ProcLabel(&proc);
+  obs::LabelSet labels{{"process", label}};
+
+  auto fall_back = [&](PlanFallback why) {
+    sim->metrics()
+        .GetCounter("phoenix.recovery.replay.fallbacks",
+                    obs::LabelSet{{"process", label},
+                                  {"reason", PlanFallbackName(why)}})
+        .Increment();
+    sim->tracer().Instant("recovery", "replay_fallback", label,
+                          {obs::Arg("reason", PlanFallbackName(why))});
+    return false;
+  };
+
+  // A recovery triggered from inside a running session chain (a retry that
+  // restarted the server) cannot nest a second scheduler.
+  if (sim->session_scheduler() != nullptr) {
+    return fall_back(PlanFallback::kNestedScheduler);
+  }
+
+  ReplayPlanInputs inputs;
+  inputs.machine = proc.machine_name();
+  inputs.process_id = proc.pid();
+  inputs.replay_call_ms = sim->costs().recovery_replay_call_ms;
+  for (const auto& [context_id, info] : infos_) {
+    inputs.origins[context_id] = info.recovery_lsn;
+  }
+
+  LogView log = proc.log().StableView();
+  ReplayPlan plan = BuildReplayPlan(log, scan_start, inputs);
+  // The analysis scan is real work whether or not the plan is usable; when
+  // it is, it replaces the sequential pass's own scan entirely.
+  sim->clock().AdvanceMs(static_cast<double>(plan.records_scanned) *
+                         sim->costs().recovery_scan_record_ms);
+  if (!plan.parallel_eligible()) return fall_back(plan.fallback);
+  stats_.records_scanned += plan.records_scanned;
+
+  uint32_t sessions =
+      std::max<uint32_t>(1, sim->options().parallel_replay_sessions);
+  sim->metrics()
+      .GetCounter("phoenix.recovery.replay.chains", labels)
+      .Increment(plan.chains.size());
+  sim->metrics()
+      .GetCounter("phoenix.recovery.replay.edges", labels)
+      .Increment(plan.cross_edges);
+  sim->metrics()
+      .GetHistogram("phoenix.recovery.replay.critical_path_ms", labels)
+      .Record(plan.critical_path_ms);
+
+  obs::Tracer::Span span = sim->tracer().StartSpan(
+      "recovery", "parallel_replay", label, RecoveryRoot(sim),
+      {obs::Arg("chains", static_cast<uint64_t>(plan.chains.size())),
+       obs::Arg("edges", plan.cross_edges),
+       obs::Arg("critical_path_ms", plan.critical_path_ms)});
+  TraceFrameScope frame(sim, span);
+
+  ParallelReplayEngine engine(&proc, &plan, sessions, span.link(), label);
+  Status status = engine.Run(
+      [this](uint64_t context_id, PendingReplay unit) {
+        return ReplayUnit(context_id, std::move(unit));
+      });
+  sim->metrics()
+      .GetGauge("phoenix.recovery.replay.parallelism", labels)
+      .Set(engine.sessions_used());
+  sim->metrics()
+      .GetHistogram("phoenix.recovery.replay.makespan_ms", labels)
+      .Record(engine.makespan_ms());
+  span.AddArg(obs::Arg("sessions",
+                       static_cast<uint64_t>(engine.sessions_used())));
+  span.AddArg(obs::Arg("makespan_ms", engine.makespan_ms()));
+
+  if (status.ok()) {
+    // Tail: each chain's final unit is exactly the sequential replayer's
+    // end-of-log pending set. Flush oldest first with the demand flusher
+    // installed, so a unit that goes live and calls into a context whose
+    // tail has not replayed yet forces that unit through first.
+    in_pass_two_ = true;
+    proc.SetPendingFlusher([this](uint64_t context_id) {
+      (void)FlushPending(context_id);
+    });
+    for (ReplayChain& chain : plan.chains) {
+      if (chain.units.empty()) continue;
+      pending_[chain.context_id] = std::move(chain.units.back().replay);
+    }
+    status = FlushAllPendingOldestFirst();
+    proc.SetPendingFlusher(nullptr);
+    in_pass_two_ = false;
+  }
+  *result = status;
+  return true;
 }
 
 Status RecoveryManager::FlushPending(uint64_t context_id) {

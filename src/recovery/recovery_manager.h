@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "recovery/replay.h"
+#include "recovery/replay_plan.h"
 #include "runtime/last_call_table.h"
 #include "runtime/remote_type_table.h"
 #include "wal/log_record.h"
@@ -85,6 +86,16 @@ class RecoveryManager {
   uint64_t FindFallbackOrigin(uint64_t context_id, uint64_t bad_lsn);
   void InstallTables();
   Status PassTwo();
+  // Plan-driven parallel pass 2 (recovery/replay_plan.h), attempted when
+  // RuntimeOptions.parallel_replay is on: builds the chain/edge plan,
+  // replays non-final units as overlapping sessions, then runs the
+  // sequential end-of-log flush over each chain's final unit. Returns true
+  // when it ran to a decision (*result holds the status); false to fall
+  // back to the sequential scan (ambiguous salvaged log, nested scheduler,
+  // or fewer than two chains).
+  bool TryParallelPassTwo(uint64_t scan_start, Status* result);
+  // End-of-log replay: flushes every pending unit, oldest start LSN first.
+  Status FlushAllPendingOldestFirst();
   // Replays (and removes) the pending unit of `context_id`, if any.
   Status FlushPending(uint64_t context_id);
   Status ReplayUnit(uint64_t context_id, PendingReplay unit);

@@ -1,0 +1,198 @@
+#include "recovery/replay_plan.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace phoenix {
+
+const char* PlanFallbackName(PlanFallback fallback) {
+  switch (fallback) {
+    case PlanFallback::kNone:
+      return "none";
+    case PlanFallback::kSalvagedLog:
+      return "salvaged_log";
+    case PlanFallback::kTooFewChains:
+      return "too_few_chains";
+    case PlanFallback::kNestedScheduler:
+      return "nested_scheduler";
+  }
+  return "unknown";
+}
+
+size_t ReplayPlan::total_units() const {
+  size_t n = 0;
+  for (const ReplayChain& chain : chains) n += chain.units.size();
+  return n;
+}
+
+namespace {
+
+// Modelled replay cost of the plan: per-unit weight plus the longest
+// dependency-respecting path. Units are processed in start-LSN order, which
+// is a topological order: chain-internal order and every cross edge point
+// from a smaller start LSN to a larger one.
+void ComputeCosts(ReplayPlan& plan, double unit_ms) {
+  std::vector<std::pair<uint64_t, UnitRef>> order;
+  order.reserve(plan.total_units());
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    const ReplayChain& chain = plan.chains[c];
+    for (uint32_t u = 0; u < chain.units.size(); ++u) {
+      order.emplace_back(chain.units[u].replay.start_lsn, UnitRef{c, u});
+    }
+  }
+  std::sort(order.begin(), order.end());
+
+  // finish[chain][index]: earliest completion honoring all ordering.
+  std::vector<std::vector<double>> finish(plan.chains.size());
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    finish[c].assign(plan.chains[c].units.size(), 0.0);
+  }
+  double critical = 0.0;
+  for (const auto& [lsn, ref] : order) {
+    double start = ref.index > 0 ? finish[ref.chain][ref.index - 1] : 0.0;
+    for (const UnitRef& dep : plan.unit(ref).deps) {
+      start = std::max(start, finish[dep.chain][dep.index]);
+    }
+    finish[ref.chain][ref.index] = start + unit_ms;
+    critical = std::max(critical, finish[ref.chain][ref.index]);
+  }
+  plan.total_replay_ms = static_cast<double>(plan.total_units()) * unit_ms;
+  plan.critical_path_ms = critical;
+}
+
+}  // namespace
+
+ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
+                           const ReplayPlanInputs& inputs) {
+  ReplayPlan plan;
+  std::map<uint64_t, uint32_t> chain_of;  // context id -> chain index
+
+  // The chain's currently-open unit: the one whose execution covers this
+  // point of the log (its last planned unit, units being closed only by the
+  // context's next incoming call).
+  auto open_ref = [&](uint64_t context_id) -> std::optional<UnitRef> {
+    auto it = chain_of.find(context_id);
+    if (it == chain_of.end()) return std::nullopt;
+    const ReplayChain& chain = plan.chains[it->second];
+    if (chain.units.empty()) return std::nullopt;
+    return UnitRef{it->second, static_cast<uint32_t>(chain.units.size() - 1)};
+  };
+
+  auto push_unit = [&](uint64_t context_id, PendingReplay unit) -> UnitRef {
+    auto [it, inserted] =
+        chain_of.try_emplace(context_id, static_cast<uint32_t>(
+                                             plan.chains.size()));
+    if (inserted) {
+      plan.chains.push_back(ReplayChain{context_id, {}});
+    }
+    ReplayChain& chain = plan.chains[it->second];
+    chain.units.push_back(PlannedUnit{std::move(unit), {}, {}});
+    return UnitRef{it->second,
+                   static_cast<uint32_t>(chain.units.size() - 1)};
+  };
+
+  LogReader reader(log, scan_start);
+  reader.EnableSalvage();
+  while (auto parsed = reader.Next()) {
+    if (!reader.skipped_ranges().empty()) {
+      // Unreadable bytes were amputated mid-scan: whatever they held may
+      // change chain membership or edges — refuse to plan past them.
+      plan.fallback = PlanFallback::kSalvagedLog;
+      return plan;
+    }
+    ++plan.records_scanned;
+    uint64_t lsn = parsed->lsn;
+
+    if (const auto* creation = std::get_if<CreationRecord>(&parsed->record)) {
+      auto it = inputs.origins.find(creation->context_id);
+      // Only the origin creation record opens a chain; newer duplicates
+      // (re-creations appended by a previous recovery) replay nothing.
+      if (it == inputs.origins.end() || it->second == kInvalidLsn ||
+          lsn != it->second) {
+        continue;
+      }
+      PendingReplay unit;
+      unit.is_creation = true;
+      unit.start_lsn = lsn;
+      unit.creation = *creation;
+      push_unit(creation->context_id, std::move(unit));
+    } else if (const auto* incoming =
+                   std::get_if<IncomingCallRecord>(&parsed->record)) {
+      auto it = inputs.origins.find(incoming->context_id);
+      if (it == inputs.origins.end()) continue;
+      if (it->second != kInvalidLsn && lsn < it->second) continue;
+
+      PendingReplay unit;
+      unit.start_lsn = lsn;
+      unit.incoming = *incoming;
+      UnitRef target = push_unit(incoming->context_id, std::move(unit));
+
+      // Cross-chain edge: the call was issued by a local caller context
+      // whose open unit must replay before this one (it is the unit whose
+      // execution produced the call). The ClientKey's component id is the
+      // caller's context id; external clients and remote processes fail
+      // the machine/pid match and contribute no edge.
+      const ClientKey& caller = incoming->call_id.caller;
+      if (caller.machine == inputs.machine &&
+          caller.process_id == inputs.process_id &&
+          caller.component_id != incoming->context_id) {
+        if (std::optional<UnitRef> source = open_ref(caller.component_id);
+            source.has_value() && source->chain != target.chain) {
+          plan.chains[target.chain].units[target.index].deps.push_back(
+              *source);
+          plan.chains[source->chain].units[source->index].dependents
+              .push_back(target);
+          ++plan.cross_edges;
+        }
+      }
+    } else if (const auto* reply =
+                   std::get_if<ReplyReceivedRecord>(&parsed->record)) {
+      if (std::optional<UnitRef> ref = open_ref(reply->context_id);
+          ref.has_value()) {
+        plan.chains[ref->chain].units[ref->index].replay.feed
+            .replies[reply->seq] = *reply;
+      }
+    }
+    // Other record types were pass 1's business.
+  }
+  if (reader.tail_torn() || !reader.skipped_ranges().empty()) {
+    plan.fallback = PlanFallback::kSalvagedLog;
+    return plan;
+  }
+  if (plan.chains.size() < 2) {
+    plan.fallback = PlanFallback::kTooFewChains;
+  }
+  ComputeCosts(plan, inputs.replay_call_ms);
+  return plan;
+}
+
+std::map<uint64_t, uint64_t> DeriveReplayOrigins(const LogView& log,
+                                                 uint64_t scan_start) {
+  std::map<uint64_t, uint64_t> origins;
+  LogReader reader(log, scan_start);
+  reader.EnableSalvage();
+  while (auto parsed = reader.Next()) {
+    uint64_t lsn = parsed->lsn;
+    if (const auto* e =
+            std::get_if<CheckpointContextEntryRecord>(&parsed->record)) {
+      auto [it, inserted] = origins.try_emplace(e->context_id, kInvalidLsn);
+      if (it->second == kInvalidLsn ||
+          (e->recovery_lsn != kInvalidLsn && e->recovery_lsn > it->second)) {
+        it->second = e->recovery_lsn;
+      }
+    } else if (const auto* c = std::get_if<CreationRecord>(&parsed->record)) {
+      auto [it, inserted] = origins.try_emplace(c->context_id, lsn);
+      if (it->second == kInvalidLsn) it->second = lsn;
+    } else if (const auto* s =
+                   std::get_if<ContextStateRecord>(&parsed->record)) {
+      origins[s->context_id] = lsn;
+    }
+  }
+  // The activator context always recovers by replay from the scan start.
+  auto [it, inserted] = origins.try_emplace(0, scan_start);
+  if (it->second == kInvalidLsn) it->second = scan_start;
+  return origins;
+}
+
+}  // namespace phoenix

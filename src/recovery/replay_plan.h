@@ -1,0 +1,134 @@
+#ifndef PHOENIX_RECOVERY_REPLAY_PLAN_H_
+#define PHOENIX_RECOVERY_REPLAY_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "recovery/replay.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+// Log-analysis replay planning: one forward scan of the stable log that
+// partitions the message records into per-context replay *chains* and links
+// them with cross-chain dependency edges, so pass 2 of recovery can execute
+// independent chains as overlapping scheduler sessions instead of walking
+// the whole log serially (cf. dependency-aware parallel redo in Wu et al.
+// and Yao et al.; here the dependency unit is the paper's per-context
+// buffered replay call).
+//
+// Chain model. A chain is one context's replay units in log order — exactly
+// the units the sequential replayer buffers (PendingReplay): the creation
+// call, then one unit per logged incoming call, each with the reply feed of
+// the outgoing calls it made. Units within a chain are totally ordered
+// (context state evolves sequentially); that order is implicit and not
+// represented as edges.
+//
+// Edge rule. When an incoming-call record of context B names a *local*
+// caller context A (the CallId's ClientKey carries machine / logical pid /
+// caller component id, and component id == the caller's context id), the
+// planner adds one edge from A's unit that was open at that point in the
+// log (the unit whose execution issued the call) to B's new unit. Edges
+// therefore always point from a smaller start-LSN unit to a larger one —
+// the plan is a DAG by construction, and the edge order coincides with the
+// order the sequential replayer flushes those units. Calls from external
+// clients or from remote processes add no edge: their effects reach this
+// log only through the records already in the chain.
+//
+// Fallback. The plan refuses parallel execution (fallback != kNone) when
+// the scan had to salvage-skip unreadable ranges or hit a torn tail —
+// amputated records make both chain membership and edges ambiguous — or
+// when there are fewer than two chains to overlap. The recovery manager
+// adds its own runtime condition (recovery triggered from inside a running
+// session chain cannot nest a second scheduler).
+
+// Position of one unit inside a plan: chain index + index within the chain.
+struct UnitRef {
+  uint32_t chain = 0;
+  uint32_t index = 0;
+
+  friend bool operator==(const UnitRef&, const UnitRef&) = default;
+  friend auto operator<=>(const UnitRef& a, const UnitRef& b) {
+    return std::tie(a.chain, a.index) <=> std::tie(b.chain, b.index);
+  }
+};
+
+// One replay unit plus its cross-chain dependency edges.
+struct PlannedUnit {
+  PendingReplay replay;
+  // Cross-chain units that must replay before this one (edge sources).
+  std::vector<UnitRef> deps;
+  // Reverse edges (edge targets), filled by the planner.
+  std::vector<UnitRef> dependents;
+};
+
+// All replay units of one context, in log order.
+struct ReplayChain {
+  uint64_t context_id = 0;
+  std::vector<PlannedUnit> units;
+};
+
+// Why a plan (or the recovery manager) refused parallel execution.
+enum class PlanFallback {
+  kNone = 0,
+  kSalvagedLog,      // skipped ranges / torn tail: edges are ambiguous
+  kTooFewChains,     // fewer than two chains: nothing to overlap
+  kNestedScheduler,  // recovery already runs inside a session chain
+};
+
+const char* PlanFallbackName(PlanFallback fallback);
+
+struct ReplayPlan {
+  std::vector<ReplayChain> chains;  // ordered by first-unit start LSN
+  uint64_t cross_edges = 0;
+  PlanFallback fallback = PlanFallback::kNone;
+  // Records examined by the planning scan (recovery charges its scan cost).
+  uint64_t records_scanned = 0;
+  // Modelled replay cost: sum over all units, and the longest
+  // dependency-respecting path (chain order + cross edges) — the lower
+  // bound parallel replay is after.
+  double total_replay_ms = 0.0;
+  double critical_path_ms = 0.0;
+
+  bool parallel_eligible() const { return fallback == PlanFallback::kNone; }
+  size_t total_units() const;
+  const PlannedUnit& unit(UnitRef ref) const {
+    return chains[ref.chain].units[ref.index];
+  }
+};
+
+// What the planner needs to know about the recovering process.
+struct ReplayPlanInputs {
+  // Identity of the recovering process: calls whose ClientKey carries this
+  // machine + logical pid come from a local context and produce edges.
+  std::string machine;
+  uint32_t process_id = 0;
+  // Replay origin LSN per context (pass 1's recovery LSNs): records below a
+  // context's origin are covered by its restored state and are not planned.
+  // Contexts absent from the map are ignored entirely.
+  std::map<uint64_t, uint64_t> origins;
+  // Modelled cost of replaying one unit (CostModel::recovery_replay_call_ms)
+  // for the critical-path estimate.
+  double replay_call_ms = 0.13;
+};
+
+// Scans `log` once from `scan_start` (salvage-tolerant) and builds the
+// chain/edge plan. Pure analysis: never touches the clock, the process or
+// any component. On mid-scan damage the scan aborts at the first skipped
+// range and the plan comes back with fallback = kSalvagedLog.
+ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
+                           const ReplayPlanInputs& inputs);
+
+// Replicates pass 1's replay-origin bookkeeping for callers that have no
+// RecoveryManager at hand (tools, tests): newest state record per context,
+// else first creation record, refined by checkpoint context entries.
+std::map<uint64_t, uint64_t> DeriveReplayOrigins(const LogView& log,
+                                                 uint64_t scan_start);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_RECOVERY_REPLAY_PLAN_H_

@@ -169,6 +169,11 @@ void Process::Start() {
   log_->SetTraceScope(sim);
   log_->pipeline().SetGroupCommit(sim->options().group_commit);
   log_->pipeline().SetScheduler(sim->session_scheduler());
+  log_->pipeline().SetGroupCommitPolicy(
+      sim->options().group_commit_max_wait_ms,
+      sim->options().group_commit_max_batch);
+  log_->pipeline().SetCrashHook(
+      [this] { return MaybeCrash(FailurePoint::kDuringGroupFlush); });
   // Everything stable at (re)start is conservatively treated as already
   // externalized: only bytes forced after this point without leaving the
   // process are candidates for a future torn tail.

@@ -113,6 +113,37 @@ void SessionScheduler::Run(std::vector<std::function<void()>> bodies) {
         PHX_CHECK(TryGroupFlush() && "session deadlock: no runnable session");
         continue;
       }
+      // Max-wait policy: a pipeline whose oldest parked waiter has sat past
+      // its bound is flushed now, even though runnable sessions remain —
+      // bounding the latency a chain trades for a bigger batch. First
+      // overdue waiter in session-index order picks the pipeline, so ties
+      // resolve deterministically.
+      CommitPipeline* overdue = nullptr;
+      for (auto& up : sessions_) {
+        Session* s = up.get();
+        if (s->state != Session::State::kParked ||
+            s->wait_pipeline == nullptr || ParkSatisfied(*s)) {
+          continue;
+        }
+        double bound = s->wait_pipeline->group_commit_max_wait_ms();
+        if (bound > 0.0 &&
+            s->wait_pipeline->NowMs() - s->wait_since_ms >= bound) {
+          overdue = s->wait_pipeline;
+          break;
+        }
+      }
+      if (overdue != nullptr) {
+        size_t batch = 0;
+        for (auto& up : sessions_) {
+          Session* s = up.get();
+          if (s->state == Session::State::kParked &&
+              s->wait_pipeline == overdue && !ParkSatisfied(*s)) {
+            ++batch;
+          }
+        }
+        overdue->GroupFlush(batch);
+        continue;
+      }
       Session* next =
           ready.size() == 1
               ? ready.front()
@@ -146,8 +177,23 @@ bool SessionScheduler::ParkUntilDurable(CommitPipeline* pipeline,
   s->wait_pipeline = pipeline;
   s->wait_lsn = lsn;
   s->wait_epoch = pipeline->abort_epoch();
+  s->wait_since_ms = pipeline->NowMs();
   ParkLocked(lock, s);
   return true;
+}
+
+size_t SessionScheduler::ParkedWaiters(const CommitPipeline* pipeline) const {
+  // Called from a running session (inside WaitDurable); every other session
+  // is quiesced, so their park records are stable under the lock.
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& up : sessions_) {
+    const Session& s = *up;
+    if (s.state == Session::State::kParked && s.wait_pipeline == pipeline) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 bool SessionScheduler::ParkUntil(std::function<bool()> ready) {

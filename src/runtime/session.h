@@ -56,6 +56,10 @@ class SessionScheduler : public CommitPipeline::Scheduler {
   // not one of this scheduler's sessions (the caller then flushes inline).
   bool ParkUntilDurable(CommitPipeline* pipeline, uint64_t lsn) override;
 
+  // Sessions currently parked on `pipeline`'s durability — the max-batch
+  // policy asks before parking one more.
+  size_t ParkedWaiters(const CommitPipeline* pipeline) const override;
+
   // Suspends the calling session until `ready()` holds. Returns false (and
   // does nothing) off session threads. The predicate is evaluated by the
   // scheduler while all sessions are quiesced, so it may read any
@@ -88,6 +92,7 @@ class SessionScheduler : public CommitPipeline::Scheduler {
     CommitPipeline* wait_pipeline = nullptr;
     uint64_t wait_lsn = 0;
     uint64_t wait_epoch = 0;
+    double wait_since_ms = 0.0;  // sim time the durability park began
     // ...or a generic predicate.
     std::function<bool()> ready_pred;
     std::vector<Context*> context_stack;
@@ -104,7 +109,7 @@ class SessionScheduler : public CommitPipeline::Scheduler {
   void ParkLocked(std::unique_lock<std::mutex>& lock, Session* s);
 
   Random rng_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable sched_cv_;
   std::vector<std::unique_ptr<Session>> sessions_;
 };

@@ -22,6 +22,8 @@ const char* FailurePointName(FailurePoint point) {
       return "during_state_save";
     case FailurePoint::kDuringCheckpoint:
       return "during_checkpoint";
+    case FailurePoint::kDuringGroupFlush:
+      return "during_group_flush";
   }
   return "unknown";
 }

@@ -24,9 +24,11 @@ enum class FailurePoint : int {
   kAfterReplySend = 5,        // Fig. 2 point 3: message 2 already sent
   kDuringStateSave = 6,       // mid context-state save
   kDuringCheckpoint = 7,      // mid process checkpoint (after begin record)
+  kDuringGroupFlush = 8,      // mid group-commit flush: the whole parked
+                              // batch loses its unforced tail at once
 };
 
-constexpr int kNumFailurePoints = 8;
+constexpr int kNumFailurePoints = 9;
 
 // Returns a short name for the failure point (for test diagnostics).
 const char* FailurePointName(FailurePoint point);

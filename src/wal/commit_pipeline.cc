@@ -53,6 +53,27 @@ Status CommitPipeline::WaitDurable(uint64_t up_to_lsn, ForcePoint reason,
   } frame_pop{traced && scope_ != nullptr ? scope_ : nullptr};
 
   if (group_commit_ && scheduler_ != nullptr && allow_park) {
+    // Max-batch policy: when this wait completes a full batch, flush now
+    // instead of parking — the parked waiters wake at the advanced horizon
+    // and the batch never waits for the remaining sessions to stall.
+    if (max_batch_ > 0 &&
+        scheduler_->ParkedWaiters(this) + 1 >= max_batch_) {
+      GroupFlush(scheduler_->ParkedWaiters(this) + 1);
+      if (durable_lsn() >= up_to_lsn) {
+        double flush_ms = clock_->NowMs() - t0;
+        if (metrics_ != nullptr) {
+          metrics_->GetGauge("phoenix.wal.own_force_wait_ms", wait_labels)
+              .Add(flush_ms);
+        }
+        if (traced) {
+          wait_span.AddArg(obs::Arg("outcome", "batch_full"));
+          wait_span.AddArg(obs::Arg("own_force_ms", flush_ms));
+        }
+        return Status::OK();
+      }
+      if (traced) wait_span.AddArg(obs::Arg("outcome", "crashed"));
+      return Status::Crashed("process crashed during group flush");
+    }
     if (scheduler_->ParkUntilDurable(this, up_to_lsn)) {
       double park_ms = clock_->NowMs() - t0;
       if (metrics_ != nullptr) {
@@ -90,7 +111,14 @@ void CommitPipeline::FlushNow(ForcePoint reason) {
   writer_->Force(reason);
 }
 
+double CommitPipeline::NowMs() const { return clock_->NowMs(); }
+
 void CommitPipeline::GroupFlush(size_t batch_size) {
+  if (crash_hook_ && crash_hook_()) {
+    // Crash mid-flush (kDuringGroupFlush): the whole parked batch loses
+    // its unforced tail at once; waiters wake into the new abort epoch.
+    return;
+  }
   uint64_t flushed_up_to = appended_lsn();
   double t0 = clock_->NowMs();
   FlushNow(ForcePoint::kGroupCommit);

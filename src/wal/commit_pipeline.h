@@ -2,6 +2,7 @@
 #define PHOENIX_WAL_COMMIT_PIPELINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/result.h"
@@ -47,6 +48,11 @@ class CommitPipeline {
     // not running on a parkable chain (main thread, recovery), in which
     // case WaitDurable falls back to an inline flush.
     virtual bool ParkUntilDurable(CommitPipeline* pipeline, uint64_t lsn) = 0;
+    // Sessions currently parked on `pipeline`'s durability (the batch a
+    // flush right now would satisfy, excluding the caller).
+    virtual size_t ParkedWaiters(const CommitPipeline* pipeline) const {
+      return 0;
+    }
   };
 
   CommitPipeline(LogWriter* writer, SimClock* clock, const CostModel* costs)
@@ -59,6 +65,27 @@ class CommitPipeline {
   bool group_commit() const { return group_commit_; }
   void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
   Scheduler* scheduler() const { return scheduler_; }
+
+  // Batching policy (RuntimeOptions.group_commit_max_*, both 0 =
+  // unbounded): `max_batch` flushes as soon as that many waits have
+  // accumulated instead of parking the last one; `max_wait_ms` lets the
+  // scheduler flush a pipeline whose oldest parked waiter has sat that
+  // long, even though runnable sessions remain.
+  void SetGroupCommitPolicy(double max_wait_ms, uint32_t max_batch) {
+    max_wait_ms_ = max_wait_ms;
+    max_batch_ = max_batch;
+  }
+  double group_commit_max_wait_ms() const { return max_wait_ms_; }
+  uint32_t group_commit_max_batch() const { return max_batch_; }
+  double NowMs() const;
+
+  // Failure-injection hook consulted at the top of GroupFlush (the
+  // kDuringGroupFlush point): returns true when the process died, in which
+  // case the flush never happens and the parked batch wakes into the new
+  // abort epoch. Installed by Process; wal/ stays below runtime/.
+  void SetCrashHook(std::function<bool()> hook) {
+    crash_hook_ = std::move(hook);
+  }
 
   // Blocks (cooperatively, or inline) until everything below `up_to_lsn`
   // is on stable storage. `reason` attributes the wait in metrics.
@@ -105,6 +132,9 @@ class CommitPipeline {
   bool group_commit_ = false;
   Scheduler* scheduler_ = nullptr;
   uint64_t abort_epoch_ = 0;
+  double max_wait_ms_ = 0.0;
+  uint32_t max_batch_ = 0;
+  std::function<bool()> crash_hook_;
 
   // Observability sinks (unowned; null until BindObs).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -134,7 +134,8 @@ std::string DescribeRecord(const LogRecord& record) {
 namespace {
 
 std::string DumpLogImpl(const LogView& view,
-                        const std::vector<ForceMark>* marks) {
+                        const std::vector<ForceMark>* marks,
+                        const LogAnnotations* annotations) {
   std::string out;
   if (view.base > 0) {
     out += StrCat("  (head truncated below lsn ", view.base, ")\n");
@@ -162,7 +163,13 @@ std::string DumpLogImpl(const LogView& view,
     }
     emit_marks_below(parsed->lsn);
     out += StrCat("  lsn ", parsed->lsn, "  ",
-                  DescribeRecord(parsed->record), "\n");
+                  DescribeRecord(parsed->record));
+    if (annotations != nullptr) {
+      if (auto it = annotations->find(parsed->lsn); it != annotations->end()) {
+        out += StrCat("  ", it->second);
+      }
+    }
+    out += "\n";
   }
   while (printed_skips < reader.skipped_ranges().size()) {
     const SkippedRange& range = reader.skipped_ranges()[printed_skips++];
@@ -182,12 +189,17 @@ std::string DumpLogImpl(const LogView& view,
 }  // namespace
 
 std::string DumpLog(const LogView& view) {
-  return DumpLogImpl(view, nullptr);
+  return DumpLogImpl(view, nullptr, nullptr);
 }
 
 std::string DumpLog(const LogView& view,
                     const std::vector<ForceMark>& marks) {
-  return DumpLogImpl(view, &marks);
+  return DumpLogImpl(view, &marks, nullptr);
+}
+
+std::string DumpLog(const LogView& view, const std::vector<ForceMark>& marks,
+                    const LogAnnotations& annotations) {
+  return DumpLogImpl(view, &marks, &annotations);
 }
 
 }  // namespace phoenix

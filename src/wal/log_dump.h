@@ -1,6 +1,7 @@
 #ifndef PHOENIX_WAL_LOG_DUMP_H_
 #define PHOENIX_WAL_LOG_DUMP_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ std::string DumpLog(const LogView& view);
 // durability boundary fell and which ForcePoint paid for it. Marks from a
 // previous process incarnation (below the view's range) are elided.
 std::string DumpLog(const LogView& view, const std::vector<ForceMark>& marks);
+
+// Per-LSN notes appended after the matching record's line. Built by higher
+// layers (e.g. the replay planner's chain/edge view in phoenix_trace's
+// --plan mode); wal/ only renders them so it stays below recovery/.
+using LogAnnotations = std::map<uint64_t, std::string>;
+std::string DumpLog(const LogView& view, const std::vector<ForceMark>& marks,
+                    const LogAnnotations& annotations);
 
 }  // namespace phoenix
 

@@ -21,9 +21,15 @@ import json
 import sys
 
 # Metrics pinned per variant. Timings and counters only; latency summaries
-# are derived from the same data.
+# are derived from the same data. The recovery/replay group pins the
+# parallel-replay contract: sequential-mode numbers stay put, every parallel
+# width reproduces the sequential end state (state_matches_sequential == 1)
+# and the seeded divergence sweep stays at zero.
 PINNED = ("forces", "appends", "bytes_forced", "sim_time_ms", "calls_routed",
-          "per_call_ms", "per_iteration_ms", "forces_per_call", "ms_per_call")
+          "per_call_ms", "per_iteration_ms", "forces_per_call", "ms_per_call",
+          "recovery_ms", "records_scanned", "calls_replayed", "replay_chains",
+          "replay_edges", "replay_fallbacks", "state_matches_sequential",
+          "runs", "divergences", "pinned_divergences")
 
 
 def load_report(path):

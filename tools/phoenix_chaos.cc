@@ -50,11 +50,13 @@ inline constexpr char kChaosSchema[] = "phoenix.chaos.v1";
 struct CampaignOptions {
   int runs = 500;
   uint64_t seed = 42;
-  int sessions = 6;
+  int sessions = 8;
   // Maximum overlapping sessions per wave. 1 = every session sequential
   // (the pre-session-scheduler harness, byte-identical draws); > 1 lets a
   // seeded subset of runs overlap their sessions and flip group commit on.
-  int overlap = 4;
+  // The default sweeps past the old cap of 4 so wide waves (deep group
+  // batches, more parked chains per flush) are exercised routinely.
+  int overlap = 8;
   std::string out;  // empty: BenchReporter default (BENCH_<name>.json)
   bool verbose = false;
 };
@@ -134,6 +136,8 @@ struct RunConfig {
   bool bitrot_wkf = false;    // mid-run bit-rot on the well-known file
   int overlap = 1;          // sessions per concurrent wave (1 = sequential)
   bool group_commit = false;  // coalesce durability waits across the wave
+  bool attack_agent = false;  // storage attack hits the agent process
+  bool parallel_replay = false;  // recover with the parallel replay engine
 };
 
 RunConfig MakeRunConfig(const CampaignOptions& campaign, int run) {
@@ -159,8 +163,16 @@ RunConfig MakeRunConfig(const CampaignOptions& campaign, int run) {
 
   uint64_t crash_count = rng.Uniform(5);  // 0..4 crash triggers
   for (uint64_t i = 0; i < crash_count; ++i) {
-    auto point = static_cast<FailurePoint>(rng.Uniform(6));
-    uint64_t hit = 1 + rng.Uniform(100);
+    // Index 6 maps to the group-flush hook: a crash that fires *inside* a
+    // group commit, taking the whole parked batch's unforced tail at once.
+    // It only trips on runs where group commit actually flushes, and those
+    // flushes are far rarer than protocol hooks, so it gets a short fuse.
+    uint64_t draw = rng.Uniform(7);
+    FailurePoint point = draw < 6 ? static_cast<FailurePoint>(draw)
+                                  : FailurePoint::kDuringGroupFlush;
+    uint64_t hit = point == FailurePoint::kDuringGroupFlush
+                       ? 1 + rng.Uniform(6)
+                       : 1 + rng.Uniform(100);
     cfg.crashes.emplace_back(point, hit);
   }
 
@@ -175,6 +187,14 @@ RunConfig MakeRunConfig(const CampaignOptions& campaign, int run) {
   }
   cfg.bitrot_state = rng.Bernoulli(0.25);
   cfg.bitrot_wkf = rng.Bernoulli(0.15);
+  // Half the storage attacks go after the *agent* process instead of the
+  // seller — the persistent tier whose replay masks everything else. Only
+  // meaningful in agent topologies; external_direct has no agent.
+  cfg.attack_agent = rng.Bernoulli(0.5);
+  // Recover a seeded subset of runs with the parallel replay planner, so
+  // the exactly-once oracle also polices plan-driven recovery (and its
+  // sequential fallbacks on salvaged logs) under every fault mix.
+  cfg.parallel_replay = rng.Bernoulli(0.4);
   // Draws gated on the flag so --overlap=1 replays the sequential
   // harness's exact decision stream.
   if (campaign.overlap > 1 && rng.Bernoulli(0.6)) {
@@ -209,23 +229,29 @@ struct CampaignStats {
   uint64_t group_commit_runs = 0;
   uint64_t group_flushes = 0;
   uint64_t group_coalesced = 0;
+  // Parallel-replay sweep.
+  uint64_t parallel_replay_runs = 0;
+  uint64_t replay_chains = 0;
+  uint64_t replay_edges = 0;
+  uint64_t replay_fallbacks = 0;
   // Per-topology breakdown.
   uint64_t topo_runs[3] = {0, 0, 0};
   uint64_t topo_violations[3] = {0, 0, 0};
   uint64_t topo_wov[3] = {0, 0, 0};
 };
 
-// Crashes the server mid-run and flips bits in the places salvage must
+// Crashes the target process mid-run (the seller's, or the agent's when
+// the run drew attack_agent) and flips bits in the places salvage must
 // tolerate: the newest context-state record's payload and/or the
 // well-known file. Recovery runs immediately via the recovery service.
 Status ApplyStorageAttack(const RunConfig& cfg, Simulation& sim,
-                          Machine& server_machine, Process& server_proc) {
-  server_proc.Kill();
-  const std::string log_name = server_proc.log_name();
+                          Machine& target_machine, Process& target_proc) {
+  target_proc.Kill();
+  const std::string log_name = target_proc.log_name();
   if (cfg.bitrot_state) {
     // Find the newest readable context-state record in the stable image.
-    LogView view = server_proc.log().StableView();
-    LogReader reader(view, server_proc.log().head_base());
+    LogView view = target_proc.log().StableView();
+    LogReader reader(view, target_proc.log().head_base());
     reader.EnableSalvage();
     uint64_t state_lsn = kInvalidLsn;
     while (auto parsed = reader.Next()) {
@@ -241,8 +267,8 @@ Status ApplyStorageAttack(const RunConfig& cfg, Simulation& sim,
   if (cfg.bitrot_wkf) {
     sim.storage().CorruptFile(log_name + ".wkf", 0, /*flip_count=*/2);
   }
-  return server_machine.recovery_service().EnsureProcessAlive(
-      server_proc.pid());
+  return target_machine.recovery_service().EnsureProcessAlive(
+      target_proc.pid());
 }
 
 // Flight-recorder ring depth for every campaign run: cheap enough to keep
@@ -263,6 +289,7 @@ std::string RunOne(const RunConfig& cfg, int run, int sessions,
   // campaign runs unbounded.
   runtime.call_retry_budget_ms = 0.0;
   runtime.group_commit = cfg.group_commit;
+  runtime.parallel_replay = cfg.parallel_replay;
 
   SimulationParams params;
   params.seed = cfg.sim_seed;
@@ -319,10 +346,13 @@ std::string RunOne(const RunConfig& cfg, int run, int sessions,
   // each own an agent context, so they serialize only at the seller and
   // their force-on-send waits can coalesce on the agent process's log.
   std::vector<std::string> agent_uris;
+  Process* agent_proc_ptr = nullptr;
+  Machine* agent_machine = nullptr;
   if (cfg.topology != Topology::kExternalDirect) {
-    Process& agent_proc = cfg.topology == Topology::kRemoteAgent
-                              ? client_machine.CreateProcess()
-                              : server_machine.CreateProcess();
+    agent_machine = cfg.topology == Topology::kRemoteAgent ? &client_machine
+                                                           : &server_machine;
+    Process& agent_proc = agent_machine->CreateProcess();
+    agent_proc_ptr = &agent_proc;
     for (int a = 0; a < cfg.overlap; ++a) {
       auto agent = admin.CreateComponent(
           agent_proc, "ShoppingAgent", StrCat("agent", a),
@@ -413,8 +443,14 @@ std::string RunOne(const RunConfig& cfg, int run, int sessions,
       next = wave_end;
     }
     if (next == attack_at && attack_at < sessions && failure.empty()) {
-      Status attack =
-          ApplyStorageAttack(cfg, sim, server_machine, server_proc);
+      // Half the attacks target the agent process instead of the seller's —
+      // the persistent tier whose own log and state records salvage must
+      // also survive losing.
+      bool hit_agent = cfg.attack_agent && agent_proc_ptr != nullptr;
+      Status attack = hit_agent ? ApplyStorageAttack(cfg, sim, *agent_machine,
+                                                     *agent_proc_ptr)
+                                : ApplyStorageAttack(cfg, sim, server_machine,
+                                                     server_proc);
       if (!attack.ok()) {
         failure = "recovery after bit-rot failed: " + attack.ToString();
       }
@@ -509,6 +545,12 @@ std::string RunOne(const RunConfig& cfg, int run, int sessions,
       sim.metrics().CounterTotal("phoenix.wal.group_commit.flushes");
   stats.group_coalesced +=
       sim.metrics().CounterTotal("phoenix.wal.group_commit.coalesced");
+  stats.replay_chains +=
+      sim.metrics().CounterTotal("phoenix.recovery.replay.chains");
+  stats.replay_edges +=
+      sim.metrics().CounterTotal("phoenix.recovery.replay.edges");
+  stats.replay_fallbacks +=
+      sim.metrics().CounterTotal("phoenix.recovery.replay.fallbacks");
 
   if (!failure.empty()) {
     std::string path =
@@ -540,6 +582,7 @@ int RunCampaign(const CampaignOptions& campaign) {
     ++stats.runs;
     if (cfg.overlap > 1) ++stats.concurrent_runs;
     if (cfg.group_commit) ++stats.group_commit_runs;
+    if (cfg.parallel_replay) ++stats.parallel_replay_runs;
     int topo = static_cast<int>(cfg.topology);
     ++stats.topo_runs[topo];
     if (!violation.empty()) {
@@ -588,7 +631,11 @@ int RunCampaign(const CampaignOptions& campaign) {
       .SetMetric("concurrent_runs", stats.concurrent_runs)
       .SetMetric("group_commit_runs", stats.group_commit_runs)
       .SetMetric("group_commit_flushes", stats.group_flushes)
-      .SetMetric("group_commit_coalesced", stats.group_coalesced);
+      .SetMetric("group_commit_coalesced", stats.group_coalesced)
+      .SetMetric("parallel_replay_runs", stats.parallel_replay_runs)
+      .SetMetric("replay_chains", stats.replay_chains)
+      .SetMetric("replay_edges", stats.replay_edges)
+      .SetMetric("replay_fallbacks", stats.replay_fallbacks);
   for (int t = 0; t < 3; ++t) {
     obs::BenchVariant& v =
         reporter.AddVariant(TopologyName(static_cast<Topology>(t)));
@@ -625,6 +672,8 @@ int RunCampaign(const CampaignOptions& campaign) {
       "  masking: %llu dedupe hit(s), %llu retry(ies)\n"
       "  overlap: %llu concurrent run(s), %llu with group commit, "
       "%llu group flush(es) coalescing %llu wait(s)\n"
+      "  replay: %llu parallel-replay run(s), %llu chain(s), %llu edge(s), "
+      "%llu fallback(s)\n"
       "report: %s\n",
       static_cast<unsigned long long>(stats.runs),
       static_cast<unsigned long long>(stats.violations),
@@ -645,6 +694,10 @@ int RunCampaign(const CampaignOptions& campaign) {
       static_cast<unsigned long long>(stats.group_commit_runs),
       static_cast<unsigned long long>(stats.group_flushes),
       static_cast<unsigned long long>(stats.group_coalesced),
+      static_cast<unsigned long long>(stats.parallel_replay_runs),
+      static_cast<unsigned long long>(stats.replay_chains),
+      static_cast<unsigned long long>(stats.replay_edges),
+      static_cast<unsigned long long>(stats.replay_fallbacks),
       written->c_str());
   return stats.violations > 0 ? 1 : 0;
 }

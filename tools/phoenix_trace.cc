@@ -11,7 +11,7 @@
 //                 [--crash=<point>:<hit>]...    (point: see --list-points)
 //                 [--net-drop=P] [--net-dup=P] [--torn-tail=P]
 //                 [--save-every=N] [--checkpoint-every=N] [--gc]
-//                 [--multicall] [--dump-log] [--dump-tables]
+//                 [--multicall] [--dump-log] [--plan] [--dump-tables]
 //                 [--trace-jsonl=FILE] [--trace-chrome=FILE]
 //                 [--metrics-json=FILE]
 //                 [--flight-events=N] [--flight-jsonl=FILE]
@@ -26,6 +26,7 @@
 //   phoenix_trace --crash=during_checkpoint:1 --flight-jsonl=crash.jsonl
 //   phoenix_trace --dump-trace=run.jsonl --component=server/1 --cat=log
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -37,6 +38,7 @@
 #include "obs/json.h"
 #include "obs/tracer.h"
 #include "recovery/checkpoint_manager.h"
+#include "recovery/replay_plan.h"
 #include "wal/log_dump.h"
 
 namespace phoenix::tools {
@@ -59,6 +61,7 @@ struct Options {
   bool gc = false;
   bool multicall = false;
   bool dump_log = false;
+  bool plan = false;  // annotate --dump-log with the replay planner's view
   bool dump_tables = false;
   // Trace recording (scenario mode).
   std::string trace_jsonl;   // write the run's trace as JSONL here
@@ -100,7 +103,7 @@ int Usage(const char* argv0) {
                "usage: %s [--level=...] [--sessions=N] [--stores=N] "
                "[--crash=point:hit] [--net-drop=P] [--net-dup=P] "
                "[--torn-tail=P] [--save-every=N] [--checkpoint-every=N] "
-               "[--gc] [--multicall] [--dump-log] [--dump-tables] "
+               "[--gc] [--multicall] [--dump-log] [--plan] [--dump-tables] "
                "[--trace-jsonl=F] [--trace-chrome=F] [--metrics-json=F] "
                "[--flight-events=N] [--flight-jsonl=F] "
                "[--list-points]\n"
@@ -287,9 +290,50 @@ int Run(const Options& opts) {
       static_cast<unsigned long long>(proc.log().head_base()));
 
   if (opts.dump_log) {
+    LogAnnotations annotations;
+    if (opts.plan) {
+      // Build the same plan the parallel replayer would build for a crash
+      // right now, and pin its chain/edge view to the records that open
+      // replay units.
+      LogView view = proc.log().StableView();
+      ReplayPlanInputs inputs;
+      inputs.machine = proc.machine_name();
+      inputs.process_id = proc.pid();
+      inputs.origins = DeriveReplayOrigins(view, proc.log().head_base());
+      uint64_t scan_start = kInvalidLsn;
+      for (const auto& [context_id, origin] : inputs.origins) {
+        if (origin != kInvalidLsn) scan_start = std::min(scan_start, origin);
+      }
+      if (scan_start == kInvalidLsn) scan_start = proc.log().head_base();
+      ReplayPlan plan = BuildReplayPlan(view, scan_start, inputs);
+      for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+        const ReplayChain& chain = plan.chains[c];
+        for (uint32_t u = 0; u < chain.units.size(); ++u) {
+          const PlannedUnit& unit = chain.units[u];
+          std::string note = StrCat("[plan: chain ", c, " unit ", u);
+          for (const UnitRef& dep : unit.deps) {
+            note += StrCat("  <- chain ", dep.chain, " unit ", dep.index);
+          }
+          note += "]";
+          annotations[unit.replay.start_lsn] = std::move(note);
+        }
+      }
+      std::string fallback_note =
+          plan.fallback == PlanFallback::kNone
+              ? std::string()
+              : StrCat("  (sequential fallback: ",
+                       PlanFallbackName(plan.fallback), ")");
+      std::printf(
+          "\nreplay plan: %zu chain(s), %llu cross edge(s), "
+          "critical path %.2f ms of %.2f ms total%s\n",
+          plan.chains.size(),
+          static_cast<unsigned long long>(plan.cross_edges),
+          plan.critical_path_ms, plan.total_replay_ms,
+          fallback_note.c_str());
+    }
     std::printf("\nrecovery log of %s:\n%s", proc.log_name().c_str(),
                 phoenix::DumpLog(proc.log().StableView(),
-                                 proc.log().force_marks())
+                                 proc.log().force_marks(), annotations)
                     .c_str());
   }
   if (opts.dump_tables) DumpTables(proc);
@@ -369,6 +413,9 @@ int Main(int argc, char** argv) {
       opts.multicall = true;
     } else if (arg == "--dump-log") {
       opts.dump_log = true;
+    } else if (arg == "--plan") {
+      opts.plan = true;
+      opts.dump_log = true;  // the annotations live on the dump's lines
     } else if (arg == "--dump-tables") {
       opts.dump_tables = true;
     } else if (ParseFlag(arg, "trace-jsonl", &value)) {
