@@ -109,6 +109,20 @@ struct RuntimeOptions {
   // Recovery is idempotent (it only reads the stable log), so crashes during
   // recovery simply restart it; off by default to keep schedules simple.
   bool inject_failures_during_recovery = false;
+
+  // Recovery supervisor (RecoveryService::EnsureProcessAlive): each rung of
+  // the degradation ladder — normal recovery, salvage-assessed recovery,
+  // state-record cold start — gets this many attempts before escalating.
+  // Backoff between failed attempts is capped-exponential with seeded
+  // jitter, like call retries; a budget of 0 means no time bound (the
+  // attempt count alone terminates the loop). The fault-free path sleeps
+  // never, so these knobs cannot perturb pinned benchmarks.
+  int recovery_supervisor_attempts_per_rung = 5;
+  double recovery_supervisor_backoff_initial_ms = 10.0;
+  double recovery_supervisor_backoff_multiplier = 2.0;
+  double recovery_supervisor_backoff_max_ms = 80.0;
+  double recovery_supervisor_backoff_jitter = 0.1;
+  double recovery_supervisor_backoff_budget_ms = 0.0;
 };
 
 }  // namespace phoenix

@@ -17,12 +17,20 @@ namespace phoenix {
 class RetryBackoff {
  public:
   explicit RetryBackoff(const RuntimeOptions& opts)
-      : initial_ms_(opts.retry_initial_backoff_ms),
-        multiplier_(opts.retry_backoff_multiplier),
-        max_ms_(opts.retry_max_backoff_ms),
-        jitter_(opts.retry_jitter),
-        budget_ms_(opts.call_retry_budget_ms),
-        next_ms_(opts.retry_initial_backoff_ms) {}
+      : RetryBackoff(opts.retry_initial_backoff_ms,
+                     opts.retry_backoff_multiplier, opts.retry_max_backoff_ms,
+                     opts.retry_jitter, opts.call_retry_budget_ms) {}
+
+  // Explicit schedule, for loops with their own knobs (e.g. the recovery
+  // supervisor's between-attempt backoff).
+  RetryBackoff(double initial_ms, double multiplier, double max_ms,
+               double jitter, double budget_ms)
+      : initial_ms_(initial_ms),
+        multiplier_(multiplier),
+        max_ms_(max_ms),
+        jitter_(jitter),
+        budget_ms_(budget_ms),
+        next_ms_(initial_ms) {}
 
   // The sleep before the next retry, or a negative value when the call's
   // backoff budget is exhausted and the caller should give up.

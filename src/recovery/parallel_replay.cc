@@ -138,6 +138,10 @@ void ParallelReplayEngine::WorkerLoop(const UnitReplayFn& replay) {
     }
     clock.SetLane(lane);  // re-pin: replay may have parked and migrated
     ++units_replayed_;
+    if (proc.MaybeCrash(FailurePoint::kBetweenReplayUnits)) {
+      status_ = Status::Crashed("crashed between replay units");
+      break;
+    }
     task.done = true;
     task.finish_abs_ms = clock.NowMs();
     lane_avail_[lane] = task.finish_abs_ms;

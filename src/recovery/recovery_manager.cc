@@ -47,7 +47,20 @@ obs::SpanLink RecoveryRoot(Simulation* sim) {
 
 }  // namespace
 
-RecoveryManager::RecoveryManager(Process* process) : process_(process) {}
+const char* RecoveryModeName(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kNormal:
+      return "normal";
+    case RecoveryMode::kSalvageAssessed:
+      return "salvage_assessed";
+    case RecoveryMode::kColdStart:
+      return "cold_start";
+  }
+  return "unknown";
+}
+
+RecoveryManager::RecoveryManager(Process* process, RecoveryMode mode)
+    : process_(process), mode_(mode) {}
 
 Status RecoverContextFailure(Process* process, uint64_t context_id) {
   Process& proc = *process;
@@ -172,6 +185,16 @@ Status RecoveryManager::Recover() {
       sim->tracer().StartSpan("recovery", "recover", label,
                               RecoveryRoot(sim));
   TraceFrameScope recover_frame(sim, recover_span);
+  if (mode_ != RecoveryMode::kNormal) {
+    // Degraded rungs are worth counting; normal recovery stays byte-
+    // identical to the pre-ladder behavior (no extra metric, no span arg).
+    sim->metrics()
+        .GetCounter("phoenix.recovery.mode",
+                    obs::LabelSet{{"process", label},
+                                  {"mode", RecoveryModeName(mode_)}})
+        .Increment();
+    recover_span.AddArg(obs::Arg("mode", RecoveryModeName(mode_)));
+  }
 
   // Start point: the published checkpoint, or the whole retained log —
   // after validating the well-known LSN and salvaging storage damage.
@@ -222,7 +245,11 @@ Status RecoveryManager::Recover() {
     obs::Tracer::Span span = sim->tracer().StartSpan(
         "recovery", "replay", label, recover_span.link());
     TraceFrameScope frame(sim, span);
-    PHX_RETURN_IF_ERROR(PassTwo());
+    if (mode_ == RecoveryMode::kColdStart) {
+      PHX_RETURN_IF_ERROR(ColdStartPassTwo());
+    } else {
+      PHX_RETURN_IF_ERROR(PassTwo());
+    }
     span.AddArg(obs::Arg("calls_replayed", stats_.calls_replayed));
     span.AddArg(obs::Arg("creations_replayed", stats_.creations_replayed));
   }
@@ -249,7 +276,19 @@ uint64_t RecoveryManager::AssessAndSalvageLog() {
 
   uint64_t start_lsn = proc.log().head_base();
   Result<uint64_t> well_known = proc.log().ReadWellKnownLsn();
-  if (well_known.ok()) {
+  if (mode_ != RecoveryMode::kNormal) {
+    // Degraded rungs distrust the published checkpoint pointer outright —
+    // a prior attempt already failed, and a lying well-known file is one of
+    // the ways it can keep failing. Rebuild from a full scan instead.
+    if (well_known.ok()) {
+      sim->metrics()
+          .GetCounter("phoenix.recovery.salvage.wkf_distrusted", labels)
+          .Increment();
+      sim->tracer().Instant("recovery", "salvage_wkf_distrusted", label,
+                            {obs::Arg("wkf_lsn", *well_known),
+                             obs::Arg("scan_from", start_lsn)});
+    }
+  } else if (well_known.ok()) {
     // A corrupt well-known file (bit rot, or one pointing past a torn tail)
     // must not be trusted: unless its LSN lands exactly on a readable
     // begin-checkpoint record, rebuild from a full scan of the retained
@@ -334,6 +373,9 @@ Status RecoveryManager::PassOne(uint64_t start_lsn) {
   while (auto parsed = reader.Next()) {
     ++stats_.records_scanned;
     sim->clock().AdvanceMs(sim->costs().recovery_scan_record_ms);
+    if (proc.MaybeCrash(FailurePoint::kDuringRecoveryAnalysis)) {
+      return Status::Crashed("crashed during recovery analysis scan");
+    }
     uint64_t lsn = parsed->lsn;
 
     if (const auto* e =
@@ -396,7 +438,12 @@ Status RecoveryManager::RestoreContextStates() {
     if (info.recovery_lsn == kInvalidLsn) continue;
 
     Status status = RestoreOneContext(context_id, info);
-    if (status.ok()) continue;
+    if (status.ok()) {
+      if (proc.MaybeCrash(FailurePoint::kDuringRecoveryRestore)) {
+        return Status::Crashed("crashed during state reinstatement");
+      }
+      continue;
+    }
     if (!status.IsCorruption()) return status;
 
     // Salvage: the recovery LSN points at bit-rotted or skipped bytes.
@@ -415,6 +462,9 @@ Status RecoveryManager::RestoreContextStates() {
     info.recovery_lsn = fallback;
     info.restored_from_state = false;
     PHX_RETURN_IF_ERROR(RestoreOneContext(context_id, info));
+    if (proc.MaybeCrash(FailurePoint::kDuringRecoveryRestore)) {
+      return Status::Crashed("crashed during state reinstatement");
+    }
   }
   return Status::OK();
 }
@@ -567,6 +617,10 @@ Status RecoveryManager::PassTwo() {
         result = Status::Crashed("process died during recovery replay");
         break;
       }
+      if (proc.MaybeCrash(FailurePoint::kBetweenReplayUnits)) {
+        result = Status::Crashed("crashed between replay units");
+        break;
+      }
       PendingReplay unit;
       unit.start_lsn = lsn;
       unit.incoming = *incoming;
@@ -596,6 +650,45 @@ Status RecoveryManager::PassTwo() {
   return result;
 }
 
+Status RecoveryManager::ColdStartPassTwo() {
+  Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  std::string label = ProcLabel(&proc);
+
+  // Availability rung: reinstate the newest durable state only, no message
+  // replay. Contexts restored from state records already hold that state;
+  // creation-origin contexts re-run Initialize with an empty feed (their
+  // Initialize-time outgoing calls go out live with the original ids, and
+  // the servers deduplicate). Every message logged after the origins is
+  // abandoned — cold start trades lost work for a process that serves.
+  for (auto& [context_id, info] : infos_) {
+    if (context_id == 0) continue;  // activator is rebuilt by Start()
+    if (info.recovery_lsn == kInvalidLsn || info.restored_from_state) {
+      continue;
+    }
+    Context* ctx = proc.FindContext(context_id);
+    if (ctx == nullptr || ctx->parent_initialized()) continue;
+    LogView log = proc.log().StableView();
+    Result<LogRecord> read = ReadRecordAt(log, info.recovery_lsn);
+    if (!read.ok()) continue;  // leave blank rather than fail the last rung
+    const auto* creation = std::get_if<CreationRecord>(&read.value());
+    if (creation == nullptr) continue;
+    sim->clock().AdvanceMs(sim->costs().recovery_replay_call_ms);
+    ++stats_.creations_replayed;
+    PHX_RETURN_IF_ERROR(ctx->ReplayCreation(creation->ctor_args, {}));
+  }
+  sim->metrics()
+      .GetCounter("phoenix.recovery.cold_starts",
+                  obs::LabelSet{{"process", label}})
+      .Increment();
+  sim->tracer().Instant("recovery", "cold_start", label,
+                        {obs::Arg("contexts_restored_from_state",
+                                  stats_.contexts_restored_from_state),
+                         obs::Arg("creations_replayed",
+                                  stats_.creations_replayed)});
+  return Status::OK();
+}
+
 Status RecoveryManager::FlushAllPendingOldestFirst() {
   Process& proc = *process_;
   Status result = Status::OK();
@@ -611,6 +704,9 @@ Status RecoveryManager::FlushAllPendingOldestFirst() {
     result = FlushPending(best_ctx);
     if (!proc.alive()) {
       result = Status::Crashed("process died during recovery replay");
+    } else if (result.ok() &&
+               proc.MaybeCrash(FailurePoint::kDuringEndOfLogFlush)) {
+      result = Status::Crashed("crashed during end-of-log flush");
     }
   }
   return result;
@@ -656,6 +752,24 @@ bool RecoveryManager::TryParallelPassTwo(uint64_t scan_start,
                          sim->costs().recovery_scan_record_ms);
   if (!plan.parallel_eligible()) return fall_back(plan.fallback);
   stats_.records_scanned += plan.records_scanned;
+
+  if (plan.salvaged) {
+    // The log was salvaged but enough chains stayed eligible: parallel
+    // replay proceeds, with the demoted chains serialized in log order by
+    // the plan's extra edges.
+    sim->metrics()
+        .GetCounter("phoenix.recovery.replay.salvaged_parallel", labels)
+        .Increment();
+    sim->metrics()
+        .GetCounter("phoenix.recovery.replay.chains_demoted", labels)
+        .Increment(plan.demoted_chains);
+    sim->tracer().Instant(
+        "recovery", "replay_salvage_parallel", label,
+        {obs::Arg("skipped_ranges", plan.skipped_ranges),
+         obs::Arg("demoted_chains",
+                  static_cast<uint64_t>(plan.demoted_chains)),
+         obs::Arg("serialization_edges", plan.serialization_edges)});
+  }
 
   uint32_t sessions =
       std::max<uint32_t>(1, sim->options().parallel_replay_sessions);

@@ -40,9 +40,25 @@ class Process;
 // context failure does not lose — are replayed.
 Status RecoverContextFailure(Process* process, uint64_t context_id);
 
+// How aggressively a recovery attempt degrades, one value per rung of the
+// recovery supervisor's ladder (recovery_service.h). Normal recovery trusts
+// the published checkpoint pointer and replays everything; salvage-assessed
+// recovery distrusts the well-known file and rebuilds from a full scan of
+// the retained log; cold start reinstates the newest durable context states
+// only and abandons message replay — lost work in exchange for a process
+// that serves again.
+enum class RecoveryMode : int {
+  kNormal = 0,
+  kSalvageAssessed = 1,
+  kColdStart = 2,
+};
+
+const char* RecoveryModeName(RecoveryMode mode);
+
 class RecoveryManager {
  public:
-  explicit RecoveryManager(Process* process);
+  explicit RecoveryManager(Process* process,
+                           RecoveryMode mode = RecoveryMode::kNormal);
 
   RecoveryManager(const RecoveryManager&) = delete;
   RecoveryManager& operator=(const RecoveryManager&) = delete;
@@ -94,6 +110,10 @@ class RecoveryManager {
   // back to the sequential scan (ambiguous salvaged log, nested scheduler,
   // or fewer than two chains).
   bool TryParallelPassTwo(uint64_t scan_start, Status* result);
+  // Cold-start replacement for pass 2 (RecoveryMode::kColdStart): replays
+  // only the creation of contexts with no saved state so components
+  // initialize; every logged message after the origins is abandoned.
+  Status ColdStartPassTwo();
   // End-of-log replay: flushes every pending unit, oldest start LSN first.
   Status FlushAllPendingOldestFirst();
   // Replays (and removes) the pending unit of `context_id`, if any.
@@ -101,6 +121,7 @@ class RecoveryManager {
   Status ReplayUnit(uint64_t context_id, PendingReplay unit);
 
   Process* process_;
+  RecoveryMode mode_;
   Stats stats_;
   std::map<uint64_t, ContextInfo> infos_;
   std::map<LastCallTable::Key, LastCallEntry> rebuilt_last_calls_;

@@ -17,6 +17,17 @@ class Process;
 // logical process IDs (stable across failures — they are part of every
 // method call ID), force-writes its registration table to stable storage,
 // detects abnormal exits, and restarts/recovers dead processes.
+//
+// Restarting is supervised: each dead process gets a bounded number of
+// recovery attempts per rung of a degradation ladder (normal recovery →
+// salvage-assessed recovery → state-record cold start; RecoveryMode in
+// recovery_manager.h), with capped-exponential backoff between failed
+// attempts and a terminal kUnavailable status when the ladder is exhausted
+// — never an unbounded retry loop. Storage attacks registered with the
+// failure injector (FailureInjector::AddRecoveryAttack) are applied between
+// attempts, so recovery is tested against a disk that keeps rotting under
+// it. Per-rung progress is visible as
+// phoenix.recovery.supervisor.{attempts,rung,gave_up}.
 class RecoveryService {
  public:
   explicit RecoveryService(Machine* machine);
@@ -49,12 +60,21 @@ class RecoveryService {
   uint64_t recoveries_performed() const { return recoveries_performed_; }
 
  private:
+  // One walk down the degradation ladder for a dead process; returns OK,
+  // or the terminal status when every rung is exhausted.
+  Status SuperviseRecovery(uint32_t pid, Process* process);
+  // Applies the injector's storage attacks scheduled before `attempt`.
+  void ApplyRecoveryAttacks(Process* process, uint64_t attempt);
   void PersistTable();
+  // Persists only when a registration actually changed the table since the
+  // last write; otherwise counts the skipped redundant force.
+  void PersistTableIfDirty();
   std::string TableFileName() const;
 
   Machine* machine_;
   // pid -> log name. The durable copy lives in stable storage.
   std::map<uint32_t, std::string> registered_;
+  bool table_dirty_ = false;
   uint32_t next_pid_ = 1;
   uint64_t recoveries_performed_ = 0;
 };

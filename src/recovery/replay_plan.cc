@@ -26,6 +26,12 @@ size_t ReplayPlan::total_units() const {
   return n;
 }
 
+size_t ReplayPlan::eligible_chains() const {
+  size_t n = 0;
+  for (const ReplayChain& chain : chains) n += chain.parallel_eligible ? 1 : 0;
+  return n;
+}
+
 namespace {
 
 // Modelled replay cost of the plan: per-unit weight plus the longest
@@ -87,7 +93,8 @@ ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
       plan.chains.push_back(ReplayChain{context_id, {}});
     }
     ReplayChain& chain = plan.chains[it->second];
-    chain.units.push_back(PlannedUnit{std::move(unit), {}, {}});
+    uint64_t start_lsn = unit.start_lsn;
+    chain.units.push_back(PlannedUnit{std::move(unit), {}, {}, start_lsn});
     return UnitRef{it->second,
                    static_cast<uint32_t>(chain.units.size() - 1)};
   };
@@ -95,12 +102,6 @@ ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
   LogReader reader(log, scan_start);
   reader.EnableSalvage();
   while (auto parsed = reader.Next()) {
-    if (!reader.skipped_ranges().empty()) {
-      // Unreadable bytes were amputated mid-scan: whatever they held may
-      // change chain membership or edges — refuse to plan past them.
-      plan.fallback = PlanFallback::kSalvagedLog;
-      return plan;
-    }
     ++plan.records_scanned;
     uint64_t lsn = parsed->lsn;
 
@@ -150,13 +151,67 @@ ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
                    std::get_if<ReplyReceivedRecord>(&parsed->record)) {
       if (std::optional<UnitRef> ref = open_ref(reply->context_id);
           ref.has_value()) {
-        plan.chains[ref->chain].units[ref->index].replay.feed
-            .replies[reply->seq] = *reply;
+        PlannedUnit& unit = plan.chains[ref->chain].units[ref->index];
+        unit.replay.feed.replies[reply->seq] = *reply;
+        unit.extent_end_lsn = lsn;
       }
     }
     // Other record types were pass 1's business.
   }
-  if (reader.tail_torn() || !reader.skipped_ranges().empty()) {
+
+  // Salvage digestion: demote every chain with a gap strictly inside one of
+  // its unit extents, then serialize the demoted units against each other
+  // in global log order via extra edges. A torn tail counts as a gap past
+  // the last readable record — it can intersect no unit extent (the extent
+  // ends at a record the scan parsed), so a torn tail alone demotes nothing
+  // and no longer serializes the whole replay.
+  std::vector<SkippedRange> gaps = reader.skipped_ranges();
+  if (reader.tail_torn()) {
+    gaps.push_back(SkippedRange{reader.torn_offset(),
+                                log.base + (log.bytes ? log.bytes->size() : 0)});
+  }
+  plan.salvaged = !gaps.empty();
+  plan.skipped_ranges = gaps.size();
+  if (plan.salvaged) {
+    for (ReplayChain& chain : plan.chains) {
+      for (const PlannedUnit& unit : chain.units) {
+        for (const SkippedRange& gap : gaps) {
+          if (gap.from_lsn < unit.extent_end_lsn &&
+              gap.to_lsn > unit.replay.start_lsn) {
+            chain.parallel_eligible = false;
+          }
+        }
+      }
+      if (!chain.parallel_eligible) ++plan.demoted_chains;
+    }
+    if (plan.demoted_chains > 0) {
+      std::vector<std::pair<uint64_t, UnitRef>> demoted;
+      for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+        if (plan.chains[c].parallel_eligible) continue;
+        for (uint32_t u = 0; u < plan.chains[c].units.size(); ++u) {
+          demoted.emplace_back(plan.chains[c].units[u].replay.start_lsn,
+                               UnitRef{c, u});
+        }
+      }
+      std::sort(demoted.begin(), demoted.end());
+      for (size_t i = 1; i < demoted.size(); ++i) {
+        const UnitRef& source = demoted[i - 1].second;
+        const UnitRef& target = demoted[i].second;
+        if (source.chain == target.chain) continue;  // chain order covers it
+        std::vector<UnitRef>& deps =
+            plan.chains[target.chain].units[target.index].deps;
+        if (std::find(deps.begin(), deps.end(), source) != deps.end()) {
+          continue;
+        }
+        deps.push_back(source);
+        plan.chains[source.chain].units[source.index].dependents.push_back(
+            target);
+        ++plan.serialization_edges;
+      }
+    }
+  }
+
+  if (plan.salvaged && plan.eligible_chains() < 2) {
     plan.fallback = PlanFallback::kSalvagedLog;
     return plan;
   }

@@ -39,11 +39,20 @@ namespace phoenix {
 // clients or from remote processes add no edge: their effects reach this
 // log only through the records already in the chain.
 //
-// Fallback. The plan refuses parallel execution (fallback != kNone) when
-// the scan had to salvage-skip unreadable ranges or hit a torn tail —
-// amputated records make both chain membership and edges ambiguous — or
-// when there are fewer than two chains to overlap. The recovery manager
-// adds its own runtime condition (recovery triggered from inside a running
+// Salvage. When the scan had to salvage-skip unreadable ranges (or the
+// tail is torn), the plan stays parallel per-chain instead of refusing
+// outright: a chain is demoted (parallel_eligible = false) only when a
+// skipped range falls strictly inside one of its units' record extents —
+// that unit's reply feed may be missing records, so its replay can go live
+// mid-unit and must not overlap freely with the rest. Demoted units are
+// serialized against each other in global log order by extra dependency
+// edges woven into the plan itself (serialization_edges); clean chains
+// still overlap. Records lost to a gap are equally invisible to the
+// sequential replayer — both engines replay exactly the readable records —
+// so eligibility is about scheduling conservatism, not correctness of
+// membership. The plan refuses parallel execution (fallback != kNone) only
+// when fewer than two eligible chains remain. The recovery manager adds
+// its own runtime condition (recovery triggered from inside a running
 // session chain cannot nest a second scheduler).
 
 // Position of one unit inside a plan: chain index + index within the chain.
@@ -64,18 +73,26 @@ struct PlannedUnit {
   std::vector<UnitRef> deps;
   // Reverse edges (edge targets), filled by the planner.
   std::vector<UnitRef> dependents;
+  // LSN of the last record the scan attributed to this unit (the incoming /
+  // creation record itself when no reply followed). A salvage gap strictly
+  // inside [replay.start_lsn, extent_end_lsn] demotes the unit's chain.
+  uint64_t extent_end_lsn = 0;
 };
 
 // All replay units of one context, in log order.
 struct ReplayChain {
   uint64_t context_id = 0;
   std::vector<PlannedUnit> units;
+  // False when a salvage gap intersected one of this chain's unit extents;
+  // the chain's units are then serialized in log order against the other
+  // demoted chains (see the Salvage paragraph above).
+  bool parallel_eligible = true;
 };
 
 // Why a plan (or the recovery manager) refused parallel execution.
 enum class PlanFallback {
   kNone = 0,
-  kSalvagedLog,      // skipped ranges / torn tail: edges are ambiguous
+  kSalvagedLog,      // salvage gaps left fewer than two eligible chains
   kTooFewChains,     // fewer than two chains: nothing to overlap
   kNestedScheduler,  // recovery already runs inside a session chain
 };
@@ -88,6 +105,12 @@ struct ReplayPlan {
   PlanFallback fallback = PlanFallback::kNone;
   // Records examined by the planning scan (recovery charges its scan cost).
   uint64_t records_scanned = 0;
+  // Salvage accounting: the scan skipped unreadable ranges (or found a torn
+  // tail), and how the per-chain eligibility check digested that.
+  bool salvaged = false;
+  uint64_t skipped_ranges = 0;       // gaps the scan salvaged over
+  uint32_t demoted_chains = 0;       // chains with parallel_eligible=false
+  uint64_t serialization_edges = 0;  // extra log-order edges among demoted
   // Modelled replay cost: sum over all units, and the longest
   // dependency-respecting path (chain order + cross edges) — the lower
   // bound parallel replay is after.
@@ -96,6 +119,7 @@ struct ReplayPlan {
 
   bool parallel_eligible() const { return fallback == PlanFallback::kNone; }
   size_t total_units() const;
+  size_t eligible_chains() const;
   const PlannedUnit& unit(UnitRef ref) const {
     return chains[ref.chain].units[ref.index];
   }
@@ -118,8 +142,10 @@ struct ReplayPlanInputs {
 
 // Scans `log` once from `scan_start` (salvage-tolerant) and builds the
 // chain/edge plan. Pure analysis: never touches the clock, the process or
-// any component. On mid-scan damage the scan aborts at the first skipped
-// range and the plan comes back with fallback = kSalvagedLog.
+// any component. Mid-scan damage no longer aborts planning: the scan
+// salvages past it and demotes only the chains whose unit extents the
+// damage intersected (fallback = kSalvagedLog only when fewer than two
+// eligible chains survive).
 ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
                            const ReplayPlanInputs& inputs);
 

@@ -131,8 +131,13 @@ void Process::Kill() {
 }
 
 void Process::MaybeTearStableTail() {
+  uint64_t tear = simulation()->injector().MaybeTearBytes();
+  if (tear == 0) return;
+  InjectTornTail(tear);
+}
+
+void Process::InjectTornTail(uint64_t tear) {
   Simulation* sim = simulation();
-  uint64_t tear = sim->injector().MaybeTearBytes();
   if (tear == 0) return;
   uint64_t stable_end = log_->stable_end_lsn();
   uint64_t floor = std::max(externalized_stable_lsn_, log_->head_base());

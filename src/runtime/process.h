@@ -131,6 +131,12 @@ class Process {
   void NoteExternalization();
   uint64_t externalized_stable_lsn() const { return externalized_stable_lsn_; }
 
+  // Shears up to `bytes` off this process's *stable* log tail, clamped to
+  // the externalized floor and the garbage-collected head base (the same
+  // contract as crash-time torn tails). Used by the recovery supervisor's
+  // between-attempt storage attacks; safe on a dead process.
+  void InjectTornTail(uint64_t bytes);
+
   // --- statistics ---
   uint64_t incoming_calls() const { return incoming_calls_; }
   void CountIncomingCall() { ++incoming_calls_; }

@@ -24,6 +24,26 @@ const char* FailurePointName(FailurePoint point) {
       return "during_checkpoint";
     case FailurePoint::kDuringGroupFlush:
       return "during_group_flush";
+    case FailurePoint::kDuringRecoveryAnalysis:
+      return "during_recovery_analysis";
+    case FailurePoint::kDuringRecoveryRestore:
+      return "during_recovery_restore";
+    case FailurePoint::kBetweenReplayUnits:
+      return "between_replay_units";
+    case FailurePoint::kDuringEndOfLogFlush:
+      return "during_endlog_flush";
+  }
+  return "unknown";
+}
+
+const char* RecoveryAttackName(RecoveryAttack kind) {
+  switch (kind) {
+    case RecoveryAttack::kCorruptWellKnownFile:
+      return "corrupt_wkf";
+    case RecoveryAttack::kCorruptNewestStateRecord:
+      return "corrupt_state_record";
+    case RecoveryAttack::kTearStableTail:
+      return "tear_stable_tail";
   }
   return "unknown";
 }
@@ -54,6 +74,31 @@ uint64_t FailureInjector::MaybeTearBytes() {
   uint64_t bytes = 1 + tear_rng_.Uniform(max_tear_bytes_);
   ++torn_tails_fired_;
   return bytes;
+}
+
+void FailureInjector::AddRecoveryAttack(const std::string& machine,
+                                        uint32_t process_id,
+                                        uint64_t before_attempt,
+                                        RecoveryAttack kind) {
+  recovery_attacks_[{machine, process_id}].push_back({before_attempt, kind});
+}
+
+std::vector<RecoveryAttack> FailureInjector::TakeRecoveryAttacks(
+    const std::string& machine, uint32_t process_id, uint64_t attempt) {
+  std::vector<RecoveryAttack> taken;
+  auto it = recovery_attacks_.find({machine, process_id});
+  if (it == recovery_attacks_.end()) return taken;
+  auto& pending = it->second;
+  for (auto scheduled = pending.begin(); scheduled != pending.end();) {
+    if (scheduled->first == attempt) {
+      taken.push_back(scheduled->second);
+      scheduled = pending.erase(scheduled);
+      ++recovery_attacks_fired_;
+    } else {
+      ++scheduled;
+    }
+  }
+  return taken;
 }
 
 bool FailureInjector::ShouldCrash(const std::string& machine,
@@ -93,6 +138,8 @@ void FailureInjector::Clear() {
   torn_p_ = 0.0;
   max_tear_bytes_ = 48;
   torn_tails_fired_ = 0;
+  recovery_attacks_.clear();
+  recovery_attacks_fired_ = 0;
 }
 
 }  // namespace phoenix

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -26,12 +27,35 @@ enum class FailurePoint : int {
   kDuringCheckpoint = 7,      // mid process checkpoint (after begin record)
   kDuringGroupFlush = 8,      // mid group-commit flush: the whole parked
                               // batch loses its unforced tail at once
+
+  // Recovery-phase points: recovery itself is a fault domain. These hooks
+  // only fire when RuntimeOptions.inject_failures_during_recovery is set
+  // (otherwise the recovering process skips the injector entirely and the
+  // hit counters below stay untouched).
+  kDuringRecoveryAnalysis = 9,   // pass-1 analysis scan, per record
+  kDuringRecoveryRestore = 10,   // checkpoint-state reinstatement, per ctx
+  kBetweenReplayUnits = 11,      // pass 2, after each replayed unit
+  kDuringEndOfLogFlush = 12,     // end-of-log flush of pending finals
 };
 
-constexpr int kNumFailurePoints = 9;
+constexpr int kNumFailurePoints = 13;
 
 // Returns a short name for the failure point (for test diagnostics).
 const char* FailurePointName(FailurePoint point);
+
+// Storage attacks on a process's well-known recovery files, applied by the
+// recovery supervisor *between* recovery attempts: the process died, an
+// attempt failed, and the disk rots under the retry.
+enum class RecoveryAttack : int {
+  kCorruptWellKnownFile = 0,    // flip bits in <log>.wkf
+  kCorruptNewestStateRecord = 1,  // flip bits in the newest readable
+                                  // context-state record
+  kTearStableTail = 2,          // shear bytes off the stable tail (clamped
+                                // to the externalized floor, as all tears)
+};
+
+// Returns a short name for the attack kind (for reports and diagnostics).
+const char* RecoveryAttackName(RecoveryAttack kind);
 
 // Deterministic crash scheduler. The runtime consults it at each hook; when
 // a trigger fires the hosting process is killed on the spot: volatile state
@@ -76,6 +100,24 @@ class FailureInjector {
   // Number of crashes this injector has caused so far.
   uint64_t crashes_fired() const { return crashes_fired_; }
 
+  // Schedule a storage attack against `process_id`'s recovery files,
+  // applied by the recovery supervisor just before recovery attempt
+  // `before_attempt` (1-based: 1 = before the first attempt). Attempt
+  // numbering restarts with each supervisor invocation, not each trigger
+  // registration — schedules are normally installed while the target is
+  // already dead.
+  void AddRecoveryAttack(const std::string& machine, uint32_t process_id,
+                         uint64_t before_attempt, RecoveryAttack kind);
+
+  // Consumes and returns the attacks scheduled for `attempt` (in
+  // registration order). Called by the recovery supervisor.
+  std::vector<RecoveryAttack> TakeRecoveryAttacks(const std::string& machine,
+                                                  uint32_t process_id,
+                                                  uint64_t attempt);
+
+  // Attacks handed out by TakeRecoveryAttacks so far.
+  uint64_t recovery_attacks_fired() const { return recovery_attacks_fired_; }
+
   // Hook hit counts, for tests asserting a schedule actually executed.
   uint64_t HitCount(const std::string& machine, uint32_t process_id,
                     FailurePoint point) const;
@@ -86,6 +128,11 @@ class FailureInjector {
   using Key = std::tuple<std::string, uint32_t, int>;
   std::map<Key, uint64_t> hit_counts_;
   std::map<Key, std::vector<uint64_t>> triggers_;  // pending fire_on_hit lists
+  // (machine, pid) -> pending (before_attempt, kind) attacks.
+  std::map<std::pair<std::string, uint32_t>,
+           std::vector<std::pair<uint64_t, RecoveryAttack>>>
+      recovery_attacks_;
+  uint64_t recovery_attacks_fired_ = 0;
   double random_p_ = 0.0;
   Random rng_;
   uint64_t crashes_fired_ = 0;

@@ -1,7 +1,9 @@
 // Replay planner properties: deterministic plans across same-seed runs,
 // DAG shape (acyclicity, forward-only edges), cross-context edges at local
-// call boundaries with replies feeding the open unit, sequential fallback
-// on salvaged logs, and parallel end state identical to sequential replay.
+// call boundaries with replies feeding the open unit, salvage-aware
+// eligibility (only chains whose record extents intersect a salvage gap are
+// demoted; a torn tail demotes nothing), and parallel end state identical
+// to sequential replay — including on salvaged logs.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "common/strings.h"
@@ -215,26 +218,126 @@ TEST_F(ReplayPlanTest, CrossContextCallsProduceEdgesAndReplyFeeds) {
   }
 }
 
-TEST_F(ReplayPlanTest, SalvagedLogFallsBackToSequential) {
+ReplayPlan PlanForDamaged(Process& proc, const std::vector<uint8_t>& bytes,
+                          uint64_t base) {
+  LogView view{&bytes, base};
+  ReplayPlanInputs inputs;
+  inputs.machine = proc.machine_name();
+  inputs.process_id = proc.pid();
+  inputs.origins = DeriveReplayOrigins(view, proc.log().head_base());
+  return BuildReplayPlan(view, proc.log().head_base(), inputs);
+}
+
+TEST_F(ReplayPlanTest, SalvagedInteriorGapDemotesOnlyTouchedChains) {
   BuildWorkload(sim_.get(), proc_);
   LogView stable = proc_->log().StableView();
   ASSERT_GT(stable.bytes->size(), 128u);
 
-  // Smash a mid-log region: the planner must refuse, not guess.
+  // Smash a mid-log region. The planner must not guess inside the gap, but
+  // chains whose record extents never cross it are still provably safe to
+  // replay in parallel — only the touched chains serialize.
   std::vector<uint8_t> damaged = *stable.bytes;
   size_t middle = damaged.size() / 2;
   for (size_t i = 0; i < 64 && middle + i < damaged.size(); ++i) {
     damaged[middle + i] = 0xFF;
   }
-  LogView corrupt{&damaged, stable.base};
-  ReplayPlanInputs inputs;
-  inputs.machine = proc_->machine_name();
-  inputs.process_id = proc_->pid();
-  inputs.origins = DeriveReplayOrigins(corrupt, proc_->log().head_base());
-  ReplayPlan plan =
-      BuildReplayPlan(corrupt, proc_->log().head_base(), inputs);
+  ReplayPlan plan = PlanForDamaged(*proc_, damaged, stable.base);
+  EXPECT_TRUE(plan.salvaged);
+  EXPECT_GE(plan.skipped_ranges, 1u);
+  EXPECT_EQ(plan.fallback, PlanFallback::kNone);
+  EXPECT_TRUE(plan.parallel_eligible());
+  EXPECT_GE(plan.eligible_chains(), 2u);
+  // The demotion count is exactly the chains the eligibility bit excludes.
+  size_t ineligible = 0;
+  for (const ReplayChain& chain : plan.chains) {
+    if (!chain.parallel_eligible) ++ineligible;
+  }
+  EXPECT_EQ(plan.demoted_chains, ineligible);
+}
+
+TEST_F(ReplayPlanTest, SalvagedTornTailDemotesNothing) {
+  BuildWorkload(sim_.get(), proc_);
+  LogView stable = proc_->log().StableView();
+  ASSERT_GT(stable.bytes->size(), 16u);
+
+  // A torn tail is a gap past the last readable record: it intersects no
+  // surviving unit's extent, so every chain stays parallel-eligible. The
+  // ROADMAP case — a torn tail must no longer serialize the whole replay.
+  std::vector<uint8_t> torn(*stable.bytes);
+  torn.resize(torn.size() - 3);
+  ReplayPlan plan = PlanForDamaged(*proc_, torn, stable.base);
+  EXPECT_TRUE(plan.salvaged);
+  EXPECT_EQ(plan.demoted_chains, 0u);
+  EXPECT_EQ(plan.serialization_edges, 0u);
+  EXPECT_EQ(plan.fallback, PlanFallback::kNone);
+  EXPECT_TRUE(plan.parallel_eligible());
+}
+
+// First record LSN strictly inside (start, end) — some *other* record
+// interleaved within a unit's extent, e.g. the callee's incoming record
+// between a Bump's incoming record and its reply.
+uint64_t FindRecordBetween(Process& proc, uint64_t start, uint64_t end) {
+  LogView view = proc.log().StableView();
+  LogReader reader(view, proc.log().head_base());
+  while (auto parsed = reader.Next()) {
+    if (parsed->lsn > start && parsed->lsn < end) return parsed->lsn;
+  }
+  return kInvalidLsn;
+}
+
+// First LSN strictly inside any reply-bearing unit's extent in the plan.
+uint64_t FindAnyInteriorLsn(Process& proc, const ReplayPlan& plan) {
+  for (const ReplayChain& chain : plan.chains) {
+    for (const PlannedUnit& unit : chain.units) {
+      if (unit.extent_end_lsn <= unit.replay.start_lsn) continue;
+      uint64_t lsn = FindRecordBetween(proc, unit.replay.start_lsn,
+                                       unit.extent_end_lsn);
+      if (lsn != kInvalidLsn) return lsn;
+    }
+  }
+  return kInvalidLsn;
+}
+
+TEST_F(ReplayPlanTest, DecimatedLogFallsBackToSequential) {
+  BuildWorkload(sim_.get(), proc_);
+  LogView stable = proc_->log().StableView();
+  ASSERT_GT(stable.bytes->size(), 64u);
+
+  // Smash everything but the first few records: fewer than two chains keep
+  // eligible units, so nothing is left worth overlapping and the salvaged
+  // plan falls back to sequential replay.
+  std::vector<uint8_t> damaged = *stable.bytes;
+  for (size_t i = 32; i < damaged.size(); ++i) {
+    damaged[i] = 0xFF;
+  }
+  ReplayPlan plan = PlanForDamaged(*proc_, damaged, stable.base);
+  EXPECT_TRUE(plan.salvaged);
   EXPECT_EQ(plan.fallback, PlanFallback::kSalvagedLog);
   EXPECT_FALSE(plan.parallel_eligible());
+  EXPECT_LT(plan.eligible_chains(), 2u);
+}
+
+TEST_F(ReplayPlanTest, GapInsideUnitExtentDemotesTheChain) {
+  BuildWorkload(sim_.get(), proc_);
+  LogView stable = proc_->log().StableView();
+
+  // Corrupt a record interleaved inside a reply-bearing unit's extent (the
+  // callee's record between a Bump's incoming record and its buffered
+  // reply): exactly the owning chain must demote, and with leaf/solo still
+  // eligible the plan stays parallel with serialization edges over the
+  // demoted units.
+  ReplayPlan intact = PlanFor(*proc_);
+  uint64_t interior = FindAnyInteriorLsn(*proc_, intact);
+  ASSERT_NE(interior, kInvalidLsn);
+  std::vector<uint8_t> damaged = *stable.bytes;
+  // +8 lands in the payload, past the length/CRC header.
+  damaged[interior - stable.base + 8] ^= 0xFF;
+  ReplayPlan plan = PlanForDamaged(*proc_, damaged, stable.base);
+  EXPECT_TRUE(plan.salvaged);
+  EXPECT_GE(plan.demoted_chains, 1u);
+  EXPECT_EQ(plan.fallback, PlanFallback::kNone);
+  EXPECT_TRUE(plan.parallel_eligible());
+  EXPECT_GE(plan.eligible_chains(), 2u);
 }
 
 TEST_F(ReplayPlanTest, TooFewChainsFallsBackToSequential) {
@@ -263,7 +366,8 @@ int64_t GetCount(Simulation* sim, const std::string& uri) {
   return value.ok() ? value->AsInt() : -1;
 }
 
-std::vector<int64_t> RunCrashRecover(bool parallel) {
+std::vector<int64_t> RunCrashRecover(bool parallel,
+                                     bool corrupt_interior = false) {
   RuntimeOptions options;
   options.parallel_replay = parallel;
   options.parallel_replay_sessions = 4;
@@ -276,6 +380,16 @@ std::vector<int64_t> RunCrashRecover(bool parallel) {
   Workload w = BuildWorkload(&sim, &proc);
 
   proc.Kill();
+  if (corrupt_interior) {
+    // Bit-rot a record interleaved inside one of mid's Bump extents. The
+    // gap demotes mid's chain while leaf/solo stay parallel-eligible; both
+    // engines are identically blind to the lost record. (A torn tail would
+    // be amputated by salvage assessment before planning ever sees it.)
+    uint64_t interior = FindAnyInteriorLsn(proc, PlanFor(proc));
+    EXPECT_NE(interior, kInvalidLsn);
+    sim.storage().CorruptLog(proc.log_name(), interior + 8,
+                             /*flip_count=*/2);
+  }
   EXPECT_TRUE(alpha.recovery_service().EnsureProcessAlive(proc.pid()).ok());
 
   std::vector<int64_t> state{GetCount(&sim, w.leaf), GetCount(&sim, w.mid),
@@ -288,6 +402,14 @@ std::vector<int64_t> RunCrashRecover(bool parallel) {
   } else {
     EXPECT_EQ(chains, 0u);
   }
+  EXPECT_EQ(sim.metrics().CounterTotal(
+                "phoenix.recovery.replay.salvaged_parallel"),
+            parallel && corrupt_interior ? 1u : 0u);
+  if (parallel && corrupt_interior) {
+    EXPECT_GE(sim.metrics().CounterTotal(
+                  "phoenix.recovery.replay.chains_demoted"),
+              1u);
+  }
   return state;
 }
 
@@ -297,6 +419,18 @@ TEST(ParallelReplayTest, EndStateMatchesSequentialReplay) {
   EXPECT_EQ(sequential, parallel);
   // Sanity: the workload above adds 1+2+3 through mid into leaf, 5+7 solo.
   EXPECT_EQ(sequential, (std::vector<int64_t>{6, 6, 12}));
+}
+
+// The salvage-parallel equivalence argument end to end: with an interior
+// gap both engines lose the same record, so the parallel path — which now
+// stays engaged on salvaged logs, serializing only the demoted chain —
+// must land on the sequential state.
+TEST(ParallelReplayTest, SalvagedEndStateMatchesSequentialReplay) {
+  std::vector<int64_t> sequential =
+      RunCrashRecover(/*parallel=*/false, /*corrupt_interior=*/true);
+  std::vector<int64_t> parallel =
+      RunCrashRecover(/*parallel=*/true, /*corrupt_interior=*/true);
+  EXPECT_EQ(sequential, parallel);
 }
 
 }  // namespace

@@ -29,7 +29,9 @@ PINNED = ("forces", "appends", "bytes_forced", "sim_time_ms", "calls_routed",
           "per_call_ms", "per_iteration_ms", "forces_per_call", "ms_per_call",
           "recovery_ms", "records_scanned", "calls_replayed", "replay_chains",
           "replay_edges", "replay_fallbacks", "state_matches_sequential",
-          "runs", "divergences", "pinned_divergences")
+          "runs", "divergences", "pinned_divergences",
+          "salvaged_parallel_replays", "replay_chains_demoted",
+          "ratio_vs_unsalvaged_parallel")
 
 
 def load_report(path):

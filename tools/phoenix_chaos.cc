@@ -59,6 +59,11 @@ struct CampaignOptions {
   int overlap = 8;
   std::string out;  // empty: BenchReporter default (BENCH_<name>.json)
   bool verbose = false;
+  // Run the crash-during-recovery campaign instead of the classic one:
+  // seeded crashes at recovery-phase fault points (nested up to depth 3)
+  // plus between-attempt storage attacks, with a fault-free twin-run
+  // state-hash oracle.
+  bool crash_during_recovery = false;
 };
 
 enum class Topology {
@@ -566,6 +571,418 @@ std::string RunOne(const RunConfig& cfg, int run, int sessions,
   return failure;
 }
 
+// --- crash-during-recovery campaign ---------------------------------------
+//
+// --crash-during-recovery treats recovery itself as the fault domain: the
+// server is killed mid-campaign, and the *recovery* that follows is crashed
+// again at seeded recovery-phase fault points (analysis scan, state
+// reinstatement, between replay units, end-of-log flush), nested up to
+// depth 3 — a crash during the re-recovery of a crashed recovery — with
+// optional storage attacks on the well-known file, the newest state record
+// or the stable tail between attempts. The oracle is exactly-once plus a
+// state-hash comparison against a fault-free twin run of the identical
+// workload: however many times recovery is interrupted, the supervisor must
+// converge to the very same final state without ever reaching the cold-
+// start rung or giving up.
+
+// One randomized recovery-crash configuration.
+struct RecoveryCrashConfig {
+  uint64_t sim_seed = 1;
+  bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
+  uint32_t save_every = 0;
+  uint32_t checkpoint_every = 0;
+  Topology topology = Topology::kRemoteAgent;  // persistent tiers only
+  int stores = 2;
+  bool parallel_replay = false;
+  int depth = 1;  // nested recovery crashes (1..3)
+  // (point, cumulative hit count) triggers: attempt n's hits continue
+  // attempt n-1's counter, so consecutive entries on one point crash
+  // consecutive recovery attempts.
+  std::vector<std::pair<FailurePoint, uint64_t>> recovery_crashes;
+  bool attack_wkf = false;    // corrupt the well-known file before attempt 2
+  bool attack_state = false;  // corrupt the newest state record, attempt 2
+  bool attack_tear = false;   // tear the stable tail before attempt 3
+};
+
+RecoveryCrashConfig MakeRecoveryCrashConfig(const CampaignOptions& campaign,
+                                            int run) {
+  Random rng(campaign.seed * 2000003ull + static_cast<uint64_t>(run));
+  RecoveryCrashConfig cfg;
+  cfg.sim_seed = campaign.seed * 7919ull + static_cast<uint64_t>(run) + 1;
+  switch (rng.Uniform(3)) {
+    case 0:
+      cfg.level = bookstore::OptLevel::kBaseline;
+      break;
+    case 1:
+      cfg.level = bookstore::OptLevel::kOptimizedLogging;
+      break;
+    default:
+      cfg.level = bookstore::OptLevel::kSpecialized;
+      break;
+  }
+  const uint32_t kSaveChoices[] = {0, 3, 7};
+  cfg.save_every = kSaveChoices[rng.Uniform(3)];
+  cfg.checkpoint_every = cfg.save_every > 0 ? cfg.save_every * 2 : 0;
+  cfg.topology = rng.Bernoulli(0.5) ? Topology::kRemoteAgent
+                                    : Topology::kColocatedAgent;
+  cfg.stores = 1 + static_cast<int>(rng.Uniform(2));
+  cfg.parallel_replay = rng.Bernoulli(0.5);
+
+  static const FailurePoint kRecoveryPoints[] = {
+      FailurePoint::kDuringRecoveryAnalysis,
+      FailurePoint::kDuringRecoveryRestore,
+      FailurePoint::kBetweenReplayUnits,
+      FailurePoint::kDuringEndOfLogFlush,
+  };
+  cfg.depth = 1 + static_cast<int>(rng.Uniform(3));
+  uint64_t cumulative[kNumFailurePoints] = {};
+  for (int d = 0; d < cfg.depth; ++d) {
+    FailurePoint point = kRecoveryPoints[rng.Uniform(4)];
+    cumulative[static_cast<int>(point)] += 1 + rng.Uniform(2);
+    cfg.recovery_crashes.emplace_back(point,
+                                      cumulative[static_cast<int>(point)]);
+  }
+  cfg.attack_wkf = rng.Bernoulli(0.3);
+  cfg.attack_state = rng.Bernoulli(0.3);
+  cfg.attack_tear = rng.Bernoulli(0.2);
+  return cfg;
+}
+
+struct RecoveryCrashStats {
+  uint64_t runs = 0;
+  uint64_t violations = 0;
+  uint64_t hash_divergences = 0;
+  uint64_t sessions_total = 0;
+  uint64_t recovery_crashes_fired = 0;
+  uint64_t supervisor_attempts = 0;
+  uint64_t supervisor_gave_up = 0;
+  uint64_t storage_attacks = 0;
+  uint64_t degraded_mode_attempts = 0;
+  uint64_t cold_starts = 0;
+  uint64_t salvaged_parallel = 0;
+  uint64_t chains_demoted = 0;
+  uint64_t parallel_runs = 0;
+  uint64_t depth_runs[3] = {0, 0, 0};
+  uint64_t point_crashes[4] = {0, 0, 0, 0};  // per recovery-phase point
+};
+
+// Runs one configuration — faulted (inject=true) or as the fault-free twin
+// — and checks the exactly-once oracle. Fills *state_hash with an FNV-1a
+// digest of the final observable state (per-store sales and stock, agent
+// session count); twin and faulted runs must produce the same digest.
+std::string RunRecoveryCrashOne(const RecoveryCrashConfig& cfg, int run,
+                                int sessions, bool inject,
+                                RecoveryCrashStats& stats,
+                                uint64_t* state_hash,
+                                std::string* flight_file) {
+  RuntimeOptions runtime = bookstore::OptionsForLevel(cfg.level);
+  runtime.save_context_state_every = cfg.save_every;
+  runtime.process_checkpoint_every = cfg.checkpoint_every;
+  runtime.call_retry_budget_ms = 0.0;
+  runtime.parallel_replay = cfg.parallel_replay;
+  runtime.inject_failures_during_recovery = inject;
+
+  SimulationParams params;
+  params.seed = cfg.sim_seed;
+  params.flight_recorder_events = kFlightEvents;
+  Simulation sim(runtime, params);
+  bookstore::RegisterBookstoreComponents(sim.factories());
+  sim.factories().Register<ShoppingAgent>("ShoppingAgent");
+  Machine& server_machine = sim.AddMachine("server");
+  Machine& client_machine = sim.AddMachine("client");
+  auto deployment =
+      bookstore::Deploy(sim, server_machine, cfg.stores, cfg.level);
+  if (!deployment.ok()) {
+    return "deploy failed: " + deployment.status().ToString();
+  }
+  Process& server_proc = *deployment->server_process;
+
+  ExternalClient admin(&sim, "client");
+  Machine& agent_machine = cfg.topology == Topology::kRemoteAgent
+                               ? client_machine
+                               : server_machine;
+  Process& agent_proc = agent_machine.CreateProcess();
+  auto agent =
+      admin.CreateComponent(agent_proc, "ShoppingAgent", "agent0",
+                            ComponentKind::kPersistent,
+                            MakeArgs(deployment->seller_uri));
+  if (!agent.ok()) {
+    return "agent creation failed: " + agent.status().ToString();
+  }
+
+  std::vector<int> expected_store(cfg.stores, 0);
+  std::vector<std::vector<int>> expected_book(cfg.stores,
+                                              std::vector<int>(11, 0));
+  Random workload(cfg.sim_seed * 31 + 1);
+  std::string failure;
+
+  int kill_at = std::max(1, sessions / 2);
+  for (int i = 0; i < sessions && failure.empty(); ++i) {
+    if (i == kill_at) {
+      // The fault under test: the server dies between sessions, and its
+      // *recovery* is crashed again and again at the seeded points while
+      // the storage rots between attempts. The fault-free twin takes the
+      // same kill with a clean one-attempt recovery.
+      server_proc.Kill();
+      if (inject) {
+        for (const auto& [point, hit] : cfg.recovery_crashes) {
+          sim.injector().AddTrigger("server", server_proc.pid(), point, hit);
+        }
+        if (cfg.attack_wkf) {
+          sim.injector().AddRecoveryAttack(
+              "server", server_proc.pid(), /*before_attempt=*/2,
+              RecoveryAttack::kCorruptWellKnownFile);
+        }
+        if (cfg.attack_state) {
+          sim.injector().AddRecoveryAttack(
+              "server", server_proc.pid(), /*before_attempt=*/2,
+              RecoveryAttack::kCorruptNewestStateRecord);
+        }
+        if (cfg.attack_tear) {
+          sim.injector().AddRecoveryAttack("server", server_proc.pid(),
+                                           /*before_attempt=*/3,
+                                           RecoveryAttack::kTearStableTail);
+        }
+      }
+      Status recovered =
+          server_machine.recovery_service().EnsureProcessAlive(
+              server_proc.pid());
+      if (!recovered.ok()) {
+        failure = "supervised recovery failed: " + recovered.ToString();
+        break;
+      }
+    }
+    int store = static_cast<int>(workload.Uniform(cfg.stores));
+    int book = static_cast<int>(workload.Uniform(10)) + 1;
+    std::string buyer = "buyer" + std::to_string(i);
+    ExternalClient driver(&sim, "client");
+    Status status =
+        driver
+            .Call(*agent, "Session",
+                  MakeArgs(buyer, deployment->store_uris[store],
+                           int64_t{book}))
+            .status();
+    if (!status.ok()) {
+      failure = StrCat("session ", i, " failed: ", status.ToString());
+      break;
+    }
+    ++expected_store[store];
+    ++expected_book[store][book];
+    if (inject) ++stats.sessions_total;
+  }
+
+  // Exactly-once oracle (persistent topology: every count exact) plus the
+  // state digest for the twin comparison.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  if (failure.empty()) {
+    auto done = admin.Call(*agent, "SessionsDone", {});
+    if (!done.ok()) {
+      failure = "SessionsDone failed: " + done.status().ToString();
+    } else if (done->AsInt() != sessions) {
+      failure = StrCat("SessionsDone=", done->AsInt(), " want ", sessions);
+    } else {
+      mix(static_cast<uint64_t>(done->AsInt()));
+    }
+    ExternalClient probe(&sim, "client");
+    for (int s = 0; s < cfg.stores && failure.empty(); ++s) {
+      auto sold = probe.Call(deployment->store_uris[s], "TotalSold", {});
+      if (!sold.ok()) {
+        failure = "TotalSold failed: " + sold.status().ToString();
+        break;
+      }
+      if (sold->AsInt() != expected_store[s]) {
+        failure = StrCat("store ", s, " TotalSold=", sold->AsInt(), " want ",
+                         expected_store[s]);
+        break;
+      }
+      mix(static_cast<uint64_t>(sold->AsInt()));
+      for (int book = 1; book <= 10 && failure.empty(); ++book) {
+        auto entry = probe.Call(deployment->store_uris[s], "GetBook",
+                                MakeArgs(int64_t{book}));
+        if (!entry.ok()) {
+          failure = "GetBook failed: " + entry.status().ToString();
+          break;
+        }
+        int64_t stock = entry->AsList()[3].AsInt();
+        if (25 - stock != expected_book[s][book]) {
+          failure = StrCat("store ", s, " book ", book, " sold ", 25 - stock,
+                           " want ", expected_book[s][book]);
+          break;
+        }
+        mix(static_cast<uint64_t>(stock));
+      }
+    }
+  }
+  *state_hash = hash;
+
+  if (inject) {
+    stats.recovery_crashes_fired += sim.injector().crashes_fired();
+    stats.supervisor_attempts +=
+        sim.metrics().CounterTotal("phoenix.recovery.supervisor.attempts");
+    stats.supervisor_gave_up +=
+        sim.metrics().CounterTotal("phoenix.recovery.supervisor.gave_up");
+    stats.storage_attacks += sim.injector().recovery_attacks_fired();
+    stats.degraded_mode_attempts +=
+        sim.metrics().CounterTotal("phoenix.recovery.mode");
+    stats.cold_starts +=
+        sim.metrics().CounterTotal("phoenix.recovery.cold_starts");
+    stats.salvaged_parallel += sim.metrics().CounterTotal(
+        "phoenix.recovery.replay.salvaged_parallel");
+    stats.chains_demoted +=
+        sim.metrics().CounterTotal("phoenix.recovery.replay.chains_demoted");
+    static const FailurePoint kRecoveryPoints[] = {
+        FailurePoint::kDuringRecoveryAnalysis,
+        FailurePoint::kDuringRecoveryRestore,
+        FailurePoint::kBetweenReplayUnits,
+        FailurePoint::kDuringEndOfLogFlush,
+    };
+    for (int p = 0; p < 4; ++p) {
+      for (const auto& [point, hit] : cfg.recovery_crashes) {
+        if (point == kRecoveryPoints[p]) ++stats.point_crashes[p];
+      }
+    }
+  }
+
+  if (!failure.empty() && inject) {
+    std::string path = obs::ResolveBenchPath(
+        StrCat("chaos_recovery_flight_run", run, ".jsonl"));
+    std::string dump = sim.tracer().ExportFlightRecorder();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+      *flight_file = path;
+    }
+  }
+  return failure;
+}
+
+int RunRecoveryCrashCampaign(const CampaignOptions& campaign) {
+  RecoveryCrashStats stats;
+  struct ViolationRecord {
+    int run;
+    std::string description;
+    std::string flight_file;
+  };
+  std::vector<ViolationRecord> violations;
+  for (int run = 0; run < campaign.runs; ++run) {
+    RecoveryCrashConfig cfg = MakeRecoveryCrashConfig(campaign, run);
+    uint64_t twin_hash = 0;
+    uint64_t fault_hash = 0;
+    std::string flight_file;
+    std::string twin_failure = RunRecoveryCrashOne(
+        cfg, run, campaign.sessions, /*inject=*/false, stats, &twin_hash,
+        &flight_file);
+    std::string violation = RunRecoveryCrashOne(
+        cfg, run, campaign.sessions, /*inject=*/true, stats, &fault_hash,
+        &flight_file);
+    ++stats.runs;
+    ++stats.depth_runs[cfg.depth - 1];
+    if (cfg.parallel_replay) ++stats.parallel_runs;
+    if (violation.empty() && !twin_failure.empty()) {
+      violation = "fault-free twin failed: " + twin_failure;
+    }
+    if (violation.empty() && fault_hash != twin_hash) {
+      ++stats.hash_divergences;
+      violation = StrCat("state hash diverged from fault-free twin: ",
+                         fault_hash, " != ", twin_hash);
+    }
+    if (!violation.empty()) {
+      ++stats.violations;
+      violations.push_back({run, violation, flight_file});
+      std::fprintf(stderr,
+                   "VIOLATION run %d (%s, %s, save=%u, depth=%d): %s\n",
+                   run, TopologyName(cfg.topology),
+                   bookstore::OptLevelName(cfg.level), cfg.save_every,
+                   cfg.depth, violation.c_str());
+    } else if (campaign.verbose) {
+      std::printf("run %d ok (%s, save=%u, depth=%d, parallel=%d, "
+                  "attacks=%d%d%d)\n",
+                  run, bookstore::OptLevelName(cfg.level), cfg.save_every,
+                  cfg.depth, cfg.parallel_replay ? 1 : 0,
+                  cfg.attack_wkf ? 1 : 0, cfg.attack_state ? 1 : 0,
+                  cfg.attack_tear ? 1 : 0);
+    }
+  }
+
+  obs::BenchReporter reporter("chaos_recovery_crash", kChaosSchema);
+  obs::BenchVariant& campaign_v = reporter.AddVariant("campaign");
+  campaign_v.SetMetric("runs", stats.runs)
+      .SetMetric("seed", campaign.seed)
+      .SetMetric("sessions_per_run", static_cast<uint64_t>(campaign.sessions))
+      .SetMetric("violations", stats.violations)
+      .SetMetric("state_hash_divergences", stats.hash_divergences)
+      .SetMetric("sessions_total", stats.sessions_total)
+      .SetMetric("recovery_crashes_fired", stats.recovery_crashes_fired)
+      .SetMetric("supervisor_attempts", stats.supervisor_attempts)
+      .SetMetric("supervisor_gave_up", stats.supervisor_gave_up)
+      .SetMetric("storage_attacks_applied", stats.storage_attacks)
+      .SetMetric("degraded_mode_attempts", stats.degraded_mode_attempts)
+      .SetMetric("cold_starts", stats.cold_starts)
+      .SetMetric("salvaged_parallel_replays", stats.salvaged_parallel)
+      .SetMetric("replay_chains_demoted", stats.chains_demoted)
+      .SetMetric("parallel_replay_runs", stats.parallel_runs)
+      .SetMetric("depth1_runs", stats.depth_runs[0])
+      .SetMetric("depth2_runs", stats.depth_runs[1])
+      .SetMetric("depth3_runs", stats.depth_runs[2])
+      .SetMetric("crashes_at_analysis", stats.point_crashes[0])
+      .SetMetric("crashes_at_restore", stats.point_crashes[1])
+      .SetMetric("crashes_between_units", stats.point_crashes[2])
+      .SetMetric("crashes_at_endlog_flush", stats.point_crashes[3]);
+  for (const ViolationRecord& rec : violations) {
+    obs::BenchVariant& v =
+        reporter.AddVariant(StrCat("violation_run", rec.run));
+    v.SetMetric("run", static_cast<uint64_t>(rec.run));
+    v.SetInfo("violation", rec.description);
+    if (!rec.flight_file.empty()) {
+      v.SetInfo("flight_recorder", rec.flight_file);
+    }
+  }
+  auto written = reporter.WriteFile(campaign.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "crash-during-recovery campaign: %llu run(s), %llu violation(s), "
+      "%llu state-hash divergence(s)\n"
+      "  injected: %llu recovery crash(es) "
+      "(analysis=%llu restore=%llu between-units=%llu endlog=%llu), "
+      "%llu storage attack(s), depth 1/2/3 = %llu/%llu/%llu\n"
+      "  supervisor: %llu attempt(s), %llu degraded-mode attempt(s), "
+      "%llu cold start(s), %llu gave up\n"
+      "  salvage-parallel: %llu parallel run(s), %llu salvaged-parallel "
+      "replay(s), %llu chain(s) demoted\n"
+      "report: %s\n",
+      static_cast<unsigned long long>(stats.runs),
+      static_cast<unsigned long long>(stats.violations),
+      static_cast<unsigned long long>(stats.hash_divergences),
+      static_cast<unsigned long long>(stats.recovery_crashes_fired),
+      static_cast<unsigned long long>(stats.point_crashes[0]),
+      static_cast<unsigned long long>(stats.point_crashes[1]),
+      static_cast<unsigned long long>(stats.point_crashes[2]),
+      static_cast<unsigned long long>(stats.point_crashes[3]),
+      static_cast<unsigned long long>(stats.storage_attacks),
+      static_cast<unsigned long long>(stats.depth_runs[0]),
+      static_cast<unsigned long long>(stats.depth_runs[1]),
+      static_cast<unsigned long long>(stats.depth_runs[2]),
+      static_cast<unsigned long long>(stats.supervisor_attempts),
+      static_cast<unsigned long long>(stats.degraded_mode_attempts),
+      static_cast<unsigned long long>(stats.cold_starts),
+      static_cast<unsigned long long>(stats.supervisor_gave_up),
+      static_cast<unsigned long long>(stats.parallel_runs),
+      static_cast<unsigned long long>(stats.salvaged_parallel),
+      static_cast<unsigned long long>(stats.chains_demoted),
+      written->c_str());
+  return stats.violations > 0 ? 1 : 0;
+}
+
 int RunCampaign(const CampaignOptions& campaign) {
   CampaignStats stats;
   struct ViolationRecord {
@@ -727,10 +1144,13 @@ int Main(int argc, char** argv) {
       campaign.out = value;
     } else if (arg == "--verbose") {
       campaign.verbose = true;
+    } else if (arg == "--crash-during-recovery") {
+      campaign.crash_during_recovery = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--seed=S] [--sessions=N] "
-                   "[--overlap=N] [--out=FILE] [--verbose]\n",
+                   "[--overlap=N] [--out=FILE] [--verbose] "
+                   "[--crash-during-recovery]\n",
                    argv[0]);
       return 2;
     }
@@ -739,6 +1159,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--runs, --sessions and --overlap must be positive\n");
     return 2;
+  }
+  if (campaign.crash_during_recovery) {
+    return RunRecoveryCrashCampaign(campaign);
   }
   return RunCampaign(campaign);
 }
