@@ -45,12 +45,14 @@ constexpr int kCallsPerSession = 24;
 SessionsResult RunSessionsBench(obs::BenchVariant& variant, LoggingMode mode,
                                 bool group_commit, int sessions,
                                 double max_wait_ms = 0.0,
-                                uint32_t max_batch = 0) {
+                                uint32_t max_batch = 0,
+                                uint32_t wal_shards = 1) {
   RuntimeOptions options;
   options.logging_mode = mode;
   options.group_commit = group_commit;
   options.group_commit_max_wait_ms = max_wait_ms;
   options.group_commit_max_batch = max_batch;
+  options.wal_shards = wal_shards;
   Simulation sim(options);
   RegisterBenchComponents(sim.factories());
   Machine& ma = sim.AddMachine("ma");
@@ -193,6 +195,29 @@ void Run() {
     v.SetMetric("max_batch", static_cast<uint64_t>(policy.max_batch));
     double calls = static_cast<double>(kPolicySessions) * kCallsPerSession;
     std::printf("%20s %14.3f %10.3f %8.2f %10.3f\n", policy.name,
+                r.forces_per_call, r.ms_per_call, r.batch_mean,
+                r.park_ms_total / calls);
+  }
+
+  // Sharded-WAL sweep (optimized logging, group commit on, 32 sessions).
+  // Each session chain waits only on the shards its contexts touched, and
+  // each shard runs its own commit pipeline, so independent chains stop
+  // sharing one durability horizon as the shard count grows.
+  constexpr int kShardSessions = 32;
+  std::printf(
+      "\nSharded-WAL sweep, optimized logging, group commit on, %d "
+      "sessions\n%10s %14s %10s %8s %10s\n",
+      kShardSessions, "shards", "forces/call", "ms/call", "batch",
+      "park/call");
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    obs::BenchVariant& v = reporter.AddVariant(
+        StrCat("optimized_shards", shards, "_s", kShardSessions));
+    SessionsResult r =
+        RunSessionsBench(v, LoggingMode::kOptimized, true, kShardSessions,
+                         0.0, 0, shards);
+    v.SetMetric("wal_shards", static_cast<uint64_t>(shards));
+    double calls = static_cast<double>(kShardSessions) * kCallsPerSession;
+    std::printf("%10u %14.3f %10.3f %8.2f %10.3f\n", shards,
                 r.forces_per_call, r.ms_per_call, r.batch_mean,
                 r.park_ms_total / calls);
   }

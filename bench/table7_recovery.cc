@@ -122,10 +122,12 @@ ParallelRecoveryRun RunParallelRecovery(obs::BenchVariant* variant, int pairs,
                                         int rounds, int calls_per_round,
                                         bool parallel, uint32_t sessions,
                                         uint64_t seed,
-                                        bool corrupt_interior = false) {
+                                        bool corrupt_interior = false,
+                                        uint32_t wal_shards = 1) {
   RuntimeOptions options;
   options.parallel_replay = parallel;
   options.parallel_replay_sessions = sessions;
+  options.wal_shards = wal_shards;
   SimulationParams params;
   params.seed = seed;
   Simulation sim(options, params);
@@ -330,6 +332,45 @@ void Run() {
       salv_match ? "matches" : "DIVERGED from");
   PHX_CHECK(salv.salvaged_parallel >= 1);
   PHX_CHECK(salv.fallbacks == 0);
+
+  // Sharded-WAL recovery: the identical workload and seed logged across
+  // 2/4/8 shard logs, recovered through the gsn-ordered k-way merge (both
+  // sequentially and plan-driven at 8 sessions). The recovered-state
+  // fingerprint must equal the single-log sequential recovery's at every
+  // shard count — the merge IS the single log's order.
+  std::printf(
+      "\nTable 7 (part 6): sharded-WAL recovery, %d caller/server pairs "
+      "(single-log sequential %.1f ms)\n"
+      "%10s %16s %16s %14s\n",
+      kPairs, seq.recovery_ms, "shards", "seq recovery_ms", "par8 "
+      "recovery_ms", "state_match");
+  uint64_t shard_divergences = 0;
+  for (uint32_t shards : {2u, 4u, 8u}) {
+    obs::BenchVariant& vs =
+        reporter.AddVariant(StrCat("sharded", shards, "_seq"));
+    ParallelRecoveryRun shard_seq = RunParallelRecovery(
+        &vs, kPairs, kRounds, kCallsPerRound, /*parallel=*/false, 0,
+        kParallelSeed, /*corrupt_interior=*/false, shards);
+    obs::BenchVariant& vp =
+        reporter.AddVariant(StrCat("sharded", shards, "_par_s8"));
+    ParallelRecoveryRun shard_par = RunParallelRecovery(
+        &vp, kPairs, kRounds, kCallsPerRound, /*parallel=*/true, 8,
+        kParallelSeed, /*corrupt_interior=*/false, shards);
+    bool match = shard_seq.state_hash == seq.state_hash &&
+                 shard_par.state_hash == seq.state_hash;
+    if (!match) ++shard_divergences;
+    vs.SetMetric("wal_shards", static_cast<uint64_t>(shards));
+    vp.SetMetric("wal_shards", static_cast<uint64_t>(shards));
+    vs.SetMetric("state_matches_single_log",
+                 shard_seq.state_hash == seq.state_hash ? int64_t{1}
+                                                        : int64_t{0});
+    vp.SetMetric("state_matches_single_log",
+                 shard_par.state_hash == seq.state_hash ? int64_t{1}
+                                                        : int64_t{0});
+    std::printf("%10u %16.1f %16.1f %14s\n", shards, shard_seq.recovery_ms,
+                shard_par.recovery_ms, match ? "yes" : "DIVERGED");
+  }
+  PHX_CHECK(shard_divergences == 0);
 
   // Seeded divergence sweep: randomized workload shapes, each recovered
   // both ways; the recovered-state fingerprints must agree run by run.

@@ -92,6 +92,23 @@ struct RuntimeOptions {
   double group_commit_max_wait_ms = 0.0;
   uint32_t group_commit_max_batch = 0;
 
+  // Sharded WAL: number of shard logs per process. 1 (default) is the
+  // single-log layout with plain byte-offset LSNs — the paper's setup,
+  // byte-identical to every pre-sharding benchmark. With N > 1 shards,
+  // a seeded hash of the replay-plan chain key (the context id) routes
+  // each context's records to one shard log with its own commit pipeline
+  // and durable horizon, so independent chains stop contending on one
+  // force queue; every frame carries a global sequence number and
+  // recovery k-way merges the shards back into append order
+  // (wal/shard_router.h, wal/merged_log_reader.h). Clamped to 64 (the
+  // per-chain touched-shard bitmask width).
+  uint32_t wal_shards = 1;
+
+  // Seed for the context -> shard router hash. Changing it re-partitions
+  // contexts across shards; recovery derives the mapping from the log
+  // contents, so any seed is safe across restarts.
+  uint64_t wal_shard_seed = 0;
+
   // Parallel replay (pass 2 of recovery): partition the log into
   // per-context replay chains, then replay them as overlapping scheduler
   // sessions bounded by the dependency critical path instead of total log

@@ -1,11 +1,13 @@
 #include "recovery/checkpoint_manager.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/strings.h"
 #include "runtime/context.h"
 #include "runtime/process.h"
 #include "runtime/simulation.h"
+#include "wal/log_reader.h"
 
 namespace phoenix {
 namespace {
@@ -197,13 +199,73 @@ uint64_t CheckpointManager::ComputeTruncationPoint() const {
 }
 
 uint64_t CheckpointManager::GarbageCollect() {
-  uint64_t before = process_->log().head_base();
+  Process& proc = *process_;
+  LogManager& log = proc.log();
+  Simulation* sim = proc.simulation();
+  std::string label = ProcLabel(process_);
+
+  if (log.sharded()) {
+    Result<uint64_t> well_known = log.ReadWellKnownLsn();
+    if (!well_known.ok()) return 0;
+    Result<uint64_t> begin_order = log.OrderOfRecordAt(*well_known);
+    if (!begin_order.ok()) return 0;
+
+    // Each constraint pins only the shard its record lives on; a shard's
+    // cut is the minimum pinned local offset there. kInvalidLsn marks a
+    // shard no constraint touches.
+    std::vector<uint64_t> point(log.shard_count(), kInvalidLsn);
+    auto pin = [&](uint64_t lsn) {
+      if (lsn == kInvalidLsn) return;
+      uint32_t s = ShardOfLsn(lsn);
+      point[s] = std::min(point[s], LocalOfLsn(lsn));
+    };
+    pin(*well_known);  // the checkpoint bracket itself, on shard 0
+    for (const auto& [context_id, ctx] : proc.contexts()) {
+      pin(ctx->recovery_lsn());
+    }
+    for (const auto& [key, entry] : proc.last_calls().entries()) {
+      pin(entry.reply_lsn);
+    }
+
+    uint64_t reclaimed = 0;
+    for (uint32_t s = 0; s < log.shard_count(); ++s) {
+      uint64_t cut = std::min(point[s], log.shard_stable_end(s));
+      if (point[s] == kInvalidLsn) {
+        // Unpinned shard: recovery reads it only from the published
+        // checkpoint's global sequence number on — cut at the first record
+        // at or past that gsn, the whole stable shard when none is.
+        cut = log.shard_stable_end(s);
+        LogReader reader(log.ShardStableView(s), log.shard_head_base(s));
+        reader.EnableGsnPrefix();
+        while (auto parsed = reader.Next()) {
+          if (parsed->order >= *begin_order) {
+            cut = parsed->lsn;
+            break;
+          }
+        }
+      }
+      uint64_t before = log.shard_head_base(s);
+      if (cut <= before) continue;
+      log.TrimShardHead(s, cut);
+      reclaimed += cut - before;
+      sim->tracer().Instant("checkpoint", "trim", label, sim->Current(),
+                            {obs::Arg("shard", static_cast<uint64_t>(s)), obs::Arg("head", cut),
+                             obs::Arg("bytes", cut - before)});
+    }
+    if (reclaimed > 0) {
+      sim->metrics()
+          .GetCounter("phoenix.checkpoint.bytes_reclaimed",
+                      obs::LabelSet{{"process", label}})
+          .Increment(reclaimed);
+    }
+    return reclaimed;
+  }
+
+  uint64_t before = log.head_base();
   uint64_t point = ComputeTruncationPoint();
   if (point <= before) return 0;
-  process_->log().TrimHead(point);
+  log.TrimHead(point);
   uint64_t reclaimed = point - before;
-  Simulation* sim = process_->simulation();
-  std::string label = ProcLabel(process_);
   sim->metrics()
       .GetCounter("phoenix.checkpoint.bytes_reclaimed",
                   obs::LabelSet{{"process", label}})

@@ -49,9 +49,14 @@ class CheckpointManager {
   // paper stops short of it): everything below the returned LSN can never
   // be read again — it is below the published checkpoint, below every
   // context's recovery LSN, and below every live last-call reply record.
+  // Single-log only; the sharded path computes per-shard points instead.
   uint64_t ComputeTruncationPoint() const;
 
-  // Trims the log head to the truncation point. Returns bytes reclaimed.
+  // Trims the log head to the truncation point — per shard on a sharded
+  // WAL, where each shard's point is the minimum local offset any
+  // constraint pins on *that* shard (a shard no constraint touches trims
+  // up to the published checkpoint's global sequence number). Returns
+  // bytes reclaimed, summed across shards.
   uint64_t GarbageCollect();
 
   // --- statistics ---

@@ -30,7 +30,7 @@ void ParallelReplayEngine::BuildTasks() {
     for (uint32_t u = 0; u + 1 < chain.units.size(); ++u) {
       Task task;
       task.context_id = chain.context_id;
-      task.start_lsn = chain.units[u].replay.start_lsn;
+      task.order = chain.units[u].replay.order;
       task.chain = c;
       task.unit = std::move(chain.units[u].replay);
       task_of[UnitRef{c, u}] = tasks_.size();
@@ -66,7 +66,7 @@ void ParallelReplayEngine::BuildTasks() {
 
   remaining_ = tasks_.size();
   for (size_t t = 0; t < tasks_.size(); ++t) {
-    if (tasks_[t].unmet == 0) ready_.insert({tasks_[t].start_lsn, t});
+    if (tasks_[t].unmet == 0) ready_.insert({tasks_[t].order, t});
   }
 }
 
@@ -147,7 +147,7 @@ void ParallelReplayEngine::WorkerLoop(const UnitReplayFn& replay) {
     lane_avail_[lane] = task.finish_abs_ms;
     for (size_t d : task.dependents) {
       if (--tasks_[d].unmet == 0) {
-        ready_.insert({tasks_[d].start_lsn, d});
+        ready_.insert({tasks_[d].order, d});
       }
     }
     --remaining_;

@@ -42,7 +42,7 @@ class Process;
 // and demand flusher, preserving the reference semantics exactly.
 //
 // Determinism: one runnable session at a time, ready units popped in
-// start-LSN order, and the scheduler's choice among runnable workers drawn
+// replay order, and the scheduler's choice among runnable workers drawn
 // from the simulation-seeded PRNG — a given (seed, log) always produces
 // the same schedule, lane times and metrics.
 class ParallelReplayEngine {
@@ -72,7 +72,9 @@ class ParallelReplayEngine {
   // One schedulable unit: a chain's non-final unit plus dependency state.
   struct Task {
     uint64_t context_id = 0;
-    uint64_t start_lsn = 0;
+    // Replay order of the unit (PendingReplay::order): the start LSN on a
+    // single log, the global sequence number on a sharded WAL.
+    uint64_t order = 0;
     uint32_t chain = 0;
     PendingReplay unit;
     std::vector<size_t> deps;        // task indices (chain order + edges)
@@ -94,7 +96,7 @@ class ParallelReplayEngine {
   std::vector<Task> tasks_;
   // Absolute time each modelled lane frees up (list-scheduling state).
   std::vector<double> lane_avail_;
-  // Dependency frontier, ordered by start LSN for deterministic pops.
+  // Dependency frontier, ordered by replay order for deterministic pops.
   std::set<std::pair<uint64_t, size_t>> ready_;
   size_t remaining_ = 0;
   Status status_ = Status::OK();

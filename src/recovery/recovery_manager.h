@@ -10,6 +10,7 @@
 #include "runtime/last_call_table.h"
 #include "runtime/remote_type_table.h"
 #include "wal/log_record.h"
+#include "wal/merged_log_reader.h"
 
 namespace phoenix {
 
@@ -78,6 +79,11 @@ class RecoveryManager {
   // Per-context facts gathered in pass 1.
   struct ContextInfo {
     uint64_t recovery_lsn = kInvalidLsn;
+    // Sharded WAL only: the global sequence number of the origin record.
+    // Composite LSNs of different shards compare by shard id, so every
+    // cross-context ordering decision (scan cuts, below-origin filtering)
+    // uses this instead of recovery_lsn. kInvalidLsn on a single log.
+    uint64_t recovery_order = kInvalidLsn;
     uint64_t checkpoint_last_outgoing_seq = 0;
     bool restored_from_state = false;
   };
@@ -90,8 +96,18 @@ class RecoveryManager {
   // degradation decision emits a phoenix.recovery.salvage.* metric and a
   // tracer instant.
   uint64_t AssessAndSalvageLog();
+  // Sharded-WAL equivalent: per-shard damage probes and torn-tail
+  // amputation, well-known-file validation against shard 0, then one
+  // materialized k-way merge of all shards by global sequence number
+  // (stored in merged_, with an lsn -> order index). Returns the scan-start
+  // *order* — the begin-checkpoint record's gsn, or 0 for a full scan.
+  uint64_t AssessAndSalvageShardedLog();
 
   Status PassOne(uint64_t start_lsn);
+  // Pass 1 over the merged record stream, processing records with
+  // order >= start_order. Same handlers and costs as PassOne; origin
+  // bookkeeping additionally tracks each origin's global sequence number.
+  Status PassOneSharded(uint64_t start_order);
   Status RestoreContextStates();
   // Restores one context from the record at info.recovery_lsn; kCorruption
   // when the record is unreadable or of the wrong type.
@@ -102,6 +118,11 @@ class RecoveryManager {
   uint64_t FindFallbackOrigin(uint64_t context_id, uint64_t bad_lsn);
   void InstallTables();
   Status PassTwo();
+  // Pass 2 over the merged record stream: identical buffering/flush logic,
+  // with below-origin filtering by global sequence number (same-context
+  // records share a shard, but origins and records of different contexts
+  // do not).
+  Status PassTwoSharded();
   // Plan-driven parallel pass 2 (recovery/replay_plan.h), attempted when
   // RuntimeOptions.parallel_replay is on: builds the chain/edge plan,
   // replays non-final units as overlapping sessions, then runs the
@@ -109,7 +130,12 @@ class RecoveryManager {
   // when it ran to a decision (*result holds the status); false to fall
   // back to the sequential scan (ambiguous salvaged log, nested scheduler,
   // or fewer than two chains).
+  // `scan_start` is an LSN on a single log, a global sequence number on a
+  // sharded one (the plan is then built from the merged record stream).
   bool TryParallelPassTwo(uint64_t scan_start, Status* result);
+  // Order of the merged-scan record at composite `lsn` (kInvalidLsn when
+  // the record is not in the merged stream — damaged or truncated away).
+  uint64_t OrderOfLsn(uint64_t lsn) const;
   // Cold-start replacement for pass 2 (RecoveryMode::kColdStart): replays
   // only the creation of contexts with no saved state so components
   // initialize; every logged message after the origins is abandoned.
@@ -123,6 +149,10 @@ class RecoveryManager {
   Process* process_;
   RecoveryMode mode_;
   Stats stats_;
+  // Sharded WAL only: the materialized merge of all shard logs by global
+  // sequence number, and the composite-lsn -> order index over it.
+  MergedLogScan merged_;
+  std::map<uint64_t, uint64_t> order_of_lsn_;
   std::map<uint64_t, ContextInfo> infos_;
   std::map<LastCallTable::Key, LastCallEntry> rebuilt_last_calls_;
   std::map<std::string, RemoteTypeInfo> rebuilt_remote_types_;

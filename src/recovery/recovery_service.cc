@@ -106,17 +106,33 @@ void RecoveryService::ApplyRecoveryAttacks(Process* process,
         sim->storage().CorruptFile(log_name + ".wkf", 0, /*flip_count=*/2);
         break;
       case RecoveryAttack::kCorruptNewestStateRecord: {
-        LogView view = process->log().StableView();
-        LogReader reader(view, process->log().head_base());
-        reader.EnableSalvage();
+        // Newest by append order — on a sharded WAL the state records are
+        // spread across shards, so "newest" means highest global sequence
+        // number, and the bit flips land in that shard's file.
+        LogManager& log = process->log();
         uint64_t state_lsn = kInvalidLsn;
-        while (auto parsed = reader.Next()) {
-          if (std::holds_alternative<ContextStateRecord>(parsed->record)) {
-            state_lsn = parsed->lsn;
+        uint64_t state_order = 0;
+        uint32_t state_shard = 0;
+        for (uint32_t s = 0; s < log.shard_count(); ++s) {
+          LogView view = log.ShardStableView(s);
+          LogReader reader(view, log.shard_head_base(s));
+          reader.EnableSalvage();
+          if (log.sharded()) reader.EnableGsnPrefix();
+          while (auto parsed = reader.Next()) {
+            if (!std::holds_alternative<ContextStateRecord>(parsed->record)) {
+              continue;
+            }
+            uint64_t order = log.sharded() ? parsed->order : parsed->lsn;
+            if (state_lsn == kInvalidLsn || order > state_order) {
+              state_lsn = parsed->lsn;
+              state_order = order;
+              state_shard = s;
+            }
           }
         }
         if (state_lsn != kInvalidLsn) {
-          sim->storage().CorruptLog(log_name, state_lsn + 8,
+          sim->storage().CorruptLog(log.shard_log_name(state_shard),
+                                    state_lsn + 8,
                                     /*flip_count=*/2);
         }
         break;

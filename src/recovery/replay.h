@@ -18,6 +18,12 @@ namespace phoenix {
 struct PendingReplay {
   bool is_creation = false;
   uint64_t start_lsn = 0;
+  // Global replay order of the unit's first record: equal to start_lsn on a
+  // single log, the frame's global sequence number on a sharded WAL (where
+  // composite LSNs of different shards are not comparable). Every ordering
+  // decision — end-of-log flush order, plan topological order, the parallel
+  // engine's ready queue — keys on this, never on start_lsn.
+  uint64_t order = 0;
   IncomingCallRecord incoming;  // valid when !is_creation
   CreationRecord creation;      // valid when is_creation
   ReplayFeed feed;

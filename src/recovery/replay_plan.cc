@@ -35,16 +35,18 @@ size_t ReplayPlan::eligible_chains() const {
 namespace {
 
 // Modelled replay cost of the plan: per-unit weight plus the longest
-// dependency-respecting path. Units are processed in start-LSN order, which
-// is a topological order: chain-internal order and every cross edge point
-// from a smaller start LSN to a larger one.
+// dependency-respecting path. Units are processed in replay order (== start
+// LSN on a single log, global sequence number on a sharded one), which is a
+// topological order: chain-internal order and every cross edge point from a
+// smaller order to a larger one. Start LSNs are NOT usable here — composite
+// LSNs of different shards compare by shard id, not by append order.
 void ComputeCosts(ReplayPlan& plan, double unit_ms) {
   std::vector<std::pair<uint64_t, UnitRef>> order;
   order.reserve(plan.total_units());
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     const ReplayChain& chain = plan.chains[c];
     for (uint32_t u = 0; u < chain.units.size(); ++u) {
-      order.emplace_back(chain.units[u].replay.start_lsn, UnitRef{c, u});
+      order.emplace_back(chain.units[u].replay.order, UnitRef{c, u});
     }
   }
   std::sort(order.begin(), order.end());
@@ -67,109 +69,137 @@ void ComputeCosts(ReplayPlan& plan, double unit_ms) {
   plan.critical_path_ms = critical;
 }
 
-}  // namespace
+// Incremental chain/edge construction shared by the single-log scan and the
+// sharded record-stream planner. `order` is the record's replay order: the
+// LSN itself on a single log, the global sequence number on a sharded WAL.
+class PlanBuilder {
+ public:
+  PlanBuilder(ReplayPlan& plan, const ReplayPlanInputs& inputs,
+              bool order_origins)
+      : plan_(plan), inputs_(inputs), order_origins_(order_origins) {}
 
-ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
-                           const ReplayPlanInputs& inputs) {
-  ReplayPlan plan;
-  std::map<uint64_t, uint32_t> chain_of;  // context id -> chain index
+  void OnCreation(uint64_t lsn, uint64_t order, const CreationRecord& rec) {
+    // Only the origin creation record opens a chain; newer duplicates
+    // (re-creations appended by a previous recovery) replay nothing.
+    if (order_origins_) {
+      auto it = inputs_.origin_orders.find(rec.context_id);
+      if (it == inputs_.origin_orders.end() || it->second == kInvalidLsn ||
+          order != it->second) {
+        return;
+      }
+    } else {
+      auto it = inputs_.origins.find(rec.context_id);
+      if (it == inputs_.origins.end() || it->second == kInvalidLsn ||
+          lsn != it->second) {
+        return;
+      }
+    }
+    PendingReplay unit;
+    unit.is_creation = true;
+    unit.start_lsn = lsn;
+    unit.order = order;
+    unit.creation = rec;
+    PushUnit(rec.context_id, std::move(unit));
+  }
 
+  void OnIncoming(uint64_t lsn, uint64_t order,
+                  const IncomingCallRecord& rec) {
+    if (order_origins_) {
+      if (inputs_.origins.find(rec.context_id) == inputs_.origins.end()) {
+        return;
+      }
+      auto it = inputs_.origin_orders.find(rec.context_id);
+      if (it != inputs_.origin_orders.end() && it->second != kInvalidLsn &&
+          order < it->second) {
+        return;
+      }
+    } else {
+      auto it = inputs_.origins.find(rec.context_id);
+      if (it == inputs_.origins.end()) return;
+      if (it->second != kInvalidLsn && lsn < it->second) return;
+    }
+
+    PendingReplay unit;
+    unit.start_lsn = lsn;
+    unit.order = order;
+    unit.incoming = rec;
+    UnitRef target = PushUnit(rec.context_id, std::move(unit));
+
+    // Cross-chain edge: the call was issued by a local caller context
+    // whose open unit must replay before this one (it is the unit whose
+    // execution produced the call). The ClientKey's component id is the
+    // caller's context id; external clients and remote processes fail
+    // the machine/pid match and contribute no edge.
+    const ClientKey& caller = rec.call_id.caller;
+    if (caller.machine == inputs_.machine &&
+        caller.process_id == inputs_.process_id &&
+        caller.component_id != rec.context_id) {
+      if (std::optional<UnitRef> source = OpenRef(caller.component_id);
+          source.has_value() && source->chain != target.chain) {
+        plan_.chains[target.chain].units[target.index].deps.push_back(
+            *source);
+        plan_.chains[source->chain].units[source->index].dependents
+            .push_back(target);
+        ++plan_.cross_edges;
+      }
+    }
+  }
+
+  void OnReply(uint64_t lsn, const ReplyReceivedRecord& rec) {
+    if (std::optional<UnitRef> ref = OpenRef(rec.context_id);
+        ref.has_value()) {
+      PlannedUnit& unit = plan_.chains[ref->chain].units[ref->index];
+      unit.replay.feed.replies[rec.seq] = rec;
+      unit.extent_end_lsn = lsn;
+    }
+  }
+
+ private:
   // The chain's currently-open unit: the one whose execution covers this
   // point of the log (its last planned unit, units being closed only by the
   // context's next incoming call).
-  auto open_ref = [&](uint64_t context_id) -> std::optional<UnitRef> {
-    auto it = chain_of.find(context_id);
-    if (it == chain_of.end()) return std::nullopt;
-    const ReplayChain& chain = plan.chains[it->second];
+  std::optional<UnitRef> OpenRef(uint64_t context_id) const {
+    auto it = chain_of_.find(context_id);
+    if (it == chain_of_.end()) return std::nullopt;
+    const ReplayChain& chain = plan_.chains[it->second];
     if (chain.units.empty()) return std::nullopt;
     return UnitRef{it->second, static_cast<uint32_t>(chain.units.size() - 1)};
-  };
+  }
 
-  auto push_unit = [&](uint64_t context_id, PendingReplay unit) -> UnitRef {
+  UnitRef PushUnit(uint64_t context_id, PendingReplay unit) {
     auto [it, inserted] =
-        chain_of.try_emplace(context_id, static_cast<uint32_t>(
-                                             plan.chains.size()));
+        chain_of_.try_emplace(context_id, static_cast<uint32_t>(
+                                              plan_.chains.size()));
     if (inserted) {
-      plan.chains.push_back(ReplayChain{context_id, {}});
+      plan_.chains.push_back(ReplayChain{context_id, {}});
     }
-    ReplayChain& chain = plan.chains[it->second];
+    ReplayChain& chain = plan_.chains[it->second];
     uint64_t start_lsn = unit.start_lsn;
     chain.units.push_back(PlannedUnit{std::move(unit), {}, {}, start_lsn});
     return UnitRef{it->second,
                    static_cast<uint32_t>(chain.units.size() - 1)};
-  };
-
-  LogReader reader(log, scan_start);
-  reader.EnableSalvage();
-  while (auto parsed = reader.Next()) {
-    ++plan.records_scanned;
-    uint64_t lsn = parsed->lsn;
-
-    if (const auto* creation = std::get_if<CreationRecord>(&parsed->record)) {
-      auto it = inputs.origins.find(creation->context_id);
-      // Only the origin creation record opens a chain; newer duplicates
-      // (re-creations appended by a previous recovery) replay nothing.
-      if (it == inputs.origins.end() || it->second == kInvalidLsn ||
-          lsn != it->second) {
-        continue;
-      }
-      PendingReplay unit;
-      unit.is_creation = true;
-      unit.start_lsn = lsn;
-      unit.creation = *creation;
-      push_unit(creation->context_id, std::move(unit));
-    } else if (const auto* incoming =
-                   std::get_if<IncomingCallRecord>(&parsed->record)) {
-      auto it = inputs.origins.find(incoming->context_id);
-      if (it == inputs.origins.end()) continue;
-      if (it->second != kInvalidLsn && lsn < it->second) continue;
-
-      PendingReplay unit;
-      unit.start_lsn = lsn;
-      unit.incoming = *incoming;
-      UnitRef target = push_unit(incoming->context_id, std::move(unit));
-
-      // Cross-chain edge: the call was issued by a local caller context
-      // whose open unit must replay before this one (it is the unit whose
-      // execution produced the call). The ClientKey's component id is the
-      // caller's context id; external clients and remote processes fail
-      // the machine/pid match and contribute no edge.
-      const ClientKey& caller = incoming->call_id.caller;
-      if (caller.machine == inputs.machine &&
-          caller.process_id == inputs.process_id &&
-          caller.component_id != incoming->context_id) {
-        if (std::optional<UnitRef> source = open_ref(caller.component_id);
-            source.has_value() && source->chain != target.chain) {
-          plan.chains[target.chain].units[target.index].deps.push_back(
-              *source);
-          plan.chains[source->chain].units[source->index].dependents
-              .push_back(target);
-          ++plan.cross_edges;
-        }
-      }
-    } else if (const auto* reply =
-                   std::get_if<ReplyReceivedRecord>(&parsed->record)) {
-      if (std::optional<UnitRef> ref = open_ref(reply->context_id);
-          ref.has_value()) {
-        PlannedUnit& unit = plan.chains[ref->chain].units[ref->index];
-        unit.replay.feed.replies[reply->seq] = *reply;
-        unit.extent_end_lsn = lsn;
-      }
-    }
-    // Other record types were pass 1's business.
   }
 
-  // Salvage digestion: demote every chain with a gap strictly inside one of
-  // its unit extents, then serialize the demoted units against each other
-  // in global log order via extra edges. A torn tail counts as a gap past
-  // the last readable record — it can intersect no unit extent (the extent
-  // ends at a record the scan parsed), so a torn tail alone demotes nothing
-  // and no longer serializes the whole replay.
-  std::vector<SkippedRange> gaps = reader.skipped_ranges();
-  if (reader.tail_torn()) {
-    gaps.push_back(SkippedRange{reader.torn_offset(),
-                                log.base + (log.bytes ? log.bytes->size() : 0)});
-  }
+  ReplayPlan& plan_;
+  const ReplayPlanInputs& inputs_;
+  // Sharded mode: below-origin filtering compares global sequence numbers
+  // (inputs.origin_orders) instead of LSNs.
+  bool order_origins_;
+  std::map<uint64_t, uint32_t> chain_of_;  // context id -> chain index
+};
+
+// Salvage digestion: demote every chain with a gap strictly inside one of
+// its unit extents, then serialize the demoted units against each other
+// in global replay order via extra edges. A torn tail counts as a gap past
+// the last readable record — it can intersect no unit extent (the extent
+// ends at a record the scan parsed), so a torn tail alone demotes nothing
+// and no longer serializes the whole replay. Gap and extent coordinates
+// live in the same space (plain LSNs on one log, composite LSNs sharded —
+// where shard bits make cross-shard intersections provably empty), but the
+// serialization sort keys on the units' replay order.
+void DigestSalvageAndFinalize(ReplayPlan& plan,
+                              const std::vector<SkippedRange>& gaps,
+                              double replay_call_ms) {
   plan.salvaged = !gaps.empty();
   plan.skipped_ranges = gaps.size();
   if (plan.salvaged) {
@@ -189,7 +219,7 @@ ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
       for (uint32_t c = 0; c < plan.chains.size(); ++c) {
         if (plan.chains[c].parallel_eligible) continue;
         for (uint32_t u = 0; u < plan.chains[c].units.size(); ++u) {
-          demoted.emplace_back(plan.chains[c].units[u].replay.start_lsn,
+          demoted.emplace_back(plan.chains[c].units[u].replay.order,
                                UnitRef{c, u});
         }
       }
@@ -213,12 +243,69 @@ ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
 
   if (plan.salvaged && plan.eligible_chains() < 2) {
     plan.fallback = PlanFallback::kSalvagedLog;
-    return plan;
+    return;
   }
   if (plan.chains.size() < 2) {
     plan.fallback = PlanFallback::kTooFewChains;
   }
-  ComputeCosts(plan, inputs.replay_call_ms);
+  ComputeCosts(plan, replay_call_ms);
+}
+
+}  // namespace
+
+ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
+                           const ReplayPlanInputs& inputs) {
+  ReplayPlan plan;
+  PlanBuilder builder(plan, inputs, /*order_origins=*/false);
+
+  LogReader reader(log, scan_start);
+  reader.EnableSalvage();
+  while (auto parsed = reader.Next()) {
+    ++plan.records_scanned;
+    uint64_t lsn = parsed->lsn;
+    if (const auto* creation = std::get_if<CreationRecord>(&parsed->record)) {
+      builder.OnCreation(lsn, /*order=*/lsn, *creation);
+    } else if (const auto* incoming =
+                   std::get_if<IncomingCallRecord>(&parsed->record)) {
+      builder.OnIncoming(lsn, /*order=*/lsn, *incoming);
+    } else if (const auto* reply =
+                   std::get_if<ReplyReceivedRecord>(&parsed->record)) {
+      builder.OnReply(lsn, *reply);
+    }
+    // Other record types were pass 1's business.
+  }
+
+  std::vector<SkippedRange> gaps = reader.skipped_ranges();
+  if (reader.tail_torn()) {
+    gaps.push_back(SkippedRange{reader.torn_offset(),
+                                log.base + (log.bytes ? log.bytes->size() : 0)});
+  }
+  DigestSalvageAndFinalize(plan, gaps, inputs.replay_call_ms);
+  return plan;
+}
+
+ReplayPlan BuildReplayPlanFromRecords(const std::vector<OrderedRecord>& records,
+                                      const std::vector<SkippedRange>& gaps,
+                                      uint64_t start_order,
+                                      const ReplayPlanInputs& inputs) {
+  ReplayPlan plan;
+  PlanBuilder builder(plan, inputs, /*order_origins=*/true);
+
+  for (const OrderedRecord& rec : records) {
+    if (rec.order < start_order) continue;
+    ++plan.records_scanned;
+    if (const auto* creation = std::get_if<CreationRecord>(&rec.record)) {
+      builder.OnCreation(rec.lsn, rec.order, *creation);
+    } else if (const auto* incoming =
+                   std::get_if<IncomingCallRecord>(&rec.record)) {
+      builder.OnIncoming(rec.lsn, rec.order, *incoming);
+    } else if (const auto* reply =
+                   std::get_if<ReplyReceivedRecord>(&rec.record)) {
+      builder.OnReply(rec.lsn, *reply);
+    }
+  }
+
+  DigestSalvageAndFinalize(plan, gaps, inputs.replay_call_ms);
   return plan;
 }
 
@@ -248,6 +335,53 @@ std::map<uint64_t, uint64_t> DeriveReplayOrigins(const LogView& log,
   auto [it, inserted] = origins.try_emplace(0, scan_start);
   if (it->second == kInvalidLsn) it->second = scan_start;
   return origins;
+}
+
+void DeriveReplayOriginsFromRecords(
+    const std::vector<OrderedRecord>& records,
+    std::map<uint64_t, uint64_t>* origins,
+    std::map<uint64_t, uint64_t>* origin_orders) {
+  std::map<uint64_t, uint64_t> order_of;
+  for (const OrderedRecord& rec : records) order_of[rec.lsn] = rec.order;
+  auto order_or_invalid = [&order_of](uint64_t lsn) {
+    auto it = order_of.find(lsn);
+    return it == order_of.end() ? kInvalidLsn : it->second;
+  };
+  auto set = [&](uint64_t context_id, uint64_t lsn, uint64_t order) {
+    (*origins)[context_id] = lsn;
+    (*origin_orders)[context_id] = order;
+  };
+  for (const OrderedRecord& rec : records) {
+    if (const auto* e =
+            std::get_if<CheckpointContextEntryRecord>(&rec.record)) {
+      uint64_t entry_order = e->recovery_lsn == kInvalidLsn
+                                 ? kInvalidLsn
+                                 : order_or_invalid(e->recovery_lsn);
+      auto it = origins->find(e->context_id);
+      if (it == origins->end()) {
+        set(e->context_id, e->recovery_lsn, entry_order);
+      } else if (it->second == kInvalidLsn ||
+                 (entry_order != kInvalidLsn &&
+                  ((*origin_orders)[e->context_id] == kInvalidLsn ||
+                   entry_order > (*origin_orders)[e->context_id]))) {
+        set(e->context_id, e->recovery_lsn, entry_order);
+      }
+    } else if (const auto* c = std::get_if<CreationRecord>(&rec.record)) {
+      auto it = origins->find(c->context_id);
+      if (it == origins->end() || it->second == kInvalidLsn) {
+        set(c->context_id, rec.lsn, rec.order);
+      }
+    } else if (const auto* s = std::get_if<ContextStateRecord>(&rec.record)) {
+      set(s->context_id, rec.lsn, rec.order);
+    }
+  }
+  // The activator context always recovers by replay from the scan start.
+  uint64_t start_lsn = records.empty() ? kInvalidLsn : records.front().lsn;
+  uint64_t start_order = records.empty() ? 0 : records.front().order;
+  auto it = origins->find(0);
+  if (it == origins->end() || it->second == kInvalidLsn) {
+    set(0, start_lsn, start_order);
+  }
 }
 
 }  // namespace phoenix

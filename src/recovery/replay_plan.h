@@ -10,6 +10,7 @@
 #include "recovery/replay.h"
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
+#include "wal/merged_log_reader.h"
 
 namespace phoenix {
 
@@ -135,6 +136,12 @@ struct ReplayPlanInputs {
   // context's origin are covered by its restored state and are not planned.
   // Contexts absent from the map are ignored entirely.
   std::map<uint64_t, uint64_t> origins;
+  // Sharded WALs only (BuildReplayPlanFromRecords): the global sequence
+  // number of each context's origin record. Composite LSNs of different
+  // shards are not comparable, so the record-stream planner filters by
+  // order instead of LSN. A context present in `origins` but absent here
+  // (or mapped to kInvalidLsn) is planned without a below-origin cut.
+  std::map<uint64_t, uint64_t> origin_orders;
   // Modelled cost of replaying one unit (CostModel::recovery_replay_call_ms)
   // for the critical-path estimate.
   double replay_call_ms = 0.13;
@@ -149,11 +156,37 @@ struct ReplayPlanInputs {
 ReplayPlan BuildReplayPlan(const LogView& log, uint64_t scan_start,
                            const ReplayPlanInputs& inputs);
 
+// Sharded-WAL planner: consumes an already-merged record stream
+// (wal/merged_log_reader.h) instead of scanning a single log. Records with
+// order < start_order are ignored (they precede the published checkpoint);
+// `gaps` carries the per-shard salvage damage in composite coordinates
+// (skipped ranges plus torn tails widened to each shard's stable end), so
+// the same per-chain demotion rule applies — composite coordinates make a
+// gap on shard j provably disjoint from every extent on shard k != j.
+// Chain and edge semantics are identical to BuildReplayPlan; all ordering
+// (topological cost order, demoted-unit serialization) keys on the global
+// sequence number.
+ReplayPlan BuildReplayPlanFromRecords(const std::vector<OrderedRecord>& records,
+                                      const std::vector<SkippedRange>& gaps,
+                                      uint64_t start_order,
+                                      const ReplayPlanInputs& inputs);
+
 // Replicates pass 1's replay-origin bookkeeping for callers that have no
 // RecoveryManager at hand (tools, tests): newest state record per context,
 // else first creation record, refined by checkpoint context entries.
 std::map<uint64_t, uint64_t> DeriveReplayOrigins(const LogView& log,
                                                  uint64_t scan_start);
+
+// Merged-stream variant for sharded WALs (tools, tests): the same
+// bookkeeping over an ordered record stream, filling both the composite-LSN
+// origins and their global-sequence orders (ReplayPlanInputs::origin_orders).
+// Upgrade comparisons run in order space — composite LSNs of different
+// shards are not comparable. A checkpoint entry whose recovery LSN is not in
+// `records` (trimmed below a shard head) never displaces a known origin.
+void DeriveReplayOriginsFromRecords(
+    const std::vector<OrderedRecord>& records,
+    std::map<uint64_t, uint64_t>* origins,
+    std::map<uint64_t, uint64_t>* origin_orders);
 
 }  // namespace phoenix
 

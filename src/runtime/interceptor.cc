@@ -242,8 +242,7 @@ Result<ReplyMessage> Context::AnswerDuplicate(const CallMessage& msg) {
           StrCat("no reply available for duplicate ", msg.call_id.ToString()));
     }
     PHX_ASSIGN_OR_RETURN(LogRecord record,
-                         ReadRecordAt(proc->log().StableView(),
-                                      entry->reply_lsn));
+                         proc->log().ReadRecordAtLsn(entry->reply_lsn));
     if (const auto* lcr = std::get_if<LastCallReplyRecord>(&record)) {
       entry->reply = lcr->reply;
       entry->status_code = lcr->status_code;

@@ -72,8 +72,40 @@ Status Process::WaitDurable(ForcePoint reason) {
   if (!alive_) return Status::Crashed("process is down");
   // Recovery must not yield: its replay is itself driven from a chain that
   // other sessions may be parked behind.
-  return log_->WaitDurable(log_->next_lsn(), reason,
-                           /*allow_park=*/!recovering_);
+  if (!log_->sharded()) {
+    return log_->WaitDurable(log_->next_lsn(), reason,
+                             /*allow_park=*/!recovering_);
+  }
+  // Sharded WAL: force only the shards this chain has appended to since
+  // its last wait (a cross-shard send must not pay for other chains'
+  // shards), in ascending shard order so the interleaving is
+  // deterministic. While the chain is parked only other chains run, and
+  // their appends accrue to their own masks — so the mask read here is
+  // stable across the loop.
+  int key = CurrentChainKey();
+  uint64_t mask = 0;
+  if (auto it = chain_touched_shards_.find(key);
+      it != chain_touched_shards_.end()) {
+    mask = it->second;
+  }
+  for (uint32_t s = 0; mask != 0 && s < log_->shard_count(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    Status status =
+        log_->WaitDurableShard(s, reason, /*allow_park=*/!recovering_);
+    if (!status.ok()) return status;
+    if (!alive_) return Status::Crashed("process is down");
+  }
+  chain_touched_shards_.erase(key);
+  return Status::OK();
+}
+
+void Process::NoteShardAppend(uint32_t shard) {
+  chain_touched_shards_[CurrentChainKey()] |= uint64_t{1} << shard;
+}
+
+int Process::CurrentChainKey() const {
+  SessionScheduler* scheduler = simulation()->session_scheduler();
+  return scheduler != nullptr ? scheduler->current_session() : -1;
 }
 
 bool Process::MaybeCrash(FailurePoint point) {
@@ -93,6 +125,14 @@ void Process::NoteExternalization() {
   if (stable_end > externalized_stable_lsn_) {
     externalized_stable_lsn_ = stable_end;
   }
+  // Sharded WAL: the observable world may reflect records on any shard, so
+  // every shard's floor conservatively rises to its current stable end.
+  for (uint32_t s = 0; s < shard_externalized_floor_.size(); ++s) {
+    uint64_t shard_end = log_->shard_stable_end(s);
+    if (shard_end > shard_externalized_floor_[s]) {
+      shard_externalized_floor_[s] = shard_end;
+    }
+  }
 }
 
 void Process::Kill() {
@@ -100,6 +140,7 @@ void Process::Kill() {
   alive_ = false;
   ++crash_count_;
   pending_flusher_ = nullptr;
+  chain_touched_shards_.clear();
   // Everything volatile dies with the process: unforced log records, the
   // contexts (component states), and the global tables of Table 1.
   // DropBuffer also aborts the commit pipeline so sessions parked on a
@@ -139,12 +180,38 @@ void Process::MaybeTearStableTail() {
 void Process::InjectTornTail(uint64_t tear) {
   Simulation* sim = simulation();
   if (tear == 0) return;
-  uint64_t stable_end = log_->stable_end_lsn();
-  uint64_t floor = std::max(externalized_stable_lsn_, log_->head_base());
+  // Sharded WAL: tear the shard with the largest un-externalized stable
+  // span (ties to the lowest shard id); the other shards keep their tails,
+  // which is exactly the case the per-shard salvage path must handle.
+  uint32_t shard = 0;
+  if (log_->sharded()) {
+    uint64_t best_span = 0;
+    for (uint32_t s = 0; s < log_->shard_count(); ++s) {
+      uint64_t shard_end = log_->shard_stable_end(s);
+      uint64_t shard_floor =
+          std::max(shard_externalized_floor_.size() > s
+                       ? shard_externalized_floor_[s]
+                       : 0,
+                   log_->shard_head_base(s));
+      uint64_t span = shard_end > shard_floor ? shard_end - shard_floor : 0;
+      if (span > best_span) {
+        best_span = span;
+        shard = s;
+      }
+    }
+    if (best_span == 0) return;  // nothing un-externalized on any shard
+  }
+  uint64_t stable_end = log_->sharded() ? log_->shard_stable_end(shard)
+                                        : log_->stable_end_lsn();
+  uint64_t floor =
+      log_->sharded()
+          ? std::max(shard_externalized_floor_[shard],
+                     log_->shard_head_base(shard))
+          : std::max(externalized_stable_lsn_, log_->head_base());
   uint64_t target = stable_end > tear ? stable_end - tear : 0;
   if (target < floor) target = floor;
   if (target >= stable_end) return;  // nothing un-externalized to tear
-  sim->storage().TruncateLog(log_->log_name(), target);
+  sim->storage().TruncateLog(log_->shard_log_name(shard), target);
   std::string label = StrCat(machine_name(), "/", pid_);
   sim->metrics()
       .GetCounter("phoenix.storage.torn_tail_injected",
@@ -164,25 +231,40 @@ void Process::Start() {
     // resume inside the old manager's commit pipeline.
     zombie_logs_.push_back(std::move(log_));
   }
+  uint32_t shards = std::min<uint32_t>(
+      std::max<uint32_t>(sim->options().wal_shards, 1), 64);
   log_ = std::make_unique<LogManager>(log_name(), &sim->storage(),
                                       &machine_->disk(), &sim->clock(),
-                                      &sim->costs());
+                                      &sim->costs(), shards,
+                                      sim->options().wal_shard_seed);
   // The registry-backed log series survive this restart (the LogManager's
   // own per-instance stats do not).
   log_->BindObs(&sim->metrics(), &sim->tracer(),
                 StrCat(machine_name(), "/", pid_));
   log_->SetTraceScope(sim);
-  log_->pipeline().SetGroupCommit(sim->options().group_commit);
-  log_->pipeline().SetScheduler(sim->session_scheduler());
-  log_->pipeline().SetGroupCommitPolicy(
-      sim->options().group_commit_max_wait_ms,
-      sim->options().group_commit_max_batch);
-  log_->pipeline().SetCrashHook(
-      [this] { return MaybeCrash(FailurePoint::kDuringGroupFlush); });
+  for (uint32_t s = 0; s < log_->shard_count(); ++s) {
+    log_->pipeline(s).SetGroupCommit(sim->options().group_commit);
+    log_->pipeline(s).SetScheduler(sim->session_scheduler());
+    log_->pipeline(s).SetGroupCommitPolicy(
+        sim->options().group_commit_max_wait_ms,
+        sim->options().group_commit_max_batch);
+    log_->pipeline(s).SetCrashHook(
+        [this] { return MaybeCrash(FailurePoint::kDuringGroupFlush); });
+  }
   // Everything stable at (re)start is conservatively treated as already
   // externalized: only bytes forced after this point without leaving the
   // process are candidates for a future torn tail.
   externalized_stable_lsn_ = log_->stable_end_lsn();
+  shard_externalized_floor_.clear();
+  chain_touched_shards_.clear();
+  if (log_->sharded()) {
+    shard_externalized_floor_.resize(log_->shard_count());
+    for (uint32_t s = 0; s < log_->shard_count(); ++s) {
+      shard_externalized_floor_[s] = log_->shard_stable_end(s);
+    }
+    log_->SetAppendObserver(
+        [this](uint32_t shard) { NoteShardAppend(shard); });
+  }
   checkpoints_ = std::make_unique<CheckpointManager>(this);
   contexts_.clear();
   component_to_context_.clear();

@@ -128,6 +128,8 @@ class Process {
   // observable by the outside world, so an injected torn tail may never eat
   // them — tearing an acknowledged record would genuinely break
   // exactly-once, which is a storage contract violation, not a crash.
+  // Sharded WAL: every shard's floor rises to that shard's stable end
+  // (conservative — the outside world may have observed any of them).
   void NoteExternalization();
   uint64_t externalized_stable_lsn() const { return externalized_stable_lsn_; }
 
@@ -148,6 +150,13 @@ class Process {
   // externalized floor and the garbage-collected head base.
   void MaybeTearStableTail();
 
+  // Sharded WAL bookkeeping: records that the executing chain appended to
+  // `shard`, so its next WaitDurable only forces the shards it touched.
+  void NoteShardAppend(uint32_t shard);
+  // Key of the executing chain in chain_touched_shards_: the session index
+  // under a scheduler, -1 on the driver thread.
+  int CurrentChainKey() const;
+
   Machine* machine_;
   uint32_t pid_;
   bool alive_ = false;
@@ -161,6 +170,11 @@ class Process {
   RemoteTypeTable remote_types_;
   uint64_t next_parent_id_ = 1;  // id 0 is the activator
   uint64_t externalized_stable_lsn_ = 0;
+  // Sharded WAL only (both empty/unused when wal_shards == 1): per-shard
+  // externalized floors (shard-local offsets), and per-chain bitmasks of
+  // shards appended to since the chain's last successful durability wait.
+  std::vector<uint64_t> shard_externalized_floor_;
+  std::map<int, uint64_t> chain_touched_shards_;
   uint64_t incoming_calls_ = 0;
   uint64_t crash_count_ = 0;
   PendingFlusher pending_flusher_;

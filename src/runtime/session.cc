@@ -48,7 +48,16 @@ bool SessionScheduler::TryGroupFlush() {
   if (groups.empty()) return false;
   auto best = groups.begin();
   for (auto it = groups.begin(); it != groups.end(); ++it) {
-    if (it->second > best->second) best = it;
+    // Most parked waiters wins; equal counts prefer the lower shard id
+    // (sharded WALs have N pipelines per process, so "most parked" alone
+    // is ambiguous). Remaining ties keep the first-encountered group,
+    // i.e. session-index order — which is also the complete rule when
+    // every pipeline is shard 0 (the single-log layout).
+    if (it->second > best->second ||
+        (it->second == best->second &&
+         it->first->shard_id() < best->first->shard_id())) {
+      best = it;
+    }
   }
   best->first->GroupFlush(best->second);
   return true;

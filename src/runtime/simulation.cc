@@ -277,14 +277,18 @@ void Simulation::RunSessions(std::vector<std::function<void()>> sessions) {
   // active pick it up in Process::Start; wire the ones already running.
   for (const auto& [name, machine] : machines_) {
     for (const auto& [pid, process] : machine->processes()) {
-      process->log().pipeline().SetScheduler(&scheduler);
+      for (uint32_t s = 0; s < process->log().shard_count(); ++s) {
+        process->log().pipeline(s).SetScheduler(&scheduler);
+      }
     }
   }
   scheduler.Run(std::move(sessions));
   session_scheduler_ = nullptr;
   for (const auto& [name, machine] : machines_) {
     for (const auto& [pid, process] : machine->processes()) {
-      process->log().pipeline().SetScheduler(nullptr);
+      for (uint32_t s = 0; s < process->log().shard_count(); ++s) {
+        process->log().pipeline(s).SetScheduler(nullptr);
+      }
     }
   }
 }

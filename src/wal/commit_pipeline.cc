@@ -1,5 +1,7 @@
 #include "wal/commit_pipeline.h"
 
+#include "common/strings.h"
+
 namespace phoenix {
 namespace {
 
@@ -27,6 +29,13 @@ Status CommitPipeline::WaitDurable(uint64_t up_to_lsn, ForcePoint reason,
                             {"reason", ForcePointName(reason)}};
   if (metrics_ != nullptr) {
     metrics_->GetCounter("phoenix.wal.waits", wait_labels).Increment();
+    if (shard_obs_) {
+      metrics_
+          ->GetCounter("phoenix.wal.shard.waits",
+                       obs::LabelSet{{"process", component_},
+                                     {"shard", StrCat(shard_id_)}})
+          .Increment();
+    }
   }
 
   // Attribution: everything from here until the horizon is durable is
@@ -135,6 +144,14 @@ void CommitPipeline::GroupFlush(size_t batch_size) {
       // Forces that would have been issued separately without batching.
       metrics_->GetCounter("phoenix.wal.group_commit.coalesced", labels)
           .Increment(static_cast<uint64_t>(batch_size - 1));
+    }
+    if (shard_obs_) {
+      metrics_
+          ->GetHistogram("phoenix.wal.shard.batch_size",
+                         obs::LabelSet{{"process", component_},
+                                       {"shard", StrCat(shard_id_)}},
+                         BatchBounds())
+          .Record(static_cast<double>(batch_size));
     }
   }
   if (tracer_ != nullptr && tracer_->enabled()) {

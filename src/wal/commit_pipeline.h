@@ -121,6 +121,15 @@ class CommitPipeline {
   // vs parked-in-group-commit.
   void SetTraceScope(obs::TraceScope* scope) { scope_ = scope; }
 
+  // Which shard of its process's sharded WAL this pipeline serves (0 on
+  // the single-log path). The scheduler's idle group-flush selection uses
+  // it to break "most parked waiters" ties deterministically, and — when
+  // SetShardObs is also called — waits and batch sizes land in the
+  // per-shard phoenix.wal.shard.* series.
+  void set_shard_id(uint32_t shard_id) { shard_id_ = shard_id; }
+  uint32_t shard_id() const { return shard_id_; }
+  void SetShardObs(bool emit) { shard_obs_ = emit; }
+
  private:
   // The old LogManager::Force() body, verbatim in behavior: no-op when
   // nothing is buffered, else dispatch charge + writer force.
@@ -134,6 +143,8 @@ class CommitPipeline {
   uint64_t abort_epoch_ = 0;
   double max_wait_ms_ = 0.0;
   uint32_t max_batch_ = 0;
+  uint32_t shard_id_ = 0;
+  bool shard_obs_ = false;
   std::function<bool()> crash_hook_;
 
   // Observability sinks (unowned; null until BindObs).

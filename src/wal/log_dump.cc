@@ -1,7 +1,10 @@
 #include "wal/log_dump.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "runtime/kinds.h"
+#include "wal/shard_router.h"
 
 namespace phoenix {
 namespace {
@@ -200,6 +203,87 @@ std::string DumpLog(const LogView& view,
 std::string DumpLog(const LogView& view, const std::vector<ForceMark>& marks,
                     const LogAnnotations& annotations) {
   return DumpLogImpl(view, &marks, &annotations);
+}
+
+std::string DumpShardedLogs(const std::vector<ShardDumpInput>& shards,
+                            const LogAnnotations& annotations) {
+  std::string out;
+  struct MergeEntry {
+    uint64_t order;
+    uint32_t shard;
+    uint64_t composite_lsn;
+    std::string description;
+  };
+  std::vector<MergeEntry> merged;
+
+  for (const ShardDumpInput& input : shards) {
+    out += StrCat("--- shard ", input.shard, ": ", input.log_name, " ---\n");
+    if (input.view.base > 0) {
+      out += StrCat("  (head truncated below lsn ", input.view.base, ")\n");
+    }
+    LogReader reader(input.view, input.view.base);
+    reader.EnableSalvage();
+    reader.EnableGsnPrefix();
+    size_t printed_skips = 0;
+    size_t next_mark = 0;
+    auto emit_marks_below = [&](uint64_t lsn) {
+      if (input.marks == nullptr) return;
+      while (next_mark < input.marks->size() &&
+             (*input.marks)[next_mark].end_lsn <= lsn) {
+        const ForceMark& mark = (*input.marks)[next_mark++];
+        if (mark.end_lsn < input.view.base) continue;  // pre-truncation
+        out += StrCat("  (shard ", input.shard, " forced up to lsn ",
+                      mark.end_lsn, ": ", ForcePointName(mark.reason), ")\n");
+      }
+    };
+    while (auto parsed = reader.Next()) {
+      while (printed_skips < reader.skipped_ranges().size()) {
+        const SkippedRange& range = reader.skipped_ranges()[printed_skips++];
+        out += StrCat("  (unreadable: ", range.to_lsn - range.from_lsn,
+                      " byte(s) skipped at lsn ", range.from_lsn, ")\n");
+      }
+      emit_marks_below(parsed->lsn);
+      std::string description = DescribeRecord(parsed->record);
+      uint64_t composite = MakeShardLsn(input.shard, parsed->lsn);
+      out += StrCat("  lsn ", parsed->lsn, "  gsn ", parsed->order, "  ",
+                    description);
+      if (auto it = annotations.find(composite); it != annotations.end()) {
+        out += StrCat("  ", it->second);
+      }
+      out += "\n";
+      merged.push_back(MergeEntry{parsed->order, input.shard, composite,
+                                  std::move(description)});
+    }
+    while (printed_skips < reader.skipped_ranges().size()) {
+      const SkippedRange& range = reader.skipped_ranges()[printed_skips++];
+      out += StrCat("  (unreadable: ", range.to_lsn - range.from_lsn,
+                    " byte(s) skipped at lsn ", range.from_lsn, ")\n");
+    }
+    emit_marks_below(input.view.base + input.view.bytes->size());
+    if (reader.tail_torn()) {
+      uint64_t log_end = input.view.base + input.view.bytes->size();
+      out += StrCat("  (torn tail: first bad frame at lsn ",
+                    reader.torn_offset(), ", ",
+                    log_end - reader.torn_offset(), " byte(s) unreadable)\n");
+    }
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const MergeEntry& a, const MergeEntry& b) {
+              return a.order != b.order ? a.order < b.order
+                                        : a.shard < b.shard;
+            });
+  out += "--- merge view (by gsn) ---\n";
+  for (const MergeEntry& entry : merged) {
+    out += StrCat("  gsn ", entry.order, "  shard ", entry.shard, "  lsn ",
+                  LocalOfLsn(entry.composite_lsn), "  ", entry.description);
+    if (auto it = annotations.find(entry.composite_lsn);
+        it != annotations.end()) {
+      out += StrCat("  ", it->second);
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace phoenix

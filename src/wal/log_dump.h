@@ -36,6 +36,25 @@ using LogAnnotations = std::map<uint64_t, std::string>;
 std::string DumpLog(const LogView& view, const std::vector<ForceMark>& marks,
                     const LogAnnotations& annotations);
 
+// --- sharded WAL layouts ---
+
+// One shard's inputs for a multi-shard dump. `view` and `marks` use
+// shard-local offsets; record frames carry the gsn payload prefix.
+struct ShardDumpInput {
+  uint32_t shard = 0;
+  std::string log_name;
+  LogView view;
+  const std::vector<ForceMark>* marks = nullptr;
+};
+
+// Multi-shard dump: a per-shard record listing (shard-local lsn plus gsn
+// per line, ForceMark attribution lines carrying the shard id), followed
+// by a global-sequence merge view ordering all shards' records by gsn.
+// `annotations` is keyed by composite LSN (wal/shard_router.h) and is
+// rendered in both the per-shard listing and the merge view.
+std::string DumpShardedLogs(const std::vector<ShardDumpInput>& shards,
+                            const LogAnnotations& annotations = {});
+
 }  // namespace phoenix
 
 #endif  // PHOENIX_WAL_LOG_DUMP_H_

@@ -11,6 +11,14 @@ uint32_t LoadU32(const uint8_t* p) {
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
 }
 
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+// Size of the global-sequence-number prefix inside sharded frame payloads.
+constexpr size_t kGsnPrefixBytes = 8;
+
 }  // namespace
 
 LogReader::LogReader(const std::vector<uint8_t>& log, uint64_t start_lsn)
@@ -30,9 +38,17 @@ bool LogReader::ValidFrameAt(uint64_t lsn, ParsedRecord* out) const {
   if (lsn + 8 + len > end) return false;
   const uint8_t* payload = &log_[rel + 8];
   if (Crc32c(payload, len) != crc) return false;
+  uint64_t order = 0;
+  if (gsn_prefix_) {
+    if (len < kGsnPrefixBytes) return false;
+    order = LoadU64(payload);
+    payload += kGsnPrefixBytes;
+    len -= kGsnPrefixBytes;
+  }
   Result<LogRecord> record = DecodeLogRecord(payload, len);
   if (!record.ok()) return false;
   out->lsn = lsn;
+  out->order = order;
   out->record = std::move(record).value();
   return true;
 }
@@ -93,6 +109,30 @@ Result<LogRecord> ReadRecordAt(const LogView& view, uint64_t lsn) {
 
 Result<LogRecord> ReadRecordAt(const std::vector<uint8_t>& log, uint64_t lsn) {
   return ReadRecordAt(LogView{&log, 0}, lsn);
+}
+
+Result<LogRecord> ReadPrefixedRecordAt(const LogView& view, uint64_t lsn,
+                                       uint64_t* order_out) {
+  const std::vector<uint8_t>& log = *view.bytes;
+  if (lsn < view.base) {
+    return Status::Corruption("lsn before truncated log head");
+  }
+  uint64_t rel = lsn - view.base;
+  if (rel + 8 > log.size()) return Status::Corruption("lsn out of range");
+  uint32_t len = LoadU32(&log[rel]);
+  uint32_t crc = LoadU32(&log[rel + 4]);
+  if (rel + 8 + len > log.size()) {
+    return Status::Corruption("record extends past end of log");
+  }
+  const uint8_t* payload = &log[rel + 8];
+  if (Crc32c(payload, len) != crc) {
+    return Status::Corruption("record crc mismatch");
+  }
+  if (len < kGsnPrefixBytes) {
+    return Status::Corruption("sharded frame too short for gsn prefix");
+  }
+  if (order_out != nullptr) *order_out = LoadU64(payload);
+  return DecodeLogRecord(payload + kGsnPrefixBytes, len - kGsnPrefixBytes);
 }
 
 }  // namespace phoenix

@@ -9,9 +9,13 @@
 
 namespace phoenix {
 
-// A decoded record plus its position on the log.
+// A decoded record plus its position on the log. `order` is the global
+// sequence number stamped into sharded frames (wal/shard_router.h); it is
+// only populated when the reader runs with EnableGsnPrefix(), and stays 0
+// on the single-log format.
 struct ParsedRecord {
   uint64_t lsn = 0;
+  uint64_t order = 0;
   LogRecord record;
 };
 
@@ -53,6 +57,12 @@ class LogReader {
   // Skip unreadable mid-log regions instead of declaring a torn tail.
   void EnableSalvage() { salvage_ = true; }
 
+  // Sharded-log frame format: every payload starts with an 8-byte global
+  // sequence number (little endian) ahead of the encoded record. The
+  // prefix is inside the CRC, so frame validation is unchanged; decoding
+  // skips it and reports it as ParsedRecord::order.
+  void EnableGsnPrefix() { gsn_prefix_ = true; }
+
   // Next record, or nullopt at (clean or torn) end.
   std::optional<ParsedRecord> Next();
 
@@ -83,6 +93,7 @@ class LogReader {
   uint64_t base_;
   uint64_t pos_;  // logical LSN
   bool salvage_ = false;
+  bool gsn_prefix_ = false;
   bool tail_torn_ = false;
   uint64_t torn_offset_ = 0;
   uint64_t records_read_ = 0;
@@ -93,6 +104,12 @@ class LogReader {
 // Reads the single record whose frame starts at `lsn`.
 Result<LogRecord> ReadRecordAt(const std::vector<uint8_t>& log, uint64_t lsn);
 Result<LogRecord> ReadRecordAt(const LogView& view, uint64_t lsn);
+
+// Same, for a sharded (gsn-prefixed) frame; `lsn` is the shard-local
+// offset into `view`. On success *order_out (if non-null) receives the
+// frame's global sequence number.
+Result<LogRecord> ReadPrefixedRecordAt(const LogView& view, uint64_t lsn,
+                                       uint64_t* order_out = nullptr);
 
 }  // namespace phoenix
 

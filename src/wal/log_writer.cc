@@ -1,6 +1,7 @@
 #include "wal/log_writer.h"
 
 #include "common/crc32c.h"
+#include "common/strings.h"
 
 namespace phoenix {
 
@@ -84,6 +85,12 @@ size_t LogWriter::Force(ForcePoint reason) {
     metrics_->GetGauge("phoenix.disk.rotational_wait_ms", labels_)
         .Add(bd.rotational_wait_ms);
     metrics_->GetGauge("phoenix.disk.transfer_ms", labels_).Add(bd.transfer_ms);
+    if (shard_obs_) {
+      obs::LabelSet shard_labels = labels_;
+      shard_labels.emplace_back("shard", StrCat(shard_id_));
+      metrics_->GetCounter("phoenix.wal.shard.forces", shard_labels)
+          .Increment();
+    }
   }
   span.AddArg(obs::Arg("latency_ms", latency));
   span.AddArg(obs::Arg("seek_ms", bd.seek_ms + bd.settle_ms));

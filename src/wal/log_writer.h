@@ -83,6 +83,14 @@ class LogWriter {
   // them, so phoenix_prof can charge disk time to the right call tree.
   void SetTraceScope(obs::TraceScope* scope) { scope_ = scope; }
 
+  // Sharded-WAL observability: when enabled, every force additionally
+  // increments phoenix.wal.shard.forces{process, shard}. Never enabled on
+  // the single-log path, so shards=1 metric output stays byte-identical.
+  void SetShardObs(uint32_t shard_id) {
+    shard_obs_ = true;
+    shard_id_ = shard_id;
+  }
+
   // --- statistics (benchmarks read deltas of these) ---
   uint64_t num_appends() const { return num_appends_; }
   uint64_t num_forces() const { return num_forces_; }
@@ -104,6 +112,8 @@ class LogWriter {
   uint64_t num_forces_ = 0;
   uint64_t bytes_forced_ = 0;
   std::vector<ForceMark> force_marks_;
+  bool shard_obs_ = false;
+  uint32_t shard_id_ = 0;
 
   // Observability sinks (unowned; null until BindObs).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,53 @@
+#ifndef PHOENIX_WAL_MERGED_LOG_READER_H_
+#define PHOENIX_WAL_MERGED_LOG_READER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+namespace phoenix {
+
+// A record from one shard of a sharded WAL, positioned both physically
+// (composite lsn) and in append order (gsn).
+struct OrderedRecord {
+  uint64_t lsn = 0;    // composite: shard id << 48 | shard-local offset
+  uint64_t order = 0;  // global sequence number
+  uint32_t shard = 0;
+  LogRecord record;
+};
+
+// Salvage report for one shard of a merged scan. Offsets are composite, so
+// a skipped range on shard j can never intersect a record extent on shard
+// k != j — the invariant the replay planner's per-chain demotion rule
+// relies on.
+struct ShardDamage {
+  uint32_t shard = 0;
+  bool tail_torn = false;
+  uint64_t torn_offset = 0;  // composite lsn of the first unreadable byte
+  std::vector<SkippedRange> skipped;  // composite coordinates
+};
+
+// Result of scanning every shard's stable log and k-way merging the
+// records by global sequence number. `inversions` counts adjacent pairs
+// within one shard whose gsns were NOT ascending (a healthy log always
+// yields 0; a nonzero count means frames were re-stamped or the storage
+// reordered writes) — exported as phoenix.recovery.merge.inversions.
+struct MergedLogScan {
+  std::vector<OrderedRecord> records;  // ascending by order
+  std::vector<ShardDamage> damage;     // only shards with salvage issues
+  uint64_t inversions = 0;
+
+  bool any_salvage() const { return !damage.empty(); }
+};
+
+// Scans all shards of `log` (stable images only — this is the
+// process-crash recovery view) from each shard's head base, tolerating
+// torn tails and mid-log corruption per shard, and merges by gsn.
+MergedLogScan ScanShardedLog(const LogManager& log);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_WAL_MERGED_LOG_READER_H_

@@ -1,0 +1,345 @@
+// Sharded WAL (RuntimeOptions.wal_shards > 1): the deterministic
+// context->shard router, per-shard durability horizons, crash semantics of
+// independent shard buffers, the gsn-ordered recovery merge, and per-shard
+// torn-tail salvage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "recovery/recovery_service.h"
+#include "tests/test_components.h"
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+#include "wal/merged_log_reader.h"
+#include "wal/shard_router.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::RegisterTestComponents;
+
+IncomingCallRecord Incoming(uint64_t context_id, const std::string& method) {
+  IncomingCallRecord rec;
+  rec.context_id = context_id;
+  rec.method = method;
+  return rec;
+}
+
+TEST(ShardRouterTest, DeterministicAcrossInstancesAndSeeds) {
+  ShardRouter a(4, 42);
+  ShardRouter b(4, 42);
+  bool spread = false;
+  for (uint64_t ctx = 0; ctx < 256; ++ctx) {
+    EXPECT_EQ(a.ShardForContext(ctx), b.ShardForContext(ctx));
+    EXPECT_LT(a.ShardForContext(ctx), 4u);
+    if (a.ShardForContext(ctx) != a.ShardForContext(0)) spread = true;
+  }
+  EXPECT_TRUE(spread);  // the hash actually distributes
+
+  // A different seed is a different (still deterministic) layout.
+  ShardRouter c(4, 43);
+  bool differs = false;
+  for (uint64_t ctx = 0; ctx < 256 && !differs; ++ctx) {
+    differs = a.ShardForContext(ctx) != c.ShardForContext(ctx);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShardRouterTest, CheckpointRecordsPinToMetaShard) {
+  ShardRouter router(8, 7);
+  EXPECT_EQ(router.ShardForRecord(LogRecord(BeginCheckpointRecord{})), 0u);
+  EXPECT_EQ(router.ShardForRecord(LogRecord(EndCheckpointRecord{0})), 0u);
+  CheckpointContextEntryRecord entry;
+  entry.context_id = 12345;  // carries a context id, still meta
+  EXPECT_EQ(router.ShardForRecord(LogRecord(entry)), 0u);
+  CheckpointLastCallRecord last_call;
+  last_call.context_id = 12345;
+  EXPECT_EQ(router.ShardForRecord(LogRecord(last_call)), 0u);
+  EXPECT_EQ(router.ShardForRecord(LogRecord(CheckpointRemoteTypeRecord{})),
+            0u);
+  // Context-keyed records follow the context hash.
+  EXPECT_EQ(router.ShardForRecord(LogRecord(Incoming(12345, "Go"))),
+            router.ShardForContext(12345));
+}
+
+class WalShardTest : public ::testing::Test {
+ protected:
+  WalShardTest()
+      : disk_(DiskParams{}, 1),
+        manager_("m/p1.log", &storage_, &disk_, &clock_, &costs_,
+                 /*shard_count=*/4, /*shard_seed=*/42) {}
+
+  // Appends one record per context 1..n and returns the composite LSNs.
+  std::vector<uint64_t> AppendAcrossShards(int n, const std::string& tag) {
+    std::vector<uint64_t> lsns;
+    for (int i = 1; i <= n; ++i) {
+      lsns.push_back(manager_.Append(
+          LogRecord(Incoming(static_cast<uint64_t>(i), tag))));
+    }
+    return lsns;
+  }
+
+  StableStorage storage_;
+  DiskModel disk_;
+  SimClock clock_;
+  CostModel costs_;
+  LogManager manager_;
+};
+
+TEST_F(WalShardTest, ShardLocalDurableNeverExceedsAppended) {
+  AppendAcrossShards(16, "a");
+  for (uint32_t s = 0; s < manager_.shard_count(); ++s) {
+    EXPECT_LE(manager_.shard_stable_end(s), manager_.shard_next_lsn(s))
+        << "shard " << s;
+  }
+  manager_.Force();
+  for (uint32_t s = 0; s < manager_.shard_count(); ++s) {
+    EXPECT_EQ(manager_.shard_stable_end(s), manager_.shard_next_lsn(s))
+        << "shard " << s;
+  }
+}
+
+TEST_F(WalShardTest, CrashDropsExactlyEachShardsUnforcedTail) {
+  AppendAcrossShards(12, "forced");
+  manager_.Force();
+  std::vector<uint64_t> stable_before(manager_.shard_count());
+  for (uint32_t s = 0; s < manager_.shard_count(); ++s) {
+    stable_before[s] = manager_.shard_stable_end(s);
+  }
+
+  AppendAcrossShards(12, "unforced");
+  manager_.DropBuffer();  // the crash: every shard buffer dies at once
+
+  for (uint32_t s = 0; s < manager_.shard_count(); ++s) {
+    // The stable horizon did not move, and the stable bytes hold only
+    // pre-crash records.
+    EXPECT_EQ(manager_.shard_stable_end(s), stable_before[s]) << "shard " << s;
+    LogReader reader(manager_.ShardStableView(s),
+                     manager_.shard_head_base(s));
+    reader.EnableGsnPrefix();
+    while (auto parsed = reader.Next()) {
+      EXPECT_EQ(std::get<IncomingCallRecord>(parsed->record).method, "forced");
+    }
+    EXPECT_FALSE(reader.tail_torn());
+  }
+}
+
+TEST_F(WalShardTest, MergedScanEqualsSingleLogAppendOrder) {
+  // The same append sequence goes to a 1-shard twin; the gsn-ordered k-way
+  // merge must reproduce the twin's (single-log) record order exactly.
+  LogManager single("m/p2.log", &storage_, &disk_, &clock_, &costs_);
+  for (int i = 0; i < 32; ++i) {
+    LogRecord rec(Incoming(static_cast<uint64_t>(i % 7),
+                           std::string("m") + std::to_string(i)));
+    manager_.Append(rec);
+    single.Append(rec);
+  }
+  manager_.Force();
+  single.Force();
+
+  std::vector<std::string> single_order;
+  LogReader reader(single.StableLog(), 0);
+  while (auto parsed = reader.Next()) {
+    single_order.push_back(
+        std::get<IncomingCallRecord>(parsed->record).method);
+  }
+  ASSERT_EQ(single_order.size(), 32u);
+
+  MergedLogScan merged = ScanShardedLog(manager_);
+  ASSERT_EQ(merged.records.size(), 32u);
+  EXPECT_FALSE(merged.any_salvage());
+  EXPECT_EQ(merged.inversions, 0u);
+  uint64_t prev_order = 0;
+  for (size_t i = 0; i < merged.records.size(); ++i) {
+    const OrderedRecord& rec = merged.records[i];
+    EXPECT_EQ(std::get<IncomingCallRecord>(rec.record).method,
+              single_order[i]);
+    EXPECT_GT(rec.order, prev_order);  // gsns strictly increase
+    prev_order = rec.order;
+    EXPECT_EQ(rec.shard, ShardOfLsn(rec.lsn));
+  }
+}
+
+TEST_F(WalShardTest, TornTailOnOneShardLeavesOthersUntouched) {
+  AppendAcrossShards(16, "x");
+  manager_.Force();
+  std::vector<uint64_t> end_before(manager_.shard_count());
+  for (uint32_t s = 0; s < manager_.shard_count(); ++s) {
+    end_before[s] = manager_.shard_stable_end(s);
+    ASSERT_GT(end_before[s], manager_.shard_head_base(s)) << "shard " << s;
+  }
+
+  // Tear 3 bytes off shard 2's file, mid-frame.
+  storage_.TruncateLog(manager_.shard_log_name(2),
+                       LocalOfLsn(end_before[2]) - 3);
+
+  MergedLogScan merged = ScanShardedLog(manager_);
+  ASSERT_TRUE(merged.any_salvage());
+  ASSERT_EQ(merged.damage.size(), 1u);
+  EXPECT_EQ(merged.damage[0].shard, 2u);
+  EXPECT_TRUE(merged.damage[0].tail_torn);
+
+  // Every shard still contributes every record its (possibly torn) file
+  // holds; only shard 2 lost its final frame.
+  std::vector<int> per_shard(manager_.shard_count(), 0);
+  for (const OrderedRecord& rec : merged.records) ++per_shard[rec.shard];
+  int total = 0;
+  for (uint32_t s = 0; s < manager_.shard_count(); ++s) {
+    LogReader probe(manager_.ShardStableView(s), manager_.shard_head_base(s));
+    probe.EnableSalvage();
+    probe.EnableGsnPrefix();
+    int full_count = 0;
+    while (probe.Next()) ++full_count;
+    EXPECT_EQ(per_shard[s], full_count) << "shard " << s;
+    EXPECT_EQ(probe.tail_torn(), s == 2) << "shard " << s;
+    total += per_shard[s];
+  }
+  EXPECT_EQ(total, 15);  // 16 appended, one frame torn
+}
+
+class ShardedRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUpSim(uint32_t shards) {
+    RuntimeOptions opts;
+    opts.wal_shards = shards;
+    sim_ = std::make_unique<Simulation>(opts);
+    RegisterTestComponents(sim_->factories());
+    alpha_ = &sim_->AddMachine("alpha");
+    proc_ = &alpha_->CreateProcess();
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  Machine* alpha_ = nullptr;
+  Process* proc_ = nullptr;
+};
+
+TEST_F(ShardedRecoveryTest, StateSurvivesCrashViaMergedReplay) {
+  SetUpSim(4);
+  ASSERT_TRUE(proc_->log().sharded());
+  ExternalClient client(sim_.get(), "alpha");
+  std::vector<std::string> uris;
+  for (int c = 0; c < 4; ++c) {
+    auto uri = client.CreateComponent(*proc_, "Counter",
+                                      "c" + std::to_string(c),
+                                      ComponentKind::kPersistent, {});
+    ASSERT_TRUE(uri.ok());
+    uris.push_back(*uri);
+  }
+  for (int i = 1; i <= 3; ++i) {
+    for (const std::string& uri : uris) {
+      ASSERT_TRUE(client.Call(uri, "Add", MakeArgs(i)).ok());
+    }
+  }
+
+  proc_->Kill();
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+  for (const std::string& uri : uris) {
+    auto got = client.Call(uri, "Get", {});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->AsInt(), 6);
+  }
+}
+
+TEST_F(ShardedRecoveryTest, ShardedRecoveryMatchesSingleLogTwin) {
+  // Same workload, same crash, under 1 and 4 shards: the recovered states
+  // must agree.
+  auto run = [](uint32_t shards) -> std::vector<int64_t> {
+    RuntimeOptions opts;
+    opts.wal_shards = shards;
+    Simulation sim(opts);
+    RegisterTestComponents(sim.factories());
+    Machine& alpha = sim.AddMachine("alpha");
+    Process& proc = alpha.CreateProcess();
+    ExternalClient client(&sim, "alpha");
+    std::vector<std::string> uris;
+    for (int c = 0; c < 3; ++c) {
+      auto uri = client.CreateComponent(proc, "Counter",
+                                        "c" + std::to_string(c),
+                                        ComponentKind::kPersistent, {});
+      EXPECT_TRUE(uri.ok());
+      uris.push_back(*uri);
+    }
+    for (int i = 1; i <= 4; ++i) {
+      for (const std::string& uri : uris) {
+        EXPECT_TRUE(client.Call(uri, "Add", MakeArgs(i)).ok());
+      }
+    }
+    proc.Kill();
+    EXPECT_TRUE(alpha.recovery_service().EnsureProcessAlive(1).ok());
+    std::vector<int64_t> values;
+    for (const std::string& uri : uris) {
+      auto got = client.Call(uri, "Get", {});
+      EXPECT_TRUE(got.ok());
+      values.push_back(got.ok() ? got->AsInt() : -1);
+    }
+    return values;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST_F(ShardedRecoveryTest, TornShardSalvagesWithoutTouchingOthers) {
+  SetUpSim(4);
+  ExternalClient client(sim_.get(), "alpha");
+  std::vector<std::string> uris;
+  for (int c = 0; c < 4; ++c) {
+    auto uri = client.CreateComponent(*proc_, "Counter",
+                                      "c" + std::to_string(c),
+                                      ComponentKind::kPersistent, {});
+    ASSERT_TRUE(uri.ok());
+    uris.push_back(*uri);
+  }
+  for (int i = 1; i <= 3; ++i) {
+    for (const std::string& uri : uris) {
+      ASSERT_TRUE(client.Call(uri, "Add", MakeArgs(i)).ok());
+    }
+  }
+
+  // Pick the shard holding c0's chain; capture every OTHER shard's stable
+  // bytes, then tear c0's shard mid-frame after the crash.
+  Context* ctx = proc_->FindContextOfComponent("c0");
+  ASSERT_NE(ctx, nullptr);
+  uint32_t torn = proc_->log().router().ShardForContext(ctx->id());
+  std::vector<std::vector<uint8_t>> before;
+  for (uint32_t s = 0; s < proc_->log().shard_count(); ++s) {
+    before.push_back(sim_->storage().ReadLog(proc_->log().shard_log_name(s)));
+  }
+  proc_->Kill();
+  std::string torn_name = proc_->log().shard_log_name(torn);
+  sim_->storage().TruncateLog(torn_name,
+                              sim_->storage().LogSize(torn_name) - 3);
+
+  ASSERT_TRUE(alpha_->recovery_service().EnsureProcessAlive(1).ok());
+
+  // The salvage amputated exactly one shard...
+  EXPECT_GT(sim_->metrics()
+                .GetCounter("phoenix.recovery.salvage.torn_tail_bytes",
+                            obs::LabelSet{{"process", "alpha/1"}})
+                .value(),
+            0u);
+  // ...and every untouched shard kept its exact pre-crash bytes as a prefix
+  // (recovery replay may append after them, never rewrite).
+  for (uint32_t s = 0; s < proc_->log().shard_count(); ++s) {
+    if (s == torn) continue;
+    const std::vector<uint8_t>& now =
+        sim_->storage().ReadLog(proc_->log().shard_log_name(s));
+    ASSERT_GE(now.size(), before[s].size()) << "shard " << s;
+    EXPECT_TRUE(std::equal(before[s].begin(), before[s].end(), now.begin()))
+        << "shard " << s;
+  }
+
+  // Counters on untouched shards kept every committed add.
+  for (int c = 1; c < 4; ++c) {
+    Context* other = proc_->FindContextOfComponent("c" + std::to_string(c));
+    ASSERT_NE(other, nullptr);
+    if (proc_->log().router().ShardForContext(other->id()) == torn) continue;
+    auto got = client.Call(uris[c], "Get", {});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->AsInt(), 6);
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

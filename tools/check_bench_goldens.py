@@ -31,7 +31,11 @@ PINNED = ("forces", "appends", "bytes_forced", "sim_time_ms", "calls_routed",
           "replay_edges", "replay_fallbacks", "state_matches_sequential",
           "runs", "divergences", "pinned_divergences",
           "salvaged_parallel_replays", "replay_chains_demoted",
-          "ratio_vs_unsalvaged_parallel")
+          "ratio_vs_unsalvaged_parallel",
+          # Sharded-WAL contract: shards=1 keeps every pre-sharding value
+          # above byte-identical, and the sharded bench variants must
+          # reproduce the single-log recovery end state exactly.
+          "wal_shards", "state_matches_single_log")
 
 
 def load_report(path):

@@ -26,9 +26,17 @@
 // Every decision flows from --seed through split Random streams, so a rerun
 // with the same flags emits a byte-identical phoenix.chaos.v1 report.
 //
+// With --wal-shards=N > 1 the driver runs the sharded-WAL campaign
+// instead: every run executes the same seeded workload twice — once on an
+// N-shard WAL under crash/storage attacks that target a single shard file
+// (one shard's torn tail, bit-rot on the shard holding the newest state
+// record, well-known-file rot on the meta shard), and once as a fault-free
+// single-log twin — and the exactly-once oracle plus an FNV-1a state-hash
+// diff against the twin must both come out clean.
+//
 // Usage:
 //   phoenix_chaos [--runs=N] [--seed=S] [--sessions=N] [--overlap=N]
-//                 [--out=FILE] [--verbose]
+//                 [--wal-shards=N] [--out=FILE] [--verbose]
 
 #include <cstdio>
 #include <cstring>
@@ -64,6 +72,10 @@ struct CampaignOptions {
   // plus between-attempt storage attacks, with a fault-free twin-run
   // state-hash oracle.
   bool crash_during_recovery = false;
+  // > 1 runs the sharded-WAL campaign: N-shard faulted runs with
+  // single-shard storage attacks, hash-diffed against a fault-free
+  // single-log twin.
+  uint32_t wal_shards = 1;
 };
 
 enum class Topology {
@@ -248,30 +260,66 @@ struct CampaignStats {
 // Crashes the target process mid-run (the seller's, or the agent's when
 // the run drew attack_agent) and flips bits in the places salvage must
 // tolerate: the newest context-state record's payload and/or the
-// well-known file. Recovery runs immediately via the recovery service.
-Status ApplyStorageAttack(const RunConfig& cfg, Simulation& sim,
-                          Machine& target_machine, Process& target_proc) {
+// well-known file; tear_shard additionally tears one log's (on sharded
+// WALs: one shard file's) un-externalized stable tail. Recovery runs
+// immediately via the recovery service. On a sharded log the state-record
+// bit-rot targets exactly the shard file holding the gsn-newest state
+// record — the other shard files are untouched.
+Status ApplyStorageAttack(bool bitrot_state, bool bitrot_wkf, bool tear_shard,
+                          Simulation& sim, Machine& target_machine,
+                          Process& target_proc) {
   target_proc.Kill();
   const std::string log_name = target_proc.log_name();
-  if (cfg.bitrot_state) {
-    // Find the newest readable context-state record in the stable image.
-    LogView view = target_proc.log().StableView();
-    LogReader reader(view, target_proc.log().head_base());
-    reader.EnableSalvage();
-    uint64_t state_lsn = kInvalidLsn;
-    while (auto parsed = reader.Next()) {
-      if (std::holds_alternative<ContextStateRecord>(parsed->record)) {
-        state_lsn = parsed->lsn;
+  if (bitrot_state) {
+    const LogManager& log = target_proc.log();
+    if (log.sharded()) {
+      // Find the gsn-newest readable state record across all shard files.
+      uint32_t state_shard = 0;
+      uint64_t state_local = kInvalidLsn;
+      uint64_t best_order = 0;
+      bool found = false;
+      for (uint32_t s = 0; s < log.shard_count(); ++s) {
+        LogView view = log.ShardStableView(s);
+        LogReader reader(view, log.shard_head_base(s));
+        reader.EnableSalvage();
+        reader.EnableGsnPrefix();
+        while (auto parsed = reader.Next()) {
+          if (std::holds_alternative<ContextStateRecord>(parsed->record) &&
+              (!found || parsed->order > best_order)) {
+            found = true;
+            best_order = parsed->order;
+            state_shard = s;
+            state_local = parsed->lsn;
+          }
+        }
+      }
+      if (found) {
+        sim.storage().CorruptLog(log.shard_log_name(state_shard),
+                                 state_local + 8, /*flip_count=*/2);
+      }
+    } else {
+      // Find the newest readable context-state record in the stable image.
+      LogView view = log.StableView();
+      LogReader reader(view, log.head_base());
+      reader.EnableSalvage();
+      uint64_t state_lsn = kInvalidLsn;
+      while (auto parsed = reader.Next()) {
+        if (std::holds_alternative<ContextStateRecord>(parsed->record)) {
+          state_lsn = parsed->lsn;
+        }
+      }
+      if (state_lsn != kInvalidLsn) {
+        // +8 lands inside the payload, past the length/CRC header.
+        sim.storage().CorruptLog(log_name, state_lsn + 8, /*flip_count=*/2);
       }
     }
-    if (state_lsn != kInvalidLsn) {
-      // +8 lands inside the payload, past the length/CRC header.
-      sim.storage().CorruptLog(log_name, state_lsn + 8, /*flip_count=*/2);
-    }
   }
-  if (cfg.bitrot_wkf) {
+  if (bitrot_wkf) {
     sim.storage().CorruptFile(log_name + ".wkf", 0, /*flip_count=*/2);
   }
+  // Tears only un-externalized stable bytes (one shard file on sharded
+  // logs), so retries must mask it — same contract as crash-time tears.
+  if (tear_shard) target_proc.InjectTornTail(24);
   return target_machine.recovery_service().EnsureProcessAlive(
       target_proc.pid());
 }
@@ -452,10 +500,13 @@ std::string RunOne(const RunConfig& cfg, int run, int sessions,
       // the persistent tier whose own log and state records salvage must
       // also survive losing.
       bool hit_agent = cfg.attack_agent && agent_proc_ptr != nullptr;
-      Status attack = hit_agent ? ApplyStorageAttack(cfg, sim, *agent_machine,
-                                                     *agent_proc_ptr)
-                                : ApplyStorageAttack(cfg, sim, server_machine,
-                                                     server_proc);
+      Status attack =
+          hit_agent ? ApplyStorageAttack(cfg.bitrot_state, cfg.bitrot_wkf,
+                                         /*tear_shard=*/false, sim,
+                                         *agent_machine, *agent_proc_ptr)
+                    : ApplyStorageAttack(cfg.bitrot_state, cfg.bitrot_wkf,
+                                         /*tear_shard=*/false, sim,
+                                         server_machine, server_proc);
       if (!attack.ok()) {
         failure = "recovery after bit-rot failed: " + attack.ToString();
       }
@@ -983,6 +1034,396 @@ int RunRecoveryCrashCampaign(const CampaignOptions& campaign) {
   return stats.violations > 0 ? 1 : 0;
 }
 
+// --- sharded-WAL campaign --------------------------------------------------
+//
+// --wal-shards=N treats the shard layout itself as the fault domain: the
+// same seeded workload runs once on an N-shard WAL under protocol crashes,
+// crash-time torn tails and mid-run storage attacks aimed at a *single*
+// shard file, and once as a fault-free single-log twin. Exactly-once must
+// hold on the faulted sharded run, and its final observable state (per-
+// store sales and stock, agent session count) must hash identically to the
+// twin's — however the shards were damaged, the gsn merge must reassemble
+// the very same history.
+
+// One randomized sharded-run configuration.
+struct ShardChaosConfig {
+  uint64_t sim_seed = 1;
+  bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
+  uint32_t save_every = 0;
+  uint32_t checkpoint_every = 0;
+  Topology topology = Topology::kRemoteAgent;  // persistent tiers only
+  int stores = 2;
+  std::vector<std::pair<FailurePoint, uint64_t>> crashes;
+  double torn_p = 0.0;        // crash-time single-shard torn tails
+  bool bitrot_state = false;  // rot the shard holding the newest state record
+  bool bitrot_wkf = false;    // rot the meta shard's well-known file
+  bool tear_shard = false;    // tear one shard's un-externalized tail
+  bool attack_agent = false;  // storage attack hits the agent process
+  bool parallel_replay = false;
+};
+
+ShardChaosConfig MakeShardChaosConfig(const CampaignOptions& campaign,
+                                      int run) {
+  Random rng(campaign.seed * 4000037ull + static_cast<uint64_t>(run));
+  ShardChaosConfig cfg;
+  cfg.sim_seed = campaign.seed * 7919ull + static_cast<uint64_t>(run) + 1;
+  switch (rng.Uniform(3)) {
+    case 0:
+      cfg.level = bookstore::OptLevel::kBaseline;
+      break;
+    case 1:
+      cfg.level = bookstore::OptLevel::kOptimizedLogging;
+      break;
+    default:
+      cfg.level = bookstore::OptLevel::kSpecialized;
+      break;
+  }
+  const uint32_t kSaveChoices[] = {0, 3, 7};
+  cfg.save_every = kSaveChoices[rng.Uniform(3)];
+  cfg.checkpoint_every = cfg.save_every > 0 ? cfg.save_every * 2 : 0;
+  cfg.topology = rng.Bernoulli(0.5) ? Topology::kRemoteAgent
+                                    : Topology::kColocatedAgent;
+  cfg.stores = 1 + static_cast<int>(rng.Uniform(2));
+  uint64_t crash_count = rng.Uniform(4);  // 0..3 protocol crash triggers
+  for (uint64_t i = 0; i < crash_count; ++i) {
+    auto point = static_cast<FailurePoint>(rng.Uniform(6));
+    cfg.crashes.emplace_back(point, 1 + rng.Uniform(100));
+  }
+  if (rng.Bernoulli(0.6)) {
+    cfg.torn_p = 0.1 + rng.NextDouble() * 0.5;
+  }
+  cfg.bitrot_state = rng.Bernoulli(0.35);
+  cfg.bitrot_wkf = rng.Bernoulli(0.2);
+  cfg.tear_shard = rng.Bernoulli(0.3);
+  cfg.attack_agent = rng.Bernoulli(0.3);
+  cfg.parallel_replay = rng.Bernoulli(0.5);
+  return cfg;
+}
+
+struct ShardChaosStats {
+  uint64_t runs = 0;
+  uint64_t violations = 0;
+  uint64_t hash_divergences = 0;
+  uint64_t sessions_total = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t recoveries = 0;
+  uint64_t torn_tails_injected = 0;
+  uint64_t torn_tails_salvaged = 0;
+  uint64_t storage_attack_runs = 0;
+  uint64_t merge_records = 0;
+  uint64_t merge_inversions = 0;
+  uint64_t salvage_wkf_fallback = 0;
+  uint64_t salvage_full_scan = 0;
+  uint64_t salvage_ranges_skipped = 0;
+  uint64_t salvage_state_fallback = 0;
+  uint64_t dedupe_hits = 0;
+  uint64_t retries = 0;
+  uint64_t parallel_replay_runs = 0;
+};
+
+// Runs one configuration on `shards` WAL shards — faulted when inject is
+// true, the fault-free twin otherwise — checks the exactly-once oracle and
+// fills *state_hash with the FNV-1a digest of the final observable state.
+std::string RunShardChaosOne(const ShardChaosConfig& cfg, int run,
+                             int sessions, uint32_t shards, bool inject,
+                             ShardChaosStats& stats, uint64_t* state_hash,
+                             std::string* flight_file) {
+  RuntimeOptions runtime = bookstore::OptionsForLevel(cfg.level);
+  runtime.save_context_state_every = cfg.save_every;
+  runtime.process_checkpoint_every = cfg.checkpoint_every;
+  runtime.call_retry_budget_ms = 0.0;
+  runtime.parallel_replay = cfg.parallel_replay;
+  runtime.wal_shards = shards;
+
+  SimulationParams params;
+  params.seed = cfg.sim_seed;
+  params.flight_recorder_events = kFlightEvents;
+  Simulation sim(runtime, params);
+  bookstore::RegisterBookstoreComponents(sim.factories());
+  sim.factories().Register<ShoppingAgent>("ShoppingAgent");
+  Machine& server_machine = sim.AddMachine("server");
+  Machine& client_machine = sim.AddMachine("client");
+  auto deployment =
+      bookstore::Deploy(sim, server_machine, cfg.stores, cfg.level);
+  if (!deployment.ok()) {
+    return "deploy failed: " + deployment.status().ToString();
+  }
+  Process& server_proc = *deployment->server_process;
+
+  if (inject) {
+    for (const auto& [point, hit] : cfg.crashes) {
+      sim.injector().AddTrigger("server", server_proc.pid(), point, hit);
+    }
+    if (cfg.torn_p > 0.0) {
+      sim.injector().EnableTornTails(cfg.torn_p, cfg.sim_seed * 131 + 7);
+    }
+  }
+
+  ExternalClient admin(&sim, "client");
+  Machine& agent_machine = cfg.topology == Topology::kRemoteAgent
+                               ? client_machine
+                               : server_machine;
+  Process& agent_proc = agent_machine.CreateProcess();
+  auto agent =
+      admin.CreateComponent(agent_proc, "ShoppingAgent", "agent0",
+                            ComponentKind::kPersistent,
+                            MakeArgs(deployment->seller_uri));
+  if (!agent.ok()) {
+    return "agent creation failed: " + agent.status().ToString();
+  }
+
+  std::vector<int> expected_store(cfg.stores, 0);
+  std::vector<std::vector<int>> expected_book(cfg.stores,
+                                              std::vector<int>(11, 0));
+  Random workload(cfg.sim_seed * 31 + 1);
+  std::string failure;
+
+  bool attacks = cfg.bitrot_state || cfg.bitrot_wkf || cfg.tear_shard;
+  int attack_at = attacks && sessions >= 2 ? sessions / 2 : sessions;
+  for (int i = 0; i < sessions && failure.empty(); ++i) {
+    if (inject && i == attack_at && i < sessions) {
+      bool hit_agent = cfg.attack_agent;
+      Status attack =
+          hit_agent ? ApplyStorageAttack(cfg.bitrot_state, cfg.bitrot_wkf,
+                                         cfg.tear_shard, sim, agent_machine,
+                                         agent_proc)
+                    : ApplyStorageAttack(cfg.bitrot_state, cfg.bitrot_wkf,
+                                         cfg.tear_shard, sim, server_machine,
+                                         server_proc);
+      if (!attack.ok()) {
+        failure = "recovery after storage attack failed: " + attack.ToString();
+        break;
+      }
+    }
+    int store = static_cast<int>(workload.Uniform(cfg.stores));
+    int book = static_cast<int>(workload.Uniform(10)) + 1;
+    std::string buyer = "buyer" + std::to_string(i);
+    ExternalClient driver(&sim, "client");
+    Status status =
+        driver
+            .Call(*agent, "Session",
+                  MakeArgs(buyer, deployment->store_uris[store],
+                           int64_t{book}))
+            .status();
+    if (!status.ok()) {
+      failure = StrCat("session ", i, " failed: ", status.ToString());
+      break;
+    }
+    ++expected_store[store];
+    ++expected_book[store][book];
+    if (inject) ++stats.sessions_total;
+  }
+
+  // Exactly-once oracle (persistent topology: every count exact) plus the
+  // state digest for the single-log twin comparison.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  if (failure.empty()) {
+    auto done = admin.Call(*agent, "SessionsDone", {});
+    if (!done.ok()) {
+      failure = "SessionsDone failed: " + done.status().ToString();
+    } else if (done->AsInt() != sessions) {
+      failure = StrCat("SessionsDone=", done->AsInt(), " want ", sessions);
+    } else {
+      mix(static_cast<uint64_t>(done->AsInt()));
+    }
+    ExternalClient probe(&sim, "client");
+    for (int s = 0; s < cfg.stores && failure.empty(); ++s) {
+      auto sold = probe.Call(deployment->store_uris[s], "TotalSold", {});
+      if (!sold.ok()) {
+        failure = "TotalSold failed: " + sold.status().ToString();
+        break;
+      }
+      if (sold->AsInt() != expected_store[s]) {
+        failure = StrCat("store ", s, " TotalSold=", sold->AsInt(), " want ",
+                         expected_store[s]);
+        break;
+      }
+      mix(static_cast<uint64_t>(sold->AsInt()));
+      for (int book = 1; book <= 10 && failure.empty(); ++book) {
+        auto entry = probe.Call(deployment->store_uris[s], "GetBook",
+                                MakeArgs(int64_t{book}));
+        if (!entry.ok()) {
+          failure = "GetBook failed: " + entry.status().ToString();
+          break;
+        }
+        int64_t stock = entry->AsList()[3].AsInt();
+        if (25 - stock != expected_book[s][book]) {
+          failure = StrCat("store ", s, " book ", book, " sold ", 25 - stock,
+                           " want ", expected_book[s][book]);
+          break;
+        }
+        mix(static_cast<uint64_t>(stock));
+      }
+    }
+  }
+  *state_hash = hash;
+
+  if (inject) {
+    stats.crashes_fired += sim.injector().crashes_fired();
+    stats.recoveries +=
+        server_machine.recovery_service().recoveries_performed() +
+        agent_machine.recovery_service().recoveries_performed();
+    stats.torn_tails_injected += sim.injector().torn_tails_fired();
+    stats.torn_tails_salvaged +=
+        sim.metrics().CounterTotal("phoenix.wal.torn_tails");
+    stats.merge_records +=
+        sim.metrics().CounterTotal("phoenix.recovery.merge.records");
+    stats.merge_inversions +=
+        sim.metrics().CounterTotal("phoenix.recovery.merge.inversions");
+    stats.salvage_wkf_fallback +=
+        sim.metrics().CounterTotal("phoenix.recovery.salvage.wkf_fallback");
+    stats.salvage_full_scan += sim.metrics().CounterTotal(
+        "phoenix.recovery.salvage.full_scan_fallback");
+    stats.salvage_ranges_skipped +=
+        sim.metrics().CounterTotal("phoenix.recovery.salvage.ranges_skipped");
+    stats.salvage_state_fallback += sim.metrics().CounterTotal(
+        "phoenix.recovery.salvage.state_record_fallback");
+    stats.dedupe_hits +=
+        sim.metrics().CounterTotal("phoenix.intercept.dedupe_hits");
+    stats.retries += sim.metrics().CounterTotal("phoenix.intercept.retries");
+  }
+
+  if (!failure.empty() && inject) {
+    std::string path = obs::ResolveBenchPath(
+        StrCat("chaos_shard_flight_run", run, ".jsonl"));
+    std::string dump = sim.tracer().ExportFlightRecorder();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+      *flight_file = path;
+    }
+  }
+  return failure;
+}
+
+int RunShardCampaign(const CampaignOptions& campaign) {
+  ShardChaosStats stats;
+  struct ViolationRecord {
+    int run;
+    std::string description;
+    std::string flight_file;
+  };
+  std::vector<ViolationRecord> violations;
+  for (int run = 0; run < campaign.runs; ++run) {
+    ShardChaosConfig cfg = MakeShardChaosConfig(campaign, run);
+    uint64_t twin_hash = 0;
+    uint64_t fault_hash = 0;
+    std::string flight_file;
+    std::string twin_failure = RunShardChaosOne(
+        cfg, run, campaign.sessions, /*shards=*/1, /*inject=*/false, stats,
+        &twin_hash, &flight_file);
+    std::string violation = RunShardChaosOne(
+        cfg, run, campaign.sessions, campaign.wal_shards, /*inject=*/true,
+        stats, &fault_hash, &flight_file);
+    ++stats.runs;
+    if (cfg.parallel_replay) ++stats.parallel_replay_runs;
+    if (cfg.bitrot_state || cfg.bitrot_wkf || cfg.tear_shard) {
+      ++stats.storage_attack_runs;
+    }
+    if (violation.empty() && !twin_failure.empty()) {
+      violation = "fault-free single-log twin failed: " + twin_failure;
+    }
+    if (violation.empty() && fault_hash != twin_hash) {
+      ++stats.hash_divergences;
+      violation = StrCat("state hash diverged from single-log twin: ",
+                         fault_hash, " != ", twin_hash);
+    }
+    if (!violation.empty()) {
+      ++stats.violations;
+      violations.push_back({run, violation, flight_file});
+      std::fprintf(stderr,
+                   "VIOLATION run %d (%s, %s, save=%u, attacks=%d%d%d): %s\n",
+                   run, TopologyName(cfg.topology),
+                   bookstore::OptLevelName(cfg.level), cfg.save_every,
+                   cfg.bitrot_state ? 1 : 0, cfg.bitrot_wkf ? 1 : 0,
+                   cfg.tear_shard ? 1 : 0, violation.c_str());
+    } else if (campaign.verbose) {
+      std::printf("run %d ok (%s, %s, save=%u, crashes=%zu, torn=%.2f, "
+                  "attacks=%d%d%d)\n",
+                  run, TopologyName(cfg.topology),
+                  bookstore::OptLevelName(cfg.level), cfg.save_every,
+                  cfg.crashes.size(), cfg.torn_p, cfg.bitrot_state ? 1 : 0,
+                  cfg.bitrot_wkf ? 1 : 0, cfg.tear_shard ? 1 : 0);
+    }
+  }
+
+  obs::BenchReporter reporter("chaos_wal_shards", kChaosSchema);
+  obs::BenchVariant& campaign_v = reporter.AddVariant("campaign");
+  campaign_v.SetMetric("runs", stats.runs)
+      .SetMetric("seed", campaign.seed)
+      .SetMetric("wal_shards", static_cast<uint64_t>(campaign.wal_shards))
+      .SetMetric("sessions_per_run", static_cast<uint64_t>(campaign.sessions))
+      .SetMetric("violations", stats.violations)
+      .SetMetric("state_hash_divergences", stats.hash_divergences)
+      .SetMetric("sessions_total", stats.sessions_total)
+      .SetMetric("crashes_fired", stats.crashes_fired)
+      .SetMetric("recoveries", stats.recoveries)
+      .SetMetric("storage_attack_runs", stats.storage_attack_runs)
+      .SetMetric("torn_tails_injected", stats.torn_tails_injected)
+      .SetMetric("torn_tails_salvaged", stats.torn_tails_salvaged)
+      .SetMetric("merge_records", stats.merge_records)
+      .SetMetric("merge_inversions", stats.merge_inversions)
+      .SetMetric("salvage_wkf_fallbacks", stats.salvage_wkf_fallback)
+      .SetMetric("salvage_full_scan_fallbacks", stats.salvage_full_scan)
+      .SetMetric("salvage_ranges_skipped", stats.salvage_ranges_skipped)
+      .SetMetric("salvage_state_record_fallbacks",
+                 stats.salvage_state_fallback)
+      .SetMetric("dedupe_hits", stats.dedupe_hits)
+      .SetMetric("interceptor_retries", stats.retries)
+      .SetMetric("parallel_replay_runs", stats.parallel_replay_runs);
+  for (const ViolationRecord& rec : violations) {
+    obs::BenchVariant& v =
+        reporter.AddVariant(StrCat("violation_run", rec.run));
+    v.SetMetric("run", static_cast<uint64_t>(rec.run));
+    v.SetInfo("violation", rec.description);
+    if (!rec.flight_file.empty()) {
+      v.SetInfo("flight_recorder", rec.flight_file);
+    }
+  }
+  auto written = reporter.WriteFile(campaign.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "sharded-WAL campaign (%u shard(s)): %llu run(s), %llu violation(s), "
+      "%llu state-hash divergence(s)\n"
+      "  faults: %llu crash(es), %llu recover(ies), %llu storage-attack "
+      "run(s), %llu torn tail(s) injected, %llu salvaged\n"
+      "  merge: %llu record(s) merged, %llu inversion(s)\n"
+      "  salvage: %llu wkf fallback(s), %llu full-scan fallback(s), "
+      "%llu range(s) skipped, %llu state-record fallback(s)\n"
+      "  masking: %llu dedupe hit(s), %llu retry(ies), "
+      "%llu parallel-replay run(s)\n"
+      "report: %s\n",
+      campaign.wal_shards, static_cast<unsigned long long>(stats.runs),
+      static_cast<unsigned long long>(stats.violations),
+      static_cast<unsigned long long>(stats.hash_divergences),
+      static_cast<unsigned long long>(stats.crashes_fired),
+      static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.storage_attack_runs),
+      static_cast<unsigned long long>(stats.torn_tails_injected),
+      static_cast<unsigned long long>(stats.torn_tails_salvaged),
+      static_cast<unsigned long long>(stats.merge_records),
+      static_cast<unsigned long long>(stats.merge_inversions),
+      static_cast<unsigned long long>(stats.salvage_wkf_fallback),
+      static_cast<unsigned long long>(stats.salvage_full_scan),
+      static_cast<unsigned long long>(stats.salvage_ranges_skipped),
+      static_cast<unsigned long long>(stats.salvage_state_fallback),
+      static_cast<unsigned long long>(stats.dedupe_hits),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.parallel_replay_runs),
+      written->c_str());
+  return stats.violations > 0 ? 1 : 0;
+}
+
 int RunCampaign(const CampaignOptions& campaign) {
   CampaignStats stats;
   struct ViolationRecord {
@@ -1146,10 +1587,12 @@ int Main(int argc, char** argv) {
       campaign.verbose = true;
     } else if (arg == "--crash-during-recovery") {
       campaign.crash_during_recovery = true;
+    } else if (ParseFlag(arg, "wal-shards", &value)) {
+      campaign.wal_shards = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--seed=S] [--sessions=N] "
-                   "[--overlap=N] [--out=FILE] [--verbose] "
+                   "[--overlap=N] [--wal-shards=N] [--out=FILE] [--verbose] "
                    "[--crash-during-recovery]\n",
                    argv[0]);
       return 2;
@@ -1159,6 +1602,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--runs, --sessions and --overlap must be positive\n");
     return 2;
+  }
+  if (campaign.wal_shards > 1) {
+    return RunShardCampaign(campaign);
   }
   if (campaign.crash_during_recovery) {
     return RunRecoveryCrashCampaign(campaign);

@@ -7,7 +7,7 @@
 //
 // Usage:
 //   phoenix_trace [--level=baseline|optimized|specialized]
-//                 [--sessions=N] [--stores=N]
+//                 [--sessions=N] [--stores=N] [--wal-shards=N]
 //                 [--crash=<point>:<hit>]...    (point: see --list-points)
 //                 [--net-drop=P] [--net-dup=P] [--torn-tail=P]
 //                 [--save-every=N] [--checkpoint-every=N] [--gc]
@@ -40,6 +40,8 @@
 #include "recovery/checkpoint_manager.h"
 #include "recovery/replay_plan.h"
 #include "wal/log_dump.h"
+#include "wal/merged_log_reader.h"
+#include "wal/shard_router.h"
 
 namespace phoenix::tools {
 namespace {
@@ -51,6 +53,7 @@ struct Options {
   bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
   int sessions = 1;
   int stores = 2;
+  uint32_t wal_shards = 1;  // >1 shards the server's WAL (--wal-shards)
   std::vector<std::pair<FailurePoint, uint64_t>> crashes;
   uint32_t save_every = 0;
   uint32_t checkpoint_every = 0;
@@ -101,6 +104,7 @@ void ListPoints() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--level=...] [--sessions=N] [--stores=N] "
+               "[--wal-shards=N] "
                "[--crash=point:hit] [--net-drop=P] [--net-dup=P] "
                "[--torn-tail=P] [--save-every=N] [--checkpoint-every=N] "
                "[--gc] [--multicall] [--dump-log] [--plan] [--dump-tables] "
@@ -224,6 +228,7 @@ int Run(const Options& opts) {
   runtime.process_checkpoint_every = opts.checkpoint_every;
   runtime.auto_truncate_log = opts.gc;
   runtime.multi_call_optimization = opts.multicall;
+  if (opts.wal_shards > 1) runtime.wal_shards = opts.wal_shards;
 
   SimulationParams params;
   params.trace_enabled =
@@ -291,21 +296,51 @@ int Run(const Options& opts) {
 
   if (opts.dump_log) {
     LogAnnotations annotations;
+    const bool sharded = proc.log().sharded();
     if (opts.plan) {
       // Build the same plan the parallel replayer would build for a crash
       // right now, and pin its chain/edge view to the records that open
-      // replay units.
-      LogView view = proc.log().StableView();
+      // replay units. Sharded logs plan over the gsn-merged record stream,
+      // so the annotations key on composite LSNs and land on the matching
+      // per-shard lines.
       ReplayPlanInputs inputs;
       inputs.machine = proc.machine_name();
       inputs.process_id = proc.pid();
-      inputs.origins = DeriveReplayOrigins(view, proc.log().head_base());
-      uint64_t scan_start = kInvalidLsn;
-      for (const auto& [context_id, origin] : inputs.origins) {
-        if (origin != kInvalidLsn) scan_start = std::min(scan_start, origin);
+      ReplayPlan plan;
+      if (sharded) {
+        MergedLogScan merged = ScanShardedLog(proc.log());
+        DeriveReplayOriginsFromRecords(merged.records, &inputs.origins,
+                                       &inputs.origin_orders);
+        uint64_t scan_start = kInvalidLsn;
+        for (const auto& [context_id, order] : inputs.origin_orders) {
+          if (order != kInvalidLsn) scan_start = std::min(scan_start, order);
+        }
+        if (scan_start == kInvalidLsn) scan_start = 0;
+        std::vector<SkippedRange> gaps;
+        for (const ShardDamage& damage : merged.damage) {
+          for (const SkippedRange& range : damage.skipped) {
+            gaps.push_back(range);
+          }
+          if (damage.tail_torn) {
+            gaps.push_back(SkippedRange{
+                damage.torn_offset,
+                MakeShardLsn(damage.shard,
+                             proc.log().shard_stable_end(damage.shard))});
+          }
+        }
+        plan =
+            BuildReplayPlanFromRecords(merged.records, gaps, scan_start,
+                                       inputs);
+      } else {
+        LogView view = proc.log().StableView();
+        inputs.origins = DeriveReplayOrigins(view, proc.log().head_base());
+        uint64_t scan_start = kInvalidLsn;
+        for (const auto& [context_id, origin] : inputs.origins) {
+          if (origin != kInvalidLsn) scan_start = std::min(scan_start, origin);
+        }
+        if (scan_start == kInvalidLsn) scan_start = proc.log().head_base();
+        plan = BuildReplayPlan(view, scan_start, inputs);
       }
-      if (scan_start == kInvalidLsn) scan_start = proc.log().head_base();
-      ReplayPlan plan = BuildReplayPlan(view, scan_start, inputs);
       for (uint32_t c = 0; c < plan.chains.size(); ++c) {
         const ReplayChain& chain = plan.chains[c];
         for (uint32_t u = 0; u < chain.units.size(); ++u) {
@@ -331,10 +366,26 @@ int Run(const Options& opts) {
           plan.critical_path_ms, plan.total_replay_ms,
           fallback_note.c_str());
     }
-    std::printf("\nrecovery log of %s:\n%s", proc.log_name().c_str(),
-                phoenix::DumpLog(proc.log().StableView(),
-                                 proc.log().force_marks(), annotations)
-                    .c_str());
+    if (sharded) {
+      std::vector<ShardDumpInput> shards;
+      for (uint32_t s = 0; s < proc.log().shard_count(); ++s) {
+        ShardDumpInput input;
+        input.shard = s;
+        input.log_name = proc.log().shard_log_name(s);
+        input.view = LogView{&proc.log().ShardStableLog(s),
+                             proc.log().shard_head_base(s)};
+        input.marks = &proc.log().shard_force_marks(s);
+        shards.push_back(input);
+      }
+      std::printf("\nsharded recovery log of %s (%u shard(s)):\n%s",
+                  proc.log_name().c_str(), proc.log().shard_count(),
+                  phoenix::DumpShardedLogs(shards, annotations).c_str());
+    } else {
+      std::printf("\nrecovery log of %s:\n%s", proc.log_name().c_str(),
+                  phoenix::DumpLog(proc.log().StableView(),
+                                   proc.log().force_marks(), annotations)
+                      .c_str());
+    }
   }
   if (opts.dump_tables) DumpTables(proc);
 
@@ -397,6 +448,8 @@ int Main(int argc, char** argv) {
       opts.sessions = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "stores", &value)) {
       opts.stores = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "wal-shards", &value)) {
+      opts.wal_shards = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "save-every", &value)) {
       opts.save_every = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "checkpoint-every", &value)) {
