@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <set>
+#include <unordered_map>
 
 namespace phoenix::obs {
 namespace {
@@ -14,7 +16,166 @@ std::string& OutDirOverride() {
   return dir;
 }
 
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
 }  // namespace
+
+const char* MetricDirectionName(MetricDirection direction) {
+  switch (direction) {
+    case MetricDirection::kLowerIsBetter:
+      return "lower_is_better";
+    case MetricDirection::kHigherIsBetter:
+      return "higher_is_better";
+    case MetricDirection::kInformational:
+      return "informational";
+  }
+  return "informational";
+}
+
+bool ParseMetricDirection(std::string_view name, MetricDirection* out) {
+  if (name == "lower_is_better") {
+    *out = MetricDirection::kLowerIsBetter;
+  } else if (name == "higher_is_better") {
+    *out = MetricDirection::kHigherIsBetter;
+  } else if (name == "informational") {
+    *out = MetricDirection::kInformational;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const MetricMeta* DefaultMetricMeta(const std::string& metric) {
+  // Direction calls follow the paper's economics: forced log writes and
+  // per-call / recovery latencies shrink as the optimizations land, contract
+  // booleans (state_matches_*) and speedups grow, and workload descriptors
+  // (sessions, pairs, seeds) or injected-fault tallies carry no direction.
+  static const std::unordered_map<std::string, MetricMeta> kTable = {
+      // Forced-write economics (Tables 4-6, figure 9).
+      {"forces", {"count", MetricDirection::kLowerIsBetter}},
+      {"appends", {"count", MetricDirection::kLowerIsBetter}},
+      {"bytes_forced", {"bytes", MetricDirection::kLowerIsBetter}},
+      {"forced_bytes_per_call", {"bytes", MetricDirection::kLowerIsBetter}},
+      {"forces_per_call", {"ratio", MetricDirection::kLowerIsBetter}},
+      {"grabber_forces", {"count", MetricDirection::kLowerIsBetter}},
+      {"session_forces", {"count", MetricDirection::kLowerIsBetter}},
+      {"state_saves", {"count", MetricDirection::kInformational}},
+      // Latencies.
+      {"per_call_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"per_iteration_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"ms_per_call", {"ms", MetricDirection::kLowerIsBetter}},
+      {"session_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"workload_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"search_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"delay_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"sim_time_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"rotational_wait_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      // Durability-wait attribution.
+      {"park_ms_total", {"ms", MetricDirection::kLowerIsBetter}},
+      {"park_ms_per_call", {"ms", MetricDirection::kLowerIsBetter}},
+      {"own_force_wait_ms_total", {"ms", MetricDirection::kLowerIsBetter}},
+      {"own_force_wait_ms_per_call", {"ms", MetricDirection::kLowerIsBetter}},
+      {"park_waits", {"count", MetricDirection::kInformational}},
+      // Group commit: batch shape is a policy trade-off, not a score.
+      {"group_flushes", {"count", MetricDirection::kInformational}},
+      {"group_coalesced", {"count", MetricDirection::kInformational}},
+      {"group_commit_flushes", {"count", MetricDirection::kInformational}},
+      {"group_commit_coalesced", {"count", MetricDirection::kInformational}},
+      {"group_commit_runs", {"count", MetricDirection::kInformational}},
+      {"group_batch_mean", {"count", MetricDirection::kInformational}},
+      {"group_batch_max", {"count", MetricDirection::kInformational}},
+      // Recovery (Table 7) and the replay planner/engine.
+      {"recovery_ms", {"ms", MetricDirection::kLowerIsBetter}},
+      {"recoveries", {"count", MetricDirection::kInformational}},
+      {"records_scanned", {"count", MetricDirection::kInformational}},
+      {"calls_replayed", {"count", MetricDirection::kInformational}},
+      {"replay_chains", {"count", MetricDirection::kInformational}},
+      {"replay_edges", {"count", MetricDirection::kInformational}},
+      {"replay_sessions", {"count", MetricDirection::kInformational}},
+      {"replay_fallbacks", {"count", MetricDirection::kLowerIsBetter}},
+      {"replay_chains_demoted", {"count", MetricDirection::kLowerIsBetter}},
+      {"salvaged_parallel_replays",
+       {"count", MetricDirection::kHigherIsBetter}},
+      {"speedup_vs_sequential", {"ratio", MetricDirection::kHigherIsBetter}},
+      {"ratio_vs_unsalvaged_parallel",
+       {"ratio", MetricDirection::kLowerIsBetter}},
+      // Correctness contracts: 1 means the invariant held.
+      {"state_matches_sequential", {"bool", MetricDirection::kHigherIsBetter}},
+      {"state_matches_single_log", {"bool", MetricDirection::kHigherIsBetter}},
+      {"divergences", {"count", MetricDirection::kLowerIsBetter}},
+      {"pinned_divergences", {"count", MetricDirection::kLowerIsBetter}},
+      {"state_hash_divergences", {"count", MetricDirection::kLowerIsBetter}},
+      {"violations", {"count", MetricDirection::kLowerIsBetter}},
+      {"merge_inversions", {"count", MetricDirection::kLowerIsBetter}},
+      {"merge_records", {"count", MetricDirection::kInformational}},
+      // Supervisor / degradation ladder: giving up or cold-starting loses
+      // data, so fewer is strictly better.
+      {"supervisor_attempts", {"count", MetricDirection::kInformational}},
+      {"supervisor_gave_up", {"count", MetricDirection::kLowerIsBetter}},
+      {"cold_starts", {"count", MetricDirection::kLowerIsBetter}},
+      {"degraded_mode_attempts", {"count", MetricDirection::kInformational}},
+      // Workload descriptors and sweep coordinates.
+      {"sessions", {"count", MetricDirection::kInformational}},
+      {"sessions_per_run", {"count", MetricDirection::kInformational}},
+      {"sessions_total", {"count", MetricDirection::kInformational}},
+      {"calls", {"count", MetricDirection::kInformational}},
+      {"calls_routed", {"count", MetricDirection::kInformational}},
+      {"pairs", {"count", MetricDirection::kInformational}},
+      {"runs", {"count", MetricDirection::kInformational}},
+      {"run", {"id", MetricDirection::kInformational}},
+      {"seed", {"id", MetricDirection::kInformational}},
+      {"interval", {"count", MetricDirection::kInformational}},
+      {"stores", {"count", MetricDirection::kInformational}},
+      {"reply_bytes", {"bytes", MetricDirection::kInformational}},
+      {"max_batch", {"count", MetricDirection::kInformational}},
+      {"max_wait_ms", {"ms", MetricDirection::kInformational}},
+      {"max_overlap", {"count", MetricDirection::kInformational}},
+      {"wal_shards", {"count", MetricDirection::kInformational}},
+      {"concurrent_runs", {"count", MetricDirection::kInformational}},
+      {"parallel_replay_runs", {"count", MetricDirection::kInformational}},
+      {"depth1_runs", {"count", MetricDirection::kInformational}},
+      {"depth2_runs", {"count", MetricDirection::kInformational}},
+      {"depth3_runs", {"count", MetricDirection::kInformational}},
+      // Injected-fault tallies: the campaign chooses these, the system
+      // doesn't earn them.
+      {"crashes_fired", {"count", MetricDirection::kInformational}},
+      {"recovery_crashes_fired", {"count", MetricDirection::kInformational}},
+      {"crashes_at_analysis", {"count", MetricDirection::kInformational}},
+      {"crashes_at_restore", {"count", MetricDirection::kInformational}},
+      {"crashes_between_units", {"count", MetricDirection::kInformational}},
+      {"crashes_at_endlog_flush", {"count", MetricDirection::kInformational}},
+      {"storage_attack_runs", {"count", MetricDirection::kInformational}},
+      {"storage_attacks_applied", {"count", MetricDirection::kInformational}},
+      {"net_messages_dropped", {"count", MetricDirection::kInformational}},
+      {"net_messages_duplicated", {"count", MetricDirection::kInformational}},
+      {"torn_tails_injected", {"count", MetricDirection::kInformational}},
+      {"torn_tails_salvaged", {"count", MetricDirection::kInformational}},
+      {"salvage_ranges_skipped", {"count", MetricDirection::kInformational}},
+      {"salvage_full_scan_fallbacks",
+       {"count", MetricDirection::kInformational}},
+      {"salvage_state_record_fallbacks",
+       {"count", MetricDirection::kInformational}},
+      {"salvage_wkf_fallbacks", {"count", MetricDirection::kInformational}},
+      {"interceptor_retries", {"count", MetricDirection::kInformational}},
+      {"dedupe_hits", {"count", MetricDirection::kInformational}},
+      {"wov_duplicate_executions", {"count", MetricDirection::kInformational}},
+  };
+  auto it = kTable.find(metric);
+  return it == kTable.end() ? nullptr : &it->second;
+}
+
+MetricMeta ResolveMetricMeta(const std::string& metric) {
+  if (const MetricMeta* meta = DefaultMetricMeta(metric)) return *meta;
+  MetricMeta meta;
+  if (EndsWith(metric, "_ms") || EndsWith(metric, "_ms_total") ||
+      EndsWith(metric, "_ms_per_call")) {
+    meta.unit = "ms";
+  }
+  return meta;
+}
 
 void SetBenchOutDir(std::string dir) { OutDirOverride() = std::move(dir); }
 
@@ -24,6 +185,13 @@ std::string ResolveBenchPath(const std::string& filename) {
   if (dir.empty()) {
     const char* env = std::getenv("PHOENIX_BENCH_DIR");
     if (env != nullptr) dir = env;
+  }
+  if (dir.empty()) {
+    // Never litter a source checkout: when a bench (or chaos/trace tool) is
+    // launched from a repo root with no --out-dir / PHOENIX_BENCH_DIR, its
+    // artifacts land in bench_out/ instead of the repo root.
+    std::error_code ec;
+    if (std::filesystem::exists(".git", ec)) dir = "bench_out";
   }
   if (dir.empty()) return filename;
   std::error_code ec;
@@ -108,6 +276,19 @@ BenchVariant& BenchReporter::AddVariant(const std::string& name) {
   return variants_.back();
 }
 
+BenchReporter& BenchReporter::DescribeMetric(const std::string& metric,
+                                             std::string unit,
+                                             MetricDirection direction) {
+  metric_meta_[metric] = MetricMeta{std::move(unit), direction};
+  return *this;
+}
+
+MetricMeta BenchReporter::MetaFor(const std::string& metric) const {
+  auto it = metric_meta_.find(metric);
+  if (it != metric_meta_.end()) return it->second;
+  return ResolveMetricMeta(metric);
+}
+
 std::string BenchReporter::ToJson() const {
   JsonWriter w(/*indent=*/2);
   w.BeginObject();
@@ -118,6 +299,26 @@ std::string BenchReporter::ToJson() const {
     variant.WriteJson(w);
   }
   w.EndArray();
+  // Additive meta block: unit + direction for the union of metric names
+  // across all variants, sorted. Derived metadata only — goldens pin the
+  // measured values above, which this block never touches.
+  std::set<std::string> names;
+  for (const BenchVariant& variant : variants_) {
+    for (const auto& [metric, value] : variant.metrics()) names.insert(metric);
+  }
+  if (!names.empty()) {
+    w.Key("meta").BeginObject();
+    w.Key("metrics").BeginObject();
+    for (const std::string& metric : names) {
+      MetricMeta meta = MetaFor(metric);
+      w.Key(metric).BeginObject();
+      w.Key("direction").String(MetricDirectionName(meta.direction));
+      w.Key("unit").String(meta.unit);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
   w.EndObject();
   return w.str() + "\n";
 }

@@ -20,6 +20,22 @@
 // Variants appear in insertion order; metrics are sorted by name; all
 // numbers are deterministic sim-time values, so a same-seed rerun emits a
 // byte-identical file.
+//
+// Reports additionally carry an additive "meta" block after "variants"
+// describing every metric that appears in the report — its unit and its
+// direction of improvement:
+//
+//   "meta": {
+//     "metrics": {
+//       "forces": {"direction": "lower_is_better", "unit": "count"},
+//       "recovery_ms": {"direction": "lower_is_better", "unit": "ms"},
+//       ...
+//     }
+//   }
+//
+// The block is derived metadata only (no measured values live there), so
+// adding it never perturbs the pinned goldens; tools/phoenix_benchdiff uses
+// it to classify cross-run deltas as improvements or regressions.
 
 #include <cstdint>
 #include <map>
@@ -32,6 +48,37 @@
 namespace phoenix::obs {
 
 inline constexpr char kBenchSchema[] = "phoenix.bench.v1";
+
+// Which way a metric improves: smaller (times, forced writes), larger
+// (speedups, contract booleans like state_matches_sequential), or neither —
+// workload descriptors and injected-fault counters are "informational" and
+// never classify as a regression.
+enum class MetricDirection {
+  kLowerIsBetter,
+  kHigherIsBetter,
+  kInformational,
+};
+
+// JSON spelling used in the report meta block ("lower_is_better", ...).
+const char* MetricDirectionName(MetricDirection direction);
+
+// Inverse of MetricDirectionName. Returns false on unknown spellings.
+bool ParseMetricDirection(std::string_view name, MetricDirection* out);
+
+// Unit + direction for one metric.
+struct MetricMeta {
+  std::string unit;  // "ms", "count", "bytes", "ratio", "bool", "" unknown
+  MetricDirection direction = MetricDirection::kInformational;
+};
+
+// Built-in metadata for the metric names the benches and report producers
+// emit (forces, recovery_ms, ms_per_call, ...). nullptr when unknown.
+const MetricMeta* DefaultMetricMeta(const std::string& metric);
+
+// Metadata for an arbitrary metric name: the default table when the name is
+// known, otherwise a suffix heuristic (`*_ms*` counts as milliseconds) with
+// direction informational.
+MetricMeta ResolveMetricMeta(const std::string& metric);
 
 // One measured configuration of a bench (an "algorithm variant").
 class BenchVariant {
@@ -51,6 +98,11 @@ class BenchVariant {
   // Per-call latency distribution for this variant.
   BenchVariant& SetLatency(const Histogram& histogram);
   BenchVariant& SetLatency(const LatencySummary& summary);
+
+  // Metric name -> deterministically formatted number, sorted by name.
+  const std::map<std::string, std::string>& metrics() const {
+    return metrics_;
+  }
 
   void WriteJson(JsonWriter& w) const;
 
@@ -80,6 +132,17 @@ class BenchReporter {
   BenchVariant& AddVariant(const std::string& name);
   const std::vector<BenchVariant>& variants() const { return variants_; }
 
+  // Overrides (or supplies, for names the default table doesn't know) the
+  // meta-block entry for `metric`. Bench mains only need this for bench-local
+  // metrics; everything in CaptureBench and the common sweeps is covered by
+  // DefaultMetricMeta.
+  BenchReporter& DescribeMetric(const std::string& metric, std::string unit,
+                                MetricDirection direction);
+
+  // The meta-block entry that ToJson will emit for `metric`: the DescribeMetric
+  // override when present, else ResolveMetricMeta.
+  MetricMeta MetaFor(const std::string& metric) const;
+
   std::string ToJson() const;
 
   // Writes ToJson() to `path`; empty path means "BENCH_<bench_name>.json"
@@ -90,6 +153,7 @@ class BenchReporter {
   std::string bench_name_;
   std::string schema_;
   std::vector<BenchVariant> variants_;
+  std::map<std::string, MetricMeta> metric_meta_;  // DescribeMetric overrides
 };
 
 // --- artifact placement ---

@@ -8,6 +8,19 @@ BENCH_*.json reports (phoenix.bench.v1) and compares every metric listed in
 tools/bench_goldens.json exactly — these are deterministic simulations, so
 even the floating-point timings must match to the last digit.
 
+When values differ, each mismatch is classified with the report's direction
+metadata (the "meta" block phoenix.bench.v1 reports carry): a lower value on
+a lower_is_better metric prints as "improved", the opposite as "REGRESSED",
+and direction-free metrics as "changed". That makes a re-pin reviewable at a
+glance, and the exit code distinguishes the cases:
+
+    0  every pinned value matches
+    1  at least one regression, direction-free change, or structural
+       mismatch (missing bench/variant)
+    2  usage error
+    3  values differ but every mismatch is an improvement — still a failure
+       (the goldens must be re-pinned), but a reviewable one
+
 Usage:
     check_bench_goldens.py [--goldens=tools/bench_goldens.json] BENCH_x.json...
 
@@ -47,7 +60,23 @@ def load_report(path):
         variants[variant["name"]] = {
             k: metrics[k] for k in PINNED if k in metrics
         }
-    return report["bench"], variants
+    directions = {
+        metric: entry.get("direction", "informational")
+        for metric, entry in report.get("meta", {}).get("metrics", {}).items()
+    }
+    return report["bench"], variants, directions
+
+
+def classify(direction, got, want):
+    """One of "improved", "REGRESSED", "changed" for a got != want pair."""
+    if not isinstance(got, (int, float)) or isinstance(got, bool):
+        return "changed"
+    delta = got - want
+    better = {"lower_is_better": delta < 0,
+              "higher_is_better": delta > 0}.get(direction)
+    if better is None:
+        return "changed"
+    return "improved" if better else "REGRESSED"
 
 
 def main(argv):
@@ -66,9 +95,11 @@ def main(argv):
         return 2
 
     observed = {}
+    observed_directions = {}
     for path in reports:
-        bench, variants = load_report(path)
+        bench, variants, directions = load_report(path)
         observed[bench] = variants
+        observed_directions[bench] = directions
 
     if update:
         with open(goldens_path, "w") as f:
@@ -82,13 +113,15 @@ def main(argv):
     with open(goldens_path) as f:
         goldens = json.load(f)
 
-    failures = []
+    failures = []       # structural problems: always exit 1
+    mismatches = []     # (message, classification) value diffs
     checked = 0
     for bench, variants in observed.items():
         golden_bench = goldens.get(bench)
         if golden_bench is None:
             failures.append(f"{bench}: no golden recorded")
             continue
+        directions = observed_directions.get(bench, {})
         for name, golden in golden_bench.items():
             ours = variants.get(name)
             if ours is None:
@@ -97,15 +130,26 @@ def main(argv):
             for metric, want in golden.items():
                 got = ours.get(metric)
                 checked += 1
-                if got != want:
-                    failures.append(
-                        f"{bench}/{name}/{metric}: got {got!r}, want {want!r}")
+                if got == want:
+                    continue
+                direction = directions.get(metric, "informational")
+                verdict = classify(direction, got, want)
+                mismatches.append(
+                    (f"{bench}/{name}/{metric}: got {got!r}, want {want!r} "
+                     f"[{verdict}: {direction}]", verdict))
 
-    if failures:
-        print(f"bench goldens: {len(failures)} mismatch(es) "
+    if failures or mismatches:
+        print(f"bench goldens: {len(failures) + len(mismatches)} mismatch(es) "
               f"({checked} value(s) checked)", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
+        for message, _ in mismatches:
+            print(f"  {message}", file=sys.stderr)
+        if not failures and all(v == "improved" for _, v in mismatches):
+            print("bench goldens: every mismatch is an improvement — "
+                  "re-pin with --update and review the direction calls",
+                  file=sys.stderr)
+            return 3
         return 1
     print(f"bench goldens OK: {checked} value(s) match exactly")
     return 0

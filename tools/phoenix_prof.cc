@@ -10,16 +10,27 @@
 //
 // Usage:
 //   phoenix_prof --trace=FILE [--top=N] [--json=FILE]
+//               [--budget-ms=PHASE=MS]...
+//
+// --budget-ms checks a per-phase latency budget against the trace-wide phase
+// totals (the same bucket names the breakdown table prints: "execution",
+// "network", "disk.seek", "durability.park", "recovery.replay", ...), using
+// the SLO machinery the bench sentinel uses. Any exceeded budget makes the
+// exit code non-zero, so chaos/prof smoke runs can gate on attribution.
 //
 // Examples:
 //   phoenix_trace --sessions=2 --trace-jsonl=run.jsonl
 //   phoenix_prof --trace=run.jsonl --top=5
 //   phoenix_prof --trace=run.jsonl --json=run.prof.json   # phoenix.prof.v1
+//   phoenix_prof --trace=run.jsonl --budget-ms=durability.park=50
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
+#include "obs/benchdiff.h"
 #include "obs/profile.h"
 #include "obs/tracer.h"
 
@@ -27,7 +38,9 @@ namespace phoenix::tools {
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s --trace=FILE [--top=N] [--json=FILE]\n",
+  std::fprintf(stderr,
+               "usage: %s --trace=FILE [--top=N] [--json=FILE]\n"
+               "          [--budget-ms=PHASE=MS]...\n",
                argv0);
   return 2;
 }
@@ -61,6 +74,7 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
 int Main(int argc, char** argv) {
   std::string trace_path;
   std::string json_path;
+  std::vector<obs::Budget> budgets;
   size_t top_n = 3;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -71,6 +85,11 @@ int Main(int argc, char** argv) {
       json_path = value;
     } else if (ParseFlag(arg, "top", &value)) {
       top_n = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "budget-ms", &value)) {
+      size_t eq = value.find('=');
+      if (eq == std::string::npos) return Usage(argv[0]);
+      budgets.push_back(obs::Budget{value.substr(0, eq),
+                                    std::atof(value.c_str() + eq + 1)});
     } else {
       return Usage(argv[0]);
     }
@@ -99,6 +118,25 @@ int Main(int argc, char** argv) {
     }
     std::printf("\nprofile json: %s\n", json_path.c_str());
   }
+
+  if (budgets.empty()) return 0;
+  // Per-phase latency budgets against the trace-wide totals. An absent
+  // phase spent 0 ms and passes; only measured overruns fail the run.
+  bool violated = false;
+  std::printf("\nphase budgets:\n");
+  for (const obs::BudgetOutcome& outcome :
+       obs::CheckBudgets(report.total_phase_ms, budgets)) {
+    std::printf("  %-24s <= %10.3f ms: %10.3f ms %s\n",
+                outcome.budget.key.c_str(), outcome.budget.max,
+                outcome.present ? outcome.value : 0.0,
+                outcome.violated ? "VIOLATION" : "ok");
+    violated = violated || outcome.violated;
+  }
+  if (violated) {
+    std::printf("phase budgets: VIOLATED\n");
+    return 1;
+  }
+  std::printf("phase budgets: ok\n");
   return 0;
 }
 
