@@ -43,6 +43,18 @@ struct RuntimeOptions {
   // the simulation deterministic.
   uint32_t process_checkpoint_every = 0;
 
+  // Asynchronous checkpointing: run state-record capture and process
+  // checkpoints on a dedicated background session per process instead of
+  // inline on the calling chain. Foreground calls only mark their context
+  // dirty; every `async_checkpoint_interval` completed incoming calls the
+  // background session sweeps the dirty idle contexts (busy ones are
+  // deferred and re-armed), takes a process checkpoint, forces the bracket
+  // on its own chain, and publishes. §4.3's publish ordering is unchanged —
+  // only *which chain* pays for the disk writes moves. Off by default so
+  // the inline cadence above stays the pinned reference behavior.
+  bool async_checkpoint = false;
+  uint32_t async_checkpoint_interval = 64;
+
   // How many times a caller re-sends a call that found the server dead
   // before giving up (condition 4 says "until it gets some response"; the
   // bound keeps broken test setups from spinning forever).

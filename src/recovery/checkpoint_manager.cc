@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/strings.h"
 #include "runtime/context.h"
 #include "runtime/process.h"
 #include "runtime/simulation.h"
+#include "wal/force_point.h"
 #include "wal/log_reader.h"
 
 namespace phoenix {
@@ -77,6 +79,15 @@ void CheckpointManager::OnIncomingCallFinished(Context& ctx) {
   const RuntimeOptions& opts = process_->simulation()->options();
   if (!process_->alive() || process_->recovering()) return;
 
+  if (process_->async_checkpoint_active()) {
+    // The background session owns capture: the foreground chain only marks
+    // the context dirty. The sweep re-checks §4.2's "not active" rule
+    // itself (a context serving a call is deferred), so nothing else from
+    // the inline cadence below runs on this chain.
+    ++calls_since_save_[ctx.id()];
+    return;
+  }
+
   if (opts.save_context_state_every > 0) {
     uint64_t& count = calls_since_save_[ctx.id()];
     if (++count >= opts.save_context_state_every) {
@@ -111,6 +122,11 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
     return Status::Crashed("crash during process checkpoint");
   }
 
+  // Everything the bracket's entries reference must stay pinned against
+  // log truncation until a *newer* checkpoint is published — the live
+  // context/last-call tables can move past these LSNs while this bracket
+  // is still the one recovery would read.
+  std::vector<uint64_t> refs;
   for (const auto& [context_id, ctx] : proc.contexts()) {
     CheckpointContextEntryRecord entry;
     entry.context_id = context_id;
@@ -119,6 +135,7 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
     // so its replay origin moves up to the checkpoint itself.
     entry.recovery_lsn = context_id == 0 ? begin_lsn : ctx->recovery_lsn();
     entry.last_outgoing_seq = ctx->last_outgoing_seq();
+    if (entry.recovery_lsn != kInvalidLsn) refs.push_back(entry.recovery_lsn);
     proc.log().Append(entry);
   }
 
@@ -127,6 +144,7 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
     record.context_id = entry.context_id;
     record.call_id = CallId{key.first, entry.seq};
     record.reply_lsn = entry.reply_lsn;
+    if (record.reply_lsn != kInvalidLsn) refs.push_back(record.reply_lsn);
     proc.log().Append(record);
   }
 
@@ -141,6 +159,14 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
   uint64_t end_lsn = proc.log().Append(EndCheckpointRecord{begin_lsn});
   pending_begin_lsn_ = begin_lsn;
   pending_end_lsn_ = end_lsn;
+  // The bracket lives on the meta shard (the whole log when unsharded).
+  // Its publish gate is that log's *own* durable horizon reaching one past
+  // the end record — captured here, right after the append, so it covers
+  // the end record regardless of how frames pack.
+  pending_end_horizon_ =
+      proc.log().sharded() ? proc.log().shard_next_lsn(0) : proc.log().next_lsn();
+  pending_end_append_ms_ = sim->clock().NowMs();
+  pending_ref_lsns_ = std::move(refs);
   ++checkpoints_taken_;
   sim->metrics()
       .GetCounter("phoenix.checkpoint.taken", obs::LabelSet{{"process", label}})
@@ -154,7 +180,27 @@ Result<uint64_t> CheckpointManager::TakeProcessCheckpoint() {
 
 void CheckpointManager::MaybePublishCheckpoint() {
   if (pending_begin_lsn_ == kInvalidLsn) return;
-  if (!process_->log().IsStable(pending_end_lsn_)) return;
+  // The gate reads the durable horizon of the log that holds the bracket —
+  // on a sharded WAL the meta shard's (shard 0's), which is exactly what
+  // LogManager::durable_lsn() reports in both layouts. A composite-LSN
+  // IsStable() check through the forcing chain's touched-shard view could
+  // answer from the wrong shard's horizon; the horizon captured at the end
+  // append cannot.
+  if (process_->log().durable_lsn() < pending_end_horizon_) return;
+  Simulation* sim = process_->simulation();
+  std::string label = ProcLabel(process_);
+  if (pending_begin_lsn_ == published_begin_lsn_) {
+    // Publish-once latch: this checkpoint is already in the well-known
+    // file. Every interceptor force site (and the background sweep) calls
+    // in here, so repeats are common and must be no-ops — re-writing the
+    // well-known file would re-externalize and re-trigger GC.
+    ++publish_skips_;
+    sim->metrics()
+        .GetCounter("phoenix.checkpoint.publish_skips",
+                    obs::LabelSet{{"process", label}})
+        .Increment();
+    return;
+  }
   // §4.3: once the checkpoint is flushed, force the begin LSN into the
   // well-known file; recovery starts its first pass there.
   uint64_t published_lsn = pending_begin_lsn_;
@@ -162,17 +208,26 @@ void CheckpointManager::MaybePublishCheckpoint() {
   // The well-known file now points into the stable checkpoint bracket;
   // recovery depends on those bytes, so a torn tail may no longer eat them.
   process_->NoteExternalization();
-  pending_begin_lsn_ = kInvalidLsn;
-  pending_end_lsn_ = kInvalidLsn;
+  published_begin_lsn_ = published_lsn;
+  // The published entries reference these LSNs until the next publish.
+  published_ref_lsns_ = pending_ref_lsns_;
   ++checkpoints_published_;
-  Simulation* sim = process_->simulation();
-  std::string label = ProcLabel(process_);
   sim->metrics()
       .GetCounter("phoenix.checkpoint.published",
                   obs::LabelSet{{"process", label}})
       .Increment();
   sim->tracer().Instant("checkpoint", "publish", label, sim->Current(),
                         {obs::Arg("begin_lsn", published_lsn)});
+  if (process_->async_checkpoint_active()) {
+    sim->metrics()
+        .GetCounter("phoenix.checkpoint.async.publishes",
+                    obs::LabelSet{{"process", label}})
+        .Increment();
+    sim->metrics()
+        .GetHistogram("phoenix.checkpoint.async.lag_ms",
+                      obs::LabelSet{{"process", label}})
+        .Record(sim->clock().NowMs() - pending_end_append_ms_);
+  }
   if (process_->simulation()->options().auto_truncate_log) {
     GarbageCollect();
   }
@@ -186,6 +241,17 @@ uint64_t CheckpointManager::ComputeTruncationPoint() const {
   if (!well_known.ok()) return proc.log().head_base();
 
   uint64_t point = *well_known;
+  // A checkpoint in flight (taken, not yet published) pins its own bracket
+  // and everything its captured entries reference: with async capture the
+  // live tables can advance past the captured LSNs before the publish, and
+  // recovery may still land on this bracket once it publishes. The
+  // *published* bracket's captured refs stay pinned too — its entries keep
+  // pointing at them even after the live context saves newer state.
+  if (pending_begin_lsn_ != kInvalidLsn) {
+    point = std::min(point, pending_begin_lsn_);
+  }
+  for (uint64_t ref : pending_ref_lsns_) point = std::min(point, ref);
+  for (uint64_t ref : published_ref_lsns_) point = std::min(point, ref);
   for (const auto& [context_id, ctx] : proc.contexts()) {
     uint64_t origin = ctx->recovery_lsn();
     if (origin != kInvalidLsn) point = std::min(point, origin);
@@ -220,6 +286,12 @@ uint64_t CheckpointManager::GarbageCollect() {
       point[s] = std::min(point[s], LocalOfLsn(lsn));
     };
     pin(*well_known);  // the checkpoint bracket itself, on shard 0
+    // Same in-flight/published pins as ComputeTruncationPoint, per shard:
+    // composite LSNs cannot be min'd across shards, so every captured ref
+    // pins individually.
+    pin(pending_begin_lsn_);
+    for (uint64_t ref : pending_ref_lsns_) pin(ref);
+    for (uint64_t ref : published_ref_lsns_) pin(ref);
     for (const auto& [context_id, ctx] : proc.contexts()) {
       pin(ctx->recovery_lsn());
     }
@@ -273,6 +345,83 @@ uint64_t CheckpointManager::GarbageCollect() {
   sim->tracer().Instant("checkpoint", "trim", label, sim->Current(),
                         {obs::Arg("head", point), obs::Arg("bytes", reclaimed)});
   return reclaimed;
+}
+
+bool CheckpointManager::HasDeferredIdleContext() const {
+  for (uint64_t id : deferred_contexts_) {
+    Context* ctx = process_->FindContext(id);
+    if (ctx == nullptr) continue;  // destroyed since the deferral
+    if (!ctx->busy() && !ctx->serving()) return true;
+  }
+  return false;
+}
+
+bool CheckpointManager::AsyncSweepDue(uint32_t interval) const {
+  Process& proc = *process_;
+  if (!proc.alive() || proc.recovering()) return false;
+  // The process-wide incoming-call counter is monotone across restarts, so
+  // a call-count cadence stays deterministic under crashes.
+  if (proc.incoming_calls() >= last_sweep_incoming_calls_ + interval) {
+    return true;
+  }
+  return HasDeferredIdleContext();
+}
+
+Status CheckpointManager::RunAsyncSweep() {
+  Process& proc = *process_;
+  Simulation* sim = proc.simulation();
+  if (!proc.alive() || proc.recovering()) {
+    return Status::Unavailable("process not running");
+  }
+  last_sweep_incoming_calls_ = proc.incoming_calls();
+  ++async_sweeps_;
+  std::string label = ProcLabel(&proc);
+  sim->metrics()
+      .GetCounter("phoenix.checkpoint.async.sweeps",
+                  obs::LabelSet{{"process", label}})
+      .Increment();
+  obs::Tracer::Span span =
+      sim->tracer().StartSpan("checkpoint", "async_sweep", label, sim->Current());
+  TraceFrameScope trace_frame(sim, span);
+
+  // §4.2's "not active" rule, re-checked here because the capturing chain
+  // no longer owns the context: only a context with no call in flight may
+  // be captured. Busy/serving contexts are deferred — AsyncSweepDue re-arms
+  // as soon as one goes idle.
+  std::set<uint64_t> deferred;
+  uint64_t saved = 0;
+  for (const auto& [context_id, ctx] : proc.contexts()) {
+    auto dirty = calls_since_save_.find(context_id);
+    if (dirty == calls_since_save_.end() || dirty->second == 0) continue;
+    if (ctx->busy() || ctx->serving()) {
+      deferred.insert(context_id);
+      ++async_deferrals_;
+      sim->metrics()
+          .GetCounter("phoenix.checkpoint.async.deferred",
+                      obs::LabelSet{{"process", label}})
+          .Increment();
+      continue;
+    }
+    Result<uint64_t> lsn = SaveContextState(*ctx);
+    if (!lsn.ok()) return lsn.status();  // injected crash mid-save
+    dirty->second = 0;
+    ++saved;
+  }
+  deferred_contexts_ = std::move(deferred);
+  span.AddArg(obs::Arg("contexts_saved", saved));
+  span.AddArg(
+      obs::Arg("contexts_deferred", static_cast<uint64_t>(deferred_contexts_.size())));
+
+  Result<uint64_t> begin = TakeProcessCheckpoint();
+  if (!begin.ok()) return std::move(begin).status();
+  // §4.3's ordering is unchanged: the bracket went out unforced and the
+  // well-known file flips only once the end record is durable. The force
+  // that makes it durable runs on this background chain (parking into the
+  // group-commit pipeline when one is active), so foreground sends never
+  // pay for it.
+  PHX_RETURN_IF_ERROR(proc.WaitDurable(ForcePoint::kAsyncCheckpoint));
+  MaybePublishCheckpoint();
+  return Status::OK();
 }
 
 }  // namespace phoenix

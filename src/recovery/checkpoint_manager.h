@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "common/result.h"
 #include "wal/log_record.h"
@@ -40,10 +42,29 @@ class CheckpointManager {
   Result<uint64_t> TakeProcessCheckpoint();
 
   // Publishes the pending checkpoint to the well-known file once its end
-  // record has been flushed (called after forces). With
-  // options.auto_truncate_log set, a publish also garbage-collects the log
-  // head.
+  // record is inside the durable horizon of the log that holds it — on a
+  // sharded WAL that is the *meta shard's* (shard 0's) horizon, never the
+  // forcing chain's touched-shard view. Invoked from every interceptor
+  // force site and after checkpoint capture; a publish-once latch keyed by
+  // the begin LSN makes the repeat invocations no-ops (counted in
+  // phoenix.checkpoint.publish_skips). With options.auto_truncate_log set,
+  // a publish also garbage-collects the log head.
   void MaybePublishCheckpoint();
+
+  // --- asynchronous checkpointing (RuntimeOptions.async_checkpoint) ---
+
+  // True when the background checkpoint session owes this process a sweep:
+  // `interval` incoming calls completed since the last sweep, or a context
+  // deferred by the last sweep (it was serving a call) has gone idle.
+  // Evaluated as a ParkUntil predicate while every chain is quiesced.
+  bool AsyncSweepDue(uint32_t interval) const;
+
+  // One background sweep: saves state for every dirty idle context
+  // (contexts with a live incoming call are deferred and re-armed via
+  // AsyncSweepDue), takes a process checkpoint, forces the bracket on the
+  // calling (background) chain with ForcePoint::kAsyncCheckpoint, and
+  // publishes. Returns Crashed when the process dies mid-sweep.
+  Status RunAsyncSweep();
 
   // Log truncation (an engineering necessity checkpoints enable, though the
   // paper stops short of it): everything below the returned LSN can never
@@ -63,16 +84,48 @@ class CheckpointManager {
   uint64_t state_saves() const { return state_saves_; }
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
   uint64_t checkpoints_published() const { return checkpoints_published_; }
+  uint64_t publish_skips() const { return publish_skips_; }
+  uint64_t async_sweeps() const { return async_sweeps_; }
+  uint64_t async_deferrals() const { return async_deferrals_; }
 
  private:
+  // A context deferred by the last sweep has since finished its call and
+  // can be captured now.
+  bool HasDeferredIdleContext() const;
+
   Process* process_;
   uint64_t pending_begin_lsn_ = kInvalidLsn;
   uint64_t pending_end_lsn_ = kInvalidLsn;
+  // Exclusive durable horizon (a local offset on the log that holds the
+  // bracket — shard 0 when sharded) that must be reached before the
+  // pending end record may publish. Captured right after the end append,
+  // so it is one past the end record regardless of frame packing.
+  uint64_t pending_end_horizon_ = 0;
+  // Sim time of the end-record append, for phoenix.checkpoint.async.lag_ms.
+  double pending_end_append_ms_ = 0.0;
+  // Every LSN the pending bracket's entries reference (context recovery
+  // origins and last-call reply records at capture time). GC must pin them
+  // all: once capture is async, a context may save newer state between
+  // capture and publish, and the live recovery LSN alone would let
+  // auto_truncate_log trim records the checkpoint-in-progress still needs.
+  // On publish they become published_ref_lsns_ — the published entries keep
+  // referencing them until the next publish supersedes them.
+  std::vector<uint64_t> pending_ref_lsns_;
+  std::vector<uint64_t> published_ref_lsns_;
+  // Publish-once latch: begin LSN of the checkpoint already in the
+  // well-known file. Repeat MaybePublishCheckpoint calls for it are skips.
+  uint64_t published_begin_lsn_ = kInvalidLsn;
+  // Contexts the last async sweep skipped because they were serving a call.
+  std::set<uint64_t> deferred_contexts_;
+  uint64_t last_sweep_incoming_calls_ = 0;
   std::map<uint64_t, uint64_t> calls_since_save_;  // context id -> count
   uint64_t calls_since_checkpoint_ = 0;
   uint64_t state_saves_ = 0;
   uint64_t checkpoints_taken_ = 0;
   uint64_t checkpoints_published_ = 0;
+  uint64_t publish_skips_ = 0;
+  uint64_t async_sweeps_ = 0;
+  uint64_t async_deferrals_ = 0;
 };
 
 }  // namespace phoenix

@@ -119,6 +119,11 @@ class Context {
 
   bool replaying() const { return replaying_; }
   bool busy() const { return busy_; }
+  // True while an interceptor is dispatching an incoming call into this
+  // context (the ServingGuard window). The async checkpoint sweep uses it —
+  // together with busy() — to honor §4.2's "not active" rule: a context
+  // with a call in flight is deferred, not captured.
+  bool serving() const { return serving_; }
 
   // True once the parent's creation call (Initialize) has run — either
   // live, by replay, or implicitly via a state-record restore. Lets

@@ -213,6 +213,8 @@ Result<ReplyMessage> Context::HandleIncoming(const CallMessage& msg) {
   proc->CountIncomingCall();
   // Checkpoint cadence counts only logged calls: a read-only interaction
   // left no record and changed no state, so re-saving after it buys nothing.
+  // Under async checkpointing this only marks the context dirty — the
+  // background session does the capture off this chain.
   if (in_dec.write) {
     proc->checkpoints().OnIncomingCallFinished(*this);
   }

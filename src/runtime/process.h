@@ -139,6 +139,18 @@ class Process {
   // between-attempt storage attacks; safe on a dead process.
   void InjectTornTail(uint64_t bytes);
 
+  // --- asynchronous checkpointing ---
+  // True while a dedicated background checkpoint session is sweeping this
+  // process (Simulation::RunSessions with RuntimeOptions.async_checkpoint
+  // set): the inline capture cadence in OnIncomingCallFinished stands down
+  // and foreground chains only mark contexts dirty. Deliberately *not*
+  // reset by Kill/Start — the background session outlives crashes and
+  // resumes sweeping once recovery brings the process back.
+  bool async_checkpoint_active() const { return async_checkpoint_active_; }
+  void set_async_checkpoint_active(bool active) {
+    async_checkpoint_active_ = active;
+  }
+
   // --- statistics ---
   uint64_t incoming_calls() const { return incoming_calls_; }
   void CountIncomingCall() { ++incoming_calls_; }
@@ -161,6 +173,7 @@ class Process {
   uint32_t pid_;
   bool alive_ = false;
   bool recovering_ = false;
+  bool async_checkpoint_active_ = false;
 
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<CheckpointManager> checkpoints_;

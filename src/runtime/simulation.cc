@@ -1,9 +1,13 @@
 #include "runtime/simulation.h"
 
+#include <algorithm>
 #include <fstream>
+#include <memory>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "recovery/checkpoint_manager.h"
 #include "runtime/context.h"
 #include "runtime/process.h"
 
@@ -282,7 +286,55 @@ void Simulation::RunSessions(std::vector<std::function<void()>> sessions) {
       }
     }
   }
+  std::vector<Process*> async_checkpoint_procs;
+  if (options_.async_checkpoint) {
+    // One background checkpoint session per live process. The foreground
+    // bodies are wrapped with a completion latch: the checkpoint sessions
+    // must outlive every caller chain (a late bracket still publishes) but
+    // exit once all of them are done — otherwise Run() would never return.
+    auto remaining = std::make_shared<int>(static_cast<int>(sessions.size()));
+    for (std::function<void()>& body : sessions) {
+      body = [body = std::move(body), remaining] {
+        body();
+        --*remaining;
+      };
+    }
+    uint32_t interval = std::max<uint32_t>(1, options_.async_checkpoint_interval);
+    for (const auto& [name, machine] : machines_) {
+      for (const auto& [pid, process] : machine->processes()) {
+        Process* proc = process.get();
+        if (!proc->alive()) continue;
+        async_checkpoint_procs.push_back(proc);
+        proc->set_async_checkpoint_active(true);
+        sessions.push_back([proc, remaining, interval, &scheduler] {
+          while (true) {
+            bool sweep = false;
+            // Evaluated while every chain is quiesced, so reading process
+            // state here is race-free. Exit wins over a due sweep: once
+            // the workload is drained there is nothing left to protect.
+            scheduler.ParkUntil([proc, remaining, interval, &sweep] {
+              if (*remaining == 0) return true;
+              if (proc->checkpoints().AsyncSweepDue(interval)) {
+                sweep = true;
+                return true;
+              }
+              return false;
+            });
+            if (!sweep) break;
+            // A crash mid-sweep surfaces as Crashed; the session simply
+            // re-parks and resumes sweeping after recovery restarts the
+            // process. checkpoints() is re-fetched every iteration —
+            // Process::Start rebuilds the manager.
+            (void)proc->checkpoints().RunAsyncSweep();
+          }
+        });
+      }
+    }
+  }
   scheduler.Run(std::move(sessions));
+  for (Process* proc : async_checkpoint_procs) {
+    proc->set_async_checkpoint_active(false);
+  }
   session_scheduler_ = nullptr;
   for (const auto& [name, machine] : machines_) {
     for (const auto& [pid, process] : machine->processes()) {

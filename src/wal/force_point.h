@@ -15,8 +15,9 @@ enum class ForcePoint {
   kOutgoingSend,    // outgoing-call record durable before the send
   kReplyReceived,   // reply-received record durable (force-all discipline)
   // Non-interceptor durability points.
-  kCheckpoint,   // checkpoint publish / well-known-file consistency
-  kRecovery,     // recovery-time log repair
+  kCheckpoint,       // checkpoint publish / well-known-file consistency
+  kAsyncCheckpoint,  // background checkpoint session forcing its bracket
+  kRecovery,         // recovery-time log repair
   kBufferFull,   // writer buffer overflow; not a policy decision
   kGroupCommit,  // batched flush issued by the commit pipeline scheduler
   kManual,       // tests, tools, direct Force() calls
@@ -34,6 +35,8 @@ inline const char* ForcePointName(ForcePoint point) {
       return "reply_received";
     case ForcePoint::kCheckpoint:
       return "checkpoint";
+    case ForcePoint::kAsyncCheckpoint:
+      return "async_checkpoint";
     case ForcePoint::kRecovery:
       return "recovery";
     case ForcePoint::kBufferFull:

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "recovery/checkpoint_manager.h"
 #include "recovery/recovery_service.h"
 #include "tests/test_components.h"
+#include "wal/force_point.h"
 #include "wal/log_manager.h"
 #include "wal/log_reader.h"
 #include "wal/merged_log_reader.h"
@@ -278,6 +280,47 @@ TEST_F(ShardedRecoveryTest, ShardedRecoveryMatchesSingleLogTwin) {
     return values;
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+TEST_F(ShardedRecoveryTest, PublishGateReadsMetaShardHorizonOnly) {
+  // Regression: the checkpoint bracket lives on the meta shard (shard 0),
+  // so MaybePublishCheckpoint's durability gate must read *that* shard's
+  // horizon. A chain that forces only its own shards must not be able to
+  // flip the well-known file while the end record still sits in shard 0's
+  // buffer.
+  SetUpSim(4);
+  ExternalClient client(sim_.get(), "alpha");
+  std::vector<std::string> uris;
+  for (int c = 0; c < 3; ++c) {
+    auto uri = client.CreateComponent(*proc_, "Counter",
+                                      "c" + std::to_string(c),
+                                      ComponentKind::kPersistent, {});
+    ASSERT_TRUE(uri.ok());
+    uris.push_back(*uri);
+  }
+  for (const std::string& uri : uris) {
+    ASSERT_TRUE(client.Call(uri, "Add", MakeArgs(2)).ok());
+  }
+
+  // Bracket appended, unforced: it sits in shard 0's buffer.
+  ASSERT_TRUE(proc_->checkpoints().TakeProcessCheckpoint().ok());
+  ASSERT_TRUE(proc_->log().ReadWellKnownLsn().status().IsNotFound());
+
+  // Forcing every non-meta shard advances their horizons but not shard
+  // 0's; the gate must stay shut.
+  for (uint32_t s = 1; s < proc_->log().shard_count(); ++s) {
+    ASSERT_TRUE(
+        proc_->log().WaitDurableShard(s, ForcePoint::kManual, false).ok());
+  }
+  proc_->checkpoints().MaybePublishCheckpoint();
+  EXPECT_TRUE(proc_->log().ReadWellKnownLsn().status().IsNotFound());
+
+  // The meta shard's own horizon opens it.
+  ASSERT_TRUE(
+      proc_->log().WaitDurableShard(0, ForcePoint::kManual, false).ok());
+  proc_->checkpoints().MaybePublishCheckpoint();
+  EXPECT_TRUE(proc_->log().ReadWellKnownLsn().ok());
+  EXPECT_EQ(proc_->checkpoints().checkpoints_published(), 1u);
 }
 
 TEST_F(ShardedRecoveryTest, TornShardSalvagesWithoutTouchingOthers) {

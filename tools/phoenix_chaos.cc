@@ -34,9 +34,17 @@
 // single-log twin — and the exactly-once oracle plus an FNV-1a state-hash
 // diff against the twin must both come out clean.
 //
+// With --async-checkpoint the driver runs the async-checkpoint campaign:
+// concurrent workloads with the inline save/checkpoint cadence off and the
+// background checkpoint sweeper on, seeded crashes fired *inside* the
+// background sweeps (state capture, checkpoint bracket, group flush) with
+// optional crash-time torn tails, hash-diffed against a fault-free async
+// twin of the same workload.
+//
 // Usage:
 //   phoenix_chaos [--runs=N] [--seed=S] [--sessions=N] [--overlap=N]
-//                 [--wal-shards=N] [--out=FILE] [--verbose]
+//                 [--wal-shards=N] [--async-checkpoint]
+//                 [--out=FILE] [--verbose]
 
 #include <cstdio>
 #include <cstring>
@@ -76,6 +84,11 @@ struct CampaignOptions {
   // single-shard storage attacks, hash-diffed against a fault-free
   // single-log twin.
   uint32_t wal_shards = 1;
+  // Run the async-checkpoint campaign: concurrent workloads with the
+  // background checkpoint sweeper on and inline cadence off, seeded
+  // crashes fired inside the sweeps, hash-diffed against a fault-free
+  // async twin.
+  bool async_checkpoint = false;
 };
 
 enum class Topology {
@@ -1034,6 +1047,427 @@ int RunRecoveryCrashCampaign(const CampaignOptions& campaign) {
   return stats.violations > 0 ? 1 : 0;
 }
 
+// --- async-checkpoint campaign ---------------------------------------------
+//
+// --async-checkpoint treats the background checkpoint session as the fault
+// domain: every run executes a concurrent bookstore workload with the
+// inline save/checkpoint cadence OFF and the async sweeper ON (group
+// commit on, per the pipeline's parking contract), while seeded crashes
+// fire *inside* the background sweeps — mid context-state capture
+// (kDuringStateSave), inside the checkpoint bracket (kDuringCheckpoint)
+// and in the group flush the sweep's force joins (kDuringGroupFlush) —
+// with optional crash-time torn tails eating the unpublished bracket. The
+// oracle is exactly-once plus an FNV-1a state-hash diff against a
+// fault-free async twin of the identical workload: a crash in the
+// background sweeper must never change what got sold, and a torn
+// unpublished bracket must fall back to the older published checkpoint
+// without observable drift.
+
+// One randomized async-checkpoint configuration. Persistent topologies
+// only: the twin-hash oracle needs every count exact.
+struct AsyncCheckpointConfig {
+  uint64_t sim_seed = 1;
+  bookstore::OptLevel level = bookstore::OptLevel::kSpecialized;
+  uint32_t interval = 8;  // async_checkpoint_interval under test
+  Topology topology = Topology::kRemoteAgent;
+  int stores = 2;
+  int overlap = 2;  // sessions per concurrent wave (always >= 2)
+  bool parallel_replay = false;
+  double torn_p = 0.0;  // crash-time torn tails
+  std::vector<std::pair<FailurePoint, uint64_t>> crashes;
+};
+
+AsyncCheckpointConfig MakeAsyncCheckpointConfig(
+    const CampaignOptions& campaign, int run) {
+  Random rng(campaign.seed * 3000017ull + static_cast<uint64_t>(run));
+  AsyncCheckpointConfig cfg;
+  cfg.sim_seed = campaign.seed * 7919ull + static_cast<uint64_t>(run) + 1;
+  switch (rng.Uniform(3)) {
+    case 0:
+      cfg.level = bookstore::OptLevel::kBaseline;
+      break;
+    case 1:
+      cfg.level = bookstore::OptLevel::kOptimizedLogging;
+      break;
+    default:
+      cfg.level = bookstore::OptLevel::kSpecialized;
+      break;
+  }
+  const uint32_t kIntervals[] = {4, 8, 16};
+  cfg.interval = kIntervals[rng.Uniform(3)];
+  cfg.topology = rng.Bernoulli(0.5) ? Topology::kRemoteAgent
+                                    : Topology::kColocatedAgent;
+  cfg.stores = 1 + static_cast<int>(rng.Uniform(2));
+  // Always concurrent: the background session only interleaves mid-wave,
+  // so a sequential run would never crash inside a sweep.
+  int span = campaign.overlap > 2 ? campaign.overlap - 1 : 1;
+  cfg.overlap = 2 + static_cast<int>(rng.Uniform(
+                        static_cast<uint64_t>(span)));
+  cfg.parallel_replay = rng.Bernoulli(0.4);
+  // 1..3 crash triggers aimed at the points only the background sweeper
+  // reaches on these runs (the inline cadence is off, so kDuringStateSave
+  // and kDuringCheckpoint can't fire from a foreground chain). Sweeps are
+  // rare relative to protocol hooks, so the fuses are short; a trigger
+  // whose count outruns the run's sweeps simply never fires. Triggers only
+  // target the seller's process: the persistent agent in front masks every
+  // seller crash, whereas killing the *agent* mid-wave would interrupt its
+  // external driver's in-flight call and open the §3.1.2 window of
+  // vulnerability — expected duplicates, not a checkpointing defect.
+  static const FailurePoint kSweepPoints[] = {
+      FailurePoint::kDuringStateSave,
+      FailurePoint::kDuringCheckpoint,
+      FailurePoint::kDuringGroupFlush,
+  };
+  uint64_t cumulative[kNumFailurePoints] = {};
+  uint64_t crash_count = 1 + rng.Uniform(3);
+  for (uint64_t i = 0; i < crash_count; ++i) {
+    FailurePoint point = kSweepPoints[rng.Uniform(3)];
+    cumulative[static_cast<int>(point)] += 1 + rng.Uniform(3);
+    cfg.crashes.emplace_back(point, cumulative[static_cast<int>(point)]);
+  }
+  if (rng.Bernoulli(0.5)) cfg.torn_p = 0.1 + rng.NextDouble() * 0.5;
+  return cfg;
+}
+
+struct AsyncCheckpointStats {
+  uint64_t runs = 0;
+  uint64_t violations = 0;
+  uint64_t hash_divergences = 0;
+  uint64_t sessions_total = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t recoveries = 0;
+  uint64_t torn_tails_injected = 0;
+  uint64_t async_sweeps = 0;
+  uint64_t async_publishes = 0;
+  uint64_t async_deferrals = 0;
+  uint64_t publish_skips = 0;
+  uint64_t group_flushes = 0;
+  uint64_t parallel_replay_runs = 0;
+  uint64_t point_crashes[3] = {0, 0, 0};  // state_save / checkpoint / flush
+};
+
+// Runs one configuration — faulted (inject=true) or as the fault-free
+// async twin — in concurrent waves, checks exactly-once, and fills
+// *state_hash with the FNV-1a digest of the final observable state.
+std::string RunAsyncCheckpointOne(const AsyncCheckpointConfig& cfg, int run,
+                                  int sessions, bool inject,
+                                  AsyncCheckpointStats& stats,
+                                  uint64_t* state_hash,
+                                  std::string* flight_file) {
+  RuntimeOptions runtime = bookstore::OptionsForLevel(cfg.level);
+  // Inline cadence off, async sweeper on: every capture and publish runs
+  // on the background session. Group commit must be on for the scheduler
+  // to rotate into that session mid-wave (the pipeline only parks under
+  // group commit).
+  runtime.save_context_state_every = 0;
+  runtime.process_checkpoint_every = 0;
+  runtime.async_checkpoint = true;
+  runtime.async_checkpoint_interval = cfg.interval;
+  runtime.group_commit = true;
+  runtime.call_retry_budget_ms = 0.0;
+  runtime.parallel_replay = cfg.parallel_replay;
+
+  SimulationParams params;
+  params.seed = cfg.sim_seed;
+  params.flight_recorder_events = kFlightEvents;
+  Simulation sim(runtime, params);
+  bookstore::RegisterBookstoreComponents(sim.factories());
+  sim.factories().Register<ShoppingAgent>("ShoppingAgent");
+  Machine& server_machine = sim.AddMachine("server");
+  Machine& client_machine = sim.AddMachine("client");
+  auto deployment =
+      bookstore::Deploy(sim, server_machine, cfg.stores, cfg.level);
+  if (!deployment.ok()) {
+    return "deploy failed: " + deployment.status().ToString();
+  }
+  Process& server_proc = *deployment->server_process;
+
+  ExternalClient admin(&sim, "client");
+  Machine& agent_machine = cfg.topology == Topology::kRemoteAgent
+                               ? client_machine
+                               : server_machine;
+  Process& agent_proc = agent_machine.CreateProcess();
+  std::vector<std::string> agent_uris;
+  for (int a = 0; a < cfg.overlap; ++a) {
+    auto agent = admin.CreateComponent(
+        agent_proc, "ShoppingAgent", StrCat("agent", a),
+        ComponentKind::kPersistent, MakeArgs(deployment->seller_uri));
+    if (!agent.ok()) {
+      return "agent creation failed: " + agent.status().ToString();
+    }
+    agent_uris.push_back(*agent);
+  }
+
+  if (inject) {
+    for (const auto& [point, hit] : cfg.crashes) {
+      sim.injector().AddTrigger("server", server_proc.pid(), point, hit);
+    }
+    if (cfg.torn_p > 0.0) {
+      sim.injector().EnableTornTails(cfg.torn_p, cfg.sim_seed * 131 + 7);
+    }
+  }
+
+  std::vector<int> expected_store(cfg.stores, 0);
+  std::vector<std::vector<int>> expected_book(cfg.stores,
+                                              std::vector<int>(11, 0));
+  Random workload(cfg.sim_seed * 31 + 1);
+  std::string failure;
+
+  // Concurrent waves, RunOne-style: plans drawn before the wave runs so
+  // the oracle's expectations never depend on chain interleaving. Crashes
+  // fired inside background sweeps recover lazily — the next retry that
+  // finds the process dead triggers the supervised recovery path.
+  int next = 0;
+  while (next < sessions && failure.empty()) {
+    int wave_end = std::min(next + cfg.overlap, sessions);
+    struct Plan {
+      int i;
+      int store;
+      int book;
+      Status status = Status::OK();
+    };
+    std::vector<Plan> wave;
+    for (int i = next; i < wave_end; ++i) {
+      wave.push_back({i, static_cast<int>(workload.Uniform(cfg.stores)),
+                      static_cast<int>(workload.Uniform(10)) + 1});
+    }
+    std::vector<std::function<void()>> bodies;
+    for (Plan& plan : wave) {
+      bodies.push_back([&sim, &deployment, &agent_uris, p = &plan] {
+        std::string buyer = "buyer" + std::to_string(p->i);
+        ExternalClient driver(&sim, "client");
+        p->status =
+            driver
+                .Call(agent_uris[static_cast<size_t>(p->i) %
+                                 agent_uris.size()],
+                      "Session",
+                      MakeArgs(buyer, deployment->store_uris[p->store],
+                               int64_t{p->book}))
+                .status();
+      });
+    }
+    sim.RunSessions(std::move(bodies));
+    for (const Plan& plan : wave) {
+      if (!plan.status.ok()) {
+        if (failure.empty()) {
+          failure = StrCat("session ", plan.i,
+                           " failed: ", plan.status.ToString());
+        }
+        continue;
+      }
+      ++expected_store[plan.store];
+      ++expected_book[plan.store][plan.book];
+      if (inject) ++stats.sessions_total;
+    }
+    next = wave_end;
+  }
+
+  // Exactly-once oracle plus the state digest for the twin comparison.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  if (failure.empty()) {
+    int64_t done_total = 0;
+    for (const std::string& agent_uri : agent_uris) {
+      auto done = admin.Call(agent_uri, "SessionsDone", {});
+      if (!done.ok()) {
+        failure = "SessionsDone failed: " + done.status().ToString();
+        break;
+      }
+      done_total += done->AsInt();
+      mix(static_cast<uint64_t>(done->AsInt()));
+    }
+    if (failure.empty() && done_total != sessions) {
+      failure = StrCat("SessionsDone=", done_total, " want ", sessions);
+    }
+    ExternalClient probe(&sim, "client");
+    for (int s = 0; s < cfg.stores && failure.empty(); ++s) {
+      auto sold = probe.Call(deployment->store_uris[s], "TotalSold", {});
+      if (!sold.ok()) {
+        failure = "TotalSold failed: " + sold.status().ToString();
+        break;
+      }
+      if (sold->AsInt() != expected_store[s]) {
+        failure = StrCat("store ", s, " TotalSold=", sold->AsInt(), " want ",
+                         expected_store[s]);
+        break;
+      }
+      mix(static_cast<uint64_t>(sold->AsInt()));
+      for (int book = 1; book <= 10 && failure.empty(); ++book) {
+        auto entry = probe.Call(deployment->store_uris[s], "GetBook",
+                                MakeArgs(int64_t{book}));
+        if (!entry.ok()) {
+          failure = "GetBook failed: " + entry.status().ToString();
+          break;
+        }
+        int64_t stock = entry->AsList()[3].AsInt();
+        if (25 - stock != expected_book[s][book]) {
+          failure = StrCat("store ", s, " book ", book, " sold ", 25 - stock,
+                           " want ", expected_book[s][book]);
+          break;
+        }
+        mix(static_cast<uint64_t>(stock));
+      }
+    }
+  }
+  *state_hash = hash;
+
+  if (inject) {
+    stats.crashes_fired += sim.injector().crashes_fired();
+    stats.recoveries +=
+        server_machine.recovery_service().recoveries_performed() +
+        (&agent_machine == &server_machine
+             ? 0
+             : agent_machine.recovery_service().recoveries_performed());
+    stats.torn_tails_injected += sim.injector().torn_tails_fired();
+    stats.async_sweeps +=
+        sim.metrics().CounterTotal("phoenix.checkpoint.async.sweeps");
+    stats.async_publishes +=
+        sim.metrics().CounterTotal("phoenix.checkpoint.async.publishes");
+    stats.async_deferrals +=
+        sim.metrics().CounterTotal("phoenix.checkpoint.async.deferred");
+    stats.publish_skips +=
+        sim.metrics().CounterTotal("phoenix.checkpoint.publish_skips");
+    stats.group_flushes +=
+        sim.metrics().CounterTotal("phoenix.wal.group_commit.flushes");
+    static const FailurePoint kSweepPoints[] = {
+        FailurePoint::kDuringStateSave,
+        FailurePoint::kDuringCheckpoint,
+        FailurePoint::kDuringGroupFlush,
+    };
+    for (int p = 0; p < 3; ++p) {
+      for (const auto& [point, hit] : cfg.crashes) {
+        if (point == kSweepPoints[p]) ++stats.point_crashes[p];
+      }
+    }
+  }
+
+  if (!failure.empty() && inject) {
+    std::string path = obs::ResolveBenchPath(
+        StrCat("chaos_async_flight_run", run, ".jsonl"));
+    std::string dump = sim.tracer().ExportFlightRecorder();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+      *flight_file = path;
+    }
+  }
+  return failure;
+}
+
+int RunAsyncCheckpointCampaign(const CampaignOptions& campaign) {
+  AsyncCheckpointStats stats;
+  struct ViolationRecord {
+    int run;
+    std::string description;
+    std::string flight_file;
+  };
+  std::vector<ViolationRecord> violations;
+  for (int run = 0; run < campaign.runs; ++run) {
+    AsyncCheckpointConfig cfg = MakeAsyncCheckpointConfig(campaign, run);
+    uint64_t twin_hash = 0;
+    uint64_t fault_hash = 0;
+    std::string flight_file;
+    std::string twin_failure = RunAsyncCheckpointOne(
+        cfg, run, campaign.sessions, /*inject=*/false, stats, &twin_hash,
+        &flight_file);
+    std::string violation = RunAsyncCheckpointOne(
+        cfg, run, campaign.sessions, /*inject=*/true, stats, &fault_hash,
+        &flight_file);
+    ++stats.runs;
+    if (cfg.parallel_replay) ++stats.parallel_replay_runs;
+    if (violation.empty() && !twin_failure.empty()) {
+      violation = "fault-free twin failed: " + twin_failure;
+    }
+    if (violation.empty() && fault_hash != twin_hash) {
+      ++stats.hash_divergences;
+      violation = StrCat("state hash diverged from fault-free twin: ",
+                         fault_hash, " != ", twin_hash);
+    }
+    if (!violation.empty()) {
+      ++stats.violations;
+      violations.push_back({run, violation, flight_file});
+      std::fprintf(stderr,
+                   "VIOLATION run %d (%s, %s, interval=%u, overlap=%d): %s\n",
+                   run, TopologyName(cfg.topology),
+                   bookstore::OptLevelName(cfg.level), cfg.interval,
+                   cfg.overlap, violation.c_str());
+    } else if (campaign.verbose) {
+      std::printf("run %d ok (%s, interval=%u, overlap=%d, crashes=%zu, "
+                  "torn=%.2f)\n",
+                  run, bookstore::OptLevelName(cfg.level), cfg.interval,
+                  cfg.overlap, cfg.crashes.size(), cfg.torn_p);
+    }
+  }
+
+  obs::BenchReporter reporter("chaos_async_checkpoint", kChaosSchema);
+  obs::BenchVariant& campaign_v = reporter.AddVariant("campaign");
+  campaign_v.SetMetric("runs", stats.runs)
+      .SetMetric("seed", campaign.seed)
+      .SetMetric("sessions_per_run", static_cast<uint64_t>(campaign.sessions))
+      .SetMetric("violations", stats.violations)
+      .SetMetric("state_hash_divergences", stats.hash_divergences)
+      .SetMetric("sessions_total", stats.sessions_total)
+      .SetMetric("crashes_fired", stats.crashes_fired)
+      .SetMetric("recoveries", stats.recoveries)
+      .SetMetric("torn_tails_injected", stats.torn_tails_injected)
+      .SetMetric("async_sweeps", stats.async_sweeps)
+      .SetMetric("async_publishes", stats.async_publishes)
+      .SetMetric("async_deferrals", stats.async_deferrals)
+      .SetMetric("publish_skips", stats.publish_skips)
+      .SetMetric("group_flushes", stats.group_flushes)
+      .SetMetric("parallel_replay_runs", stats.parallel_replay_runs)
+      .SetMetric("crashes_at_state_save", stats.point_crashes[0])
+      .SetMetric("crashes_at_checkpoint", stats.point_crashes[1])
+      .SetMetric("crashes_at_group_flush", stats.point_crashes[2]);
+  for (const ViolationRecord& rec : violations) {
+    obs::BenchVariant& v =
+        reporter.AddVariant(StrCat("violation_run", rec.run));
+    v.SetMetric("run", static_cast<uint64_t>(rec.run));
+    v.SetInfo("violation", rec.description);
+    if (!rec.flight_file.empty()) {
+      v.SetInfo("flight_recorder", rec.flight_file);
+    }
+  }
+  auto written = reporter.WriteFile(campaign.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "async-checkpoint campaign: %llu run(s), %llu violation(s), "
+      "%llu state-hash divergence(s)\n"
+      "  injected: %llu crash(es) fired "
+      "(triggers: state_save=%llu checkpoint=%llu group_flush=%llu), "
+      "%llu torn tail(s)\n"
+      "  background: %llu sweep(s), %llu publish(es), %llu deferral(s), "
+      "%llu publish skip(s), %llu group flush(es)\n"
+      "  recoveries: %llu, parallel-replay runs: %llu\n"
+      "report: %s\n",
+      static_cast<unsigned long long>(stats.runs),
+      static_cast<unsigned long long>(stats.violations),
+      static_cast<unsigned long long>(stats.hash_divergences),
+      static_cast<unsigned long long>(stats.crashes_fired),
+      static_cast<unsigned long long>(stats.point_crashes[0]),
+      static_cast<unsigned long long>(stats.point_crashes[1]),
+      static_cast<unsigned long long>(stats.point_crashes[2]),
+      static_cast<unsigned long long>(stats.torn_tails_injected),
+      static_cast<unsigned long long>(stats.async_sweeps),
+      static_cast<unsigned long long>(stats.async_publishes),
+      static_cast<unsigned long long>(stats.async_deferrals),
+      static_cast<unsigned long long>(stats.publish_skips),
+      static_cast<unsigned long long>(stats.group_flushes),
+      static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.parallel_replay_runs),
+      written->c_str());
+  return stats.violations > 0 ? 1 : 0;
+}
+
 // --- sharded-WAL campaign --------------------------------------------------
 //
 // --wal-shards=N treats the shard layout itself as the fault domain: the
@@ -1587,13 +2021,15 @@ int Main(int argc, char** argv) {
       campaign.verbose = true;
     } else if (arg == "--crash-during-recovery") {
       campaign.crash_during_recovery = true;
+    } else if (arg == "--async-checkpoint") {
+      campaign.async_checkpoint = true;
     } else if (ParseFlag(arg, "wal-shards", &value)) {
       campaign.wal_shards = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--seed=S] [--sessions=N] "
                    "[--overlap=N] [--wal-shards=N] [--out=FILE] [--verbose] "
-                   "[--crash-during-recovery]\n",
+                   "[--crash-during-recovery] [--async-checkpoint]\n",
                    argv[0]);
       return 2;
     }
@@ -1605,6 +2041,9 @@ int Main(int argc, char** argv) {
   }
   if (campaign.wal_shards > 1) {
     return RunShardCampaign(campaign);
+  }
+  if (campaign.async_checkpoint) {
+    return RunAsyncCheckpointCampaign(campaign);
   }
   if (campaign.crash_during_recovery) {
     return RunRecoveryCrashCampaign(campaign);
